@@ -1,0 +1,34 @@
+# Convenience targets for the SCDA reproduction.
+
+.PHONY: all build test bench figures ablations docs clippy clean
+
+all: build
+
+build:
+	cargo build --workspace --release
+
+test:
+	cargo test --workspace
+
+test-release:
+	cargo test --workspace --release
+
+bench:
+	cargo bench --workspace
+
+# Regenerate every paper figure (7-18) at the paper-like scale and archive
+# the series under results/.
+figures:
+	cargo run --release -p scda-experiments --bin figures -- --all --scale paper --out results/
+
+ablations:
+	cargo run --release -p scda-experiments --bin ablations -- --scale quick
+
+docs:
+	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+clean:
+	cargo clean

@@ -1,0 +1,91 @@
+//! Simulator microbenchmarks: event-queue throughput and fluid network
+//! ticks at varying flow counts on the figure-6 topology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use scda_simnet::builders::{clos, fat_tree, ThreeTierConfig};
+use scda_simnet::units::mbps;
+use scda_simnet::{EcmpRoutes, FlowId, Network, Scheduler};
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("scheduler/push_pop_10k", |b| {
+        b.iter(|| {
+            let mut s: Scheduler<u64> = Scheduler::new();
+            for i in 0..10_000u64 {
+                s.at(((i * 7919) % 10_000) as f64, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = s.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_network_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network/tick");
+    for &flows in &[10usize, 100, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, &flows| {
+            let tree = ThreeTierConfig::default().build();
+            let clients = tree.clients.clone();
+            let servers = tree.all_servers();
+            let mut net = Network::new(tree.topo);
+            let mut offered = Vec::with_capacity(flows);
+            for i in 0..flows {
+                let id = FlowId(i as u64);
+                net.insert_flow(id, clients[i % clients.len()], servers[i % servers.len()]);
+                offered.push((id, 1e6));
+            }
+            b.iter(|| net.advance(0.005, &offered))
+        });
+    }
+    g.finish();
+}
+
+fn bench_route_warmup(c: &mut Criterion) {
+    c.bench_function("routing/all_client_server_paths", |b| {
+        let tree = ThreeTierConfig::default().build();
+        b.iter(|| {
+            let mut routes = scda_simnet::Routes::new(&tree.topo);
+            let mut hops = 0usize;
+            for &c in &tree.clients {
+                for s in tree.all_servers() {
+                    hops += routes.path(&tree.topo, c, s).map(|p| p.len()).unwrap_or(0);
+                }
+            }
+            hops
+        })
+    });
+}
+
+fn bench_ecmp(c: &mut Criterion) {
+    c.bench_function("routing/ecmp_fat_tree_k8_paths", |b| {
+        let (topo, pods) = fat_tree(8, mbps(100.0), 0.001, 1e6);
+        b.iter(|| {
+            let mut ecmp = EcmpRoutes::new(&topo);
+            let mut hops = 0usize;
+            for f in 0..64u64 {
+                hops += ecmp
+                    .path(&topo, pods[0][0], pods[7][15], FlowId(f))
+                    .map(|p| p.len())
+                    .unwrap_or(0);
+            }
+            hops
+        })
+    });
+    c.bench_function("routing/ecmp_clos_path_count", |b| {
+        let (topo, servers) = clos(8, 4, 8, 4, mbps(100.0), 0.001, 1e6);
+        b.iter(|| {
+            let mut ecmp = EcmpRoutes::new(&topo);
+            ecmp.path_count(&topo, servers[0][0], servers[7][3])
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scheduler, bench_network_tick, bench_route_warmup, bench_ecmp
+}
+criterion_main!(benches);

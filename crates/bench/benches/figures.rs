@@ -1,0 +1,63 @@
+//! One benchmark per paper figure (7-18): regenerating the figure's data
+//! from its simulation group, exactly as the DESIGN.md experiment index
+//! maps them. Each group's *simulation* (SCDA + RandTCP runs) is measured
+//! once under `figures/group_*`, and each figure's *projection* (CDF /
+//! AFCT / throughput series extraction) under `figures/figNN`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scda_experiments::{build_figure, ExperimentPair, Group, Scale};
+
+fn trimmed_pair(group: Group) -> ExperimentPair {
+    // Quick scale, further trimmed so Criterion's repeated runs stay fast:
+    // first 4 s of arrivals over a 12 s horizon.
+    let mut sc = group.scenario(Scale::Quick, 1);
+    sc.workload.flows.retain(|f| f.arrival < 4.0);
+    sc.duration = 12.0;
+    scda_experiments::run_pair(&sc, &scda_experiments::ScdaOptions::default())
+}
+
+fn bench_group_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/groups");
+    g.sample_size(10);
+    for group in Group::all() {
+        g.bench_function(format!("{group:?}"), |b| {
+            let mut sc = group.scenario(Scale::Quick, 1);
+            sc.workload.flows.retain(|f| f.arrival < 4.0);
+            sc.duration = 12.0;
+            b.iter(|| {
+                scda_experiments::run_pair(&sc, &scda_experiments::ScdaOptions::default())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_figure_builds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/build");
+    g.sample_size(20);
+    // One pair per group, reused across that group's figures.
+    for group in Group::all() {
+        let pair = trimmed_pair(group);
+        for &fig in group.figures() {
+            g.bench_function(format!("fig{fig:02}"), |b| {
+                b.iter(|| build_figure(fig, &pair))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_content_lifecycle(c: &mut Criterion) {
+    use scda_experiments::content_run::{run_content, ContentRunConfig};
+    let mut g = c.benchmark_group("figures/content_lifecycle");
+    g.sample_size(10);
+    g.bench_function("quick", |b| {
+        let cfg = ContentRunConfig { duration: 10.0, ..Default::default() };
+        b.iter(|| run_content(&cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_group_runs, bench_figure_builds, bench_content_lifecycle);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Allocation benchmarks: the water-filling reference solver and a full
+//! RM/RA control round on the paper-scale tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use scda_core::rate_metric::LinkSample;
+use scda_core::tree::{RateCaps, Telemetry};
+use scda_core::{ControlTree, MetricKind, Params};
+use scda_simnet::builders::ThreeTierConfig;
+use scda_simnet::{max_min_rates, FluidFlow, LinkId, NodeId};
+
+fn bench_water_filling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maxmin/water_filling");
+    for &n in &[10usize, 100, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // n flows over 64 links, deterministic pseudo-random paths.
+            let caps: Vec<f64> = (0..64).map(|i| 1e6 + (i as f64) * 1e4).collect();
+            let flows: Vec<FluidFlow> = (0..n)
+                .map(|j| {
+                    let a = (j * 17) % 64;
+                    let b = (j * 31 + 7) % 64;
+                    let cap = if j % 5 == 0 { Some(5e4 + j as f64) } else { None };
+                    FluidFlow {
+                        path: vec![LinkId(a as u32), LinkId(b as u32)],
+                        cap,
+                    }
+                })
+                .collect();
+            b.iter(|| max_min_rates(&caps, &flows))
+        });
+    }
+    g.finish();
+}
+
+struct SyntheticLoad;
+impl Telemetry for SyntheticLoad {
+    fn sample(&mut self, l: LinkId) -> LinkSample {
+        LinkSample {
+            queue_bytes: (l.0 % 7) as f64 * 1e4,
+            flow_rate_sum: (l.0 % 13) as f64 * 1e6,
+            arrival_rate: (l.0 % 13) as f64 * 1e6,
+        }
+    }
+    fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
+        RateCaps::default()
+    }
+}
+
+fn bench_control_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maxmin/control_round");
+    for (label, racks, per_rack) in [("quick", 8usize, 5usize), ("paper", 20, 10), ("large", 80, 20)] {
+        g.bench_function(label, |b| {
+            let tree = ThreeTierConfig {
+                racks,
+                servers_per_rack: per_rack,
+                racks_per_agg: (racks / 4).max(1),
+                ..Default::default()
+            }
+            .build();
+            let mut ct = ControlTree::from_three_tier(&tree, Params::default(), MetricKind::Full);
+            b.iter(|| ct.control_round(0.0, &mut SyntheticLoad))
+        });
+    }
+    g.finish();
+}
+
+fn bench_server_metrics(c: &mut Criterion) {
+    c.bench_function("maxmin/server_metrics_paper", |b| {
+        let tree = ThreeTierConfig::default().build();
+        let mut ct = ControlTree::from_three_tier(&tree, Params::default(), MetricKind::Full);
+        ct.control_round(0.0, &mut SyntheticLoad);
+        b.iter(|| ct.server_metrics())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_water_filling, bench_control_round, bench_server_metrics
+}
+criterion_main!(benches);

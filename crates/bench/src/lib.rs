@@ -1,0 +1,2 @@
+//! Criterion benchmark crate for the SCDA reproduction; see the
+//! `benches/` directory (engine, maxmin, rate_metric, figures).

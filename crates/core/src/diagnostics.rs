@@ -1,0 +1,152 @@
+//! Control-plane diagnostics export.
+//!
+//! §I of the paper: "All the aggregated and monitored traffic metrics can
+//! be offloaded to an external server for off-line diagnosis, analysis and
+//! data mining of the distributed system." A [`TreeSnapshot`] is that
+//! offload: the full per-node state of a control round — capacities,
+//! current allocations, best-subtree rates — serializable to JSON.
+
+use serde::{Deserialize, Serialize};
+
+use scda_simnet::{LinkId, NodeId};
+
+/// One direction of one control node at snapshot time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DirSnapshot {
+    /// The monitored link.
+    pub link: LinkId,
+    /// Its configured capacity, bytes/s.
+    pub capacity: f64,
+    /// The current allocation `R(t)`, bytes/s.
+    pub rate: f64,
+    /// The best subtree rate `R̂`, bytes/s.
+    pub r_hat: f64,
+    /// The block server achieving `R̂` (None before the first round or on
+    /// an empty subtree).
+    pub best_bs: Option<NodeId>,
+}
+
+/// One RM/RA at snapshot time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeSnapshot {
+    /// Tree level (0 = RM).
+    pub level: u8,
+    /// The monitored server (RMs only).
+    pub server: Option<NodeId>,
+    /// Downlink (write-path) state.
+    pub down: DirSnapshot,
+    /// Uplink (read-path) state.
+    pub up: DirSnapshot,
+}
+
+/// The whole tree at one instant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeSnapshot {
+    /// Snapshot time, seconds.
+    pub time: f64,
+    /// Every node, in construction order.
+    pub nodes: Vec<NodeSnapshot>,
+}
+
+impl TreeSnapshot {
+    /// Serialize for the external analysis server.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Parse a previously exported snapshot.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Total advertised downlink capacity across RMs — a quick
+    /// cluster-health indicator.
+    pub fn total_server_down_rate(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.level == 0)
+            .map(|n| n.down.rate)
+            .sum()
+    }
+
+    /// Links whose allocation collapsed below `frac` of capacity —
+    /// congestion / failure suspects for off-line analysis.
+    pub fn collapsed_links(&self, frac: f64) -> Vec<LinkId> {
+        let mut out = Vec::new();
+        for n in &self.nodes {
+            for d in [&n.down, &n.up] {
+                if d.rate < frac * d.capacity {
+                    out.push(d.link);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> TreeSnapshot {
+        TreeSnapshot {
+            time: 3.5,
+            nodes: vec![
+                NodeSnapshot {
+                    level: 0,
+                    server: Some(NodeId(4)),
+                    down: DirSnapshot {
+                        link: LinkId(1),
+                        capacity: 100.0,
+                        rate: 90.0,
+                        r_hat: 90.0,
+                        best_bs: Some(NodeId(4)),
+                    },
+                    up: DirSnapshot {
+                        link: LinkId(0),
+                        capacity: 100.0,
+                        rate: 5.0,
+                        r_hat: 5.0,
+                        best_bs: Some(NodeId(4)),
+                    },
+                },
+                NodeSnapshot {
+                    level: 1,
+                    server: None,
+                    down: DirSnapshot {
+                        link: LinkId(3),
+                        capacity: 100.0,
+                        rate: 95.0,
+                        r_hat: 90.0,
+                        best_bs: Some(NodeId(4)),
+                    },
+                    up: DirSnapshot {
+                        link: LinkId(2),
+                        capacity: 100.0,
+                        rate: 95.0,
+                        r_hat: 5.0,
+                        best_bs: Some(NodeId(4)),
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = snap();
+        let back = TreeSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.time, 3.5);
+        assert_eq!(back.nodes.len(), 2);
+        assert_eq!(back.nodes[0].down.rate, 90.0);
+    }
+
+    #[test]
+    fn health_indicators() {
+        let s = snap();
+        assert_eq!(s.total_server_down_rate(), 90.0);
+        let collapsed = s.collapsed_links(0.5);
+        assert_eq!(collapsed, vec![LinkId(0)], "the 5% uplink is a suspect");
+        assert!(s.collapsed_links(0.01).is_empty());
+    }
+}

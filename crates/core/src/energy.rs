@@ -1,0 +1,289 @@
+//! Server energy model (§VII-C, §VII-D).
+//!
+//! The paper's power-aware selection divides a server's available rate by
+//! its measured power `P(t) = T(t)/τ` (temperature sensors); heterogeneity
+//! comes from rack position, hardware age and background tasks. Real
+//! sensors are substituted by a synthetic but load-faithful model: power =
+//! idle + slope·utilization, scaled by a per-server heterogeneity factor,
+//! plus a dormant low-power state with a wake-up transition latency —
+//! enough to exercise every selection and scale-down code path the paper
+//! describes.
+
+use scda_simnet::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Power state of a server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PowerState {
+    /// Serving traffic at full readiness.
+    Active,
+    /// Low-power nap: serves nothing until woken (transition costs
+    /// [`PowerModelConfig::wake_latency`] seconds).
+    Dormant,
+    /// Waking up; becomes active at the stored time.
+    Waking {
+        /// When the server becomes active.
+        until: f64,
+    },
+}
+
+/// Parameters of the synthetic power model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerModelConfig {
+    /// Active idle power draw, watts.
+    pub idle_watts: f64,
+    /// Additional watts at 100% utilization.
+    pub load_watts: f64,
+    /// Dormant power draw, watts.
+    pub dormant_watts: f64,
+    /// Seconds to transition dormant → active.
+    pub wake_latency: f64,
+    /// Exponential-average weight on the newest power sample (the paper:
+    /// "a running average or with more weight to the latest measurement").
+    pub ewma_weight: f64,
+}
+
+impl Default for PowerModelConfig {
+    fn default() -> Self {
+        PowerModelConfig {
+            idle_watts: 150.0,
+            load_watts: 100.0,
+            dormant_watts: 15.0,
+            wake_latency: 2.0,
+            ewma_weight: 0.3,
+        }
+    }
+}
+
+/// Per-server energy account.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerPower {
+    /// Multiplier on power draw modeling rack position / age / background
+    /// load heterogeneity (1.0 = nominal; hotter servers are > 1).
+    pub heterogeneity: f64,
+    /// Current power state.
+    pub state: PowerState,
+    /// Smoothed power estimate `P(t)`, watts.
+    pub p_avg: f64,
+    /// Accumulated energy, joules.
+    pub energy_j: f64,
+    /// Last accounting timestamp.
+    last_update: f64,
+}
+
+/// The fleet-wide power book.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyBook {
+    cfg: PowerModelConfig,
+    servers: BTreeMap<NodeId, ServerPower>,
+}
+
+impl EnergyBook {
+    /// Register `servers`, each with a heterogeneity factor produced by
+    /// `hetero(i)` (e.g. a deterministic spread of 0.8..1.3).
+    pub fn new(
+        cfg: PowerModelConfig,
+        servers: impl IntoIterator<Item = NodeId>,
+        mut hetero: impl FnMut(usize) -> f64,
+    ) -> Self {
+        let servers = servers
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| {
+                let h = hetero(i);
+                assert!(h > 0.0, "heterogeneity factor must be positive");
+                (
+                    id,
+                    ServerPower {
+                        heterogeneity: h,
+                        state: PowerState::Active,
+                        p_avg: cfg.idle_watts * h,
+                        energy_j: 0.0,
+                        last_update: 0.0,
+                    },
+                )
+            })
+            .collect();
+        EnergyBook { cfg, servers }
+    }
+
+    /// Per-server state.
+    pub fn server(&self, id: NodeId) -> Option<&ServerPower> {
+        self.servers.get(&id)
+    }
+
+    /// Whether `id` can serve traffic right now.
+    pub fn is_active(&self, id: NodeId) -> bool {
+        matches!(self.servers.get(&id).map(|s| s.state), Some(PowerState::Active))
+    }
+
+    /// Whether `id` is dormant (napping).
+    pub fn is_dormant(&self, id: NodeId) -> bool {
+        matches!(self.servers.get(&id).map(|s| s.state), Some(PowerState::Dormant))
+    }
+
+    /// Put a server into the low-power state (scale-down, §VII-C).
+    pub fn scale_down(&mut self, id: NodeId) {
+        if let Some(s) = self.servers.get_mut(&id) {
+            s.state = PowerState::Dormant;
+        }
+    }
+
+    /// Begin waking a dormant server at time `now`; it becomes active after
+    /// the configured wake latency. Active servers are unaffected.
+    pub fn wake(&mut self, id: NodeId, now: f64) {
+        if let Some(s) = self.servers.get_mut(&id) {
+            if s.state == PowerState::Dormant {
+                s.state = PowerState::Waking { until: now + self.cfg.wake_latency };
+            }
+        }
+    }
+
+    /// Advance accounting to `now`: finish wake transitions, integrate
+    /// energy, and fold the instantaneous power (from `utilization(id)` in
+    /// `[0, 1]`) into the running average `P(t)`.
+    pub fn tick(&mut self, now: f64, mut utilization: impl FnMut(NodeId) -> f64) {
+        for (&id, s) in self.servers.iter_mut() {
+            if let PowerState::Waking { until } = s.state {
+                if now >= until {
+                    s.state = PowerState::Active;
+                }
+            }
+            let u = utilization(id).clamp(0.0, 1.0);
+            let p_inst = match s.state {
+                PowerState::Dormant => self.cfg.dormant_watts * s.heterogeneity,
+                // Waking servers burn active-idle power without serving.
+                PowerState::Waking { .. } => self.cfg.idle_watts * s.heterogeneity,
+                PowerState::Active => {
+                    (self.cfg.idle_watts + self.cfg.load_watts * u) * s.heterogeneity
+                }
+            };
+            let dt = (now - s.last_update).max(0.0);
+            s.energy_j += p_inst * dt;
+            s.last_update = now;
+            let w = self.cfg.ewma_weight;
+            s.p_avg = (1.0 - w) * s.p_avg + w * p_inst;
+        }
+    }
+
+    /// The smoothed power `P(t)` used by the `R̂/P` selection metric.
+    pub fn power(&self, id: NodeId) -> f64 {
+        self.servers.get(&id).map(|s| s.p_avg).unwrap_or(f64::INFINITY)
+    }
+
+    /// The temperature reading a sensor would report over a control
+    /// interval `tau` — the paper's §VII-D defines the relation
+    /// `P(t) = T(t)/τ`, so the synthetic sensor reports `T(t) = P(t)·τ`.
+    pub fn temperature(&self, id: NodeId, tau: f64) -> f64 {
+        self.power(id) * tau
+    }
+
+    /// Total fleet energy so far, joules.
+    pub fn total_energy(&self) -> f64 {
+        self.servers.values().map(|s| s.energy_j).sum()
+    }
+
+    /// Number of dormant servers (the scale-down win the §VII-C mechanism
+    /// is after).
+    pub fn dormant_count(&self) -> usize {
+        self.servers
+            .values()
+            .filter(|s| s.state == PowerState::Dormant)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn book(n: u32) -> EnergyBook {
+        EnergyBook::new(
+            PowerModelConfig::default(),
+            (0..n).map(NodeId),
+            |i| 0.9 + 0.1 * (i % 3) as f64,
+        )
+    }
+
+    #[test]
+    fn all_start_active_at_idle_power() {
+        let b = book(3);
+        assert!(b.is_active(NodeId(0)));
+        assert_eq!(b.dormant_count(), 0);
+        assert!((b.power(NodeId(0)) - 0.9 * 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_down_and_wake_cycle() {
+        let mut b = book(2);
+        b.scale_down(NodeId(0));
+        assert!(b.is_dormant(NodeId(0)));
+        assert_eq!(b.dormant_count(), 1);
+        b.wake(NodeId(0), 10.0);
+        assert!(!b.is_active(NodeId(0)), "waking is not yet active");
+        b.tick(11.0, |_| 0.0);
+        assert!(!b.is_active(NodeId(0)), "wake latency is 2 s");
+        b.tick(12.5, |_| 0.0);
+        assert!(b.is_active(NodeId(0)));
+    }
+
+    #[test]
+    fn dormant_servers_burn_less_energy() {
+        let mut b = book(2);
+        b.scale_down(NodeId(0));
+        b.tick(100.0, |_| 0.0);
+        let dormant = b.server(NodeId(0)).unwrap().energy_j;
+        let active = b.server(NodeId(1)).unwrap().energy_j;
+        assert!(dormant < active / 5.0, "dormant {dormant} vs active {active}");
+    }
+
+    #[test]
+    fn utilization_raises_power() {
+        let mut b = book(1);
+        for i in 1..50 {
+            b.tick(i as f64, |_| 1.0);
+        }
+        // EWMA converges toward (150 + 100) * 0.9.
+        assert!((b.power(NodeId(0)) - 0.9 * 250.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn heterogeneity_scales_power() {
+        let mut b = EnergyBook::new(
+            PowerModelConfig::default(),
+            [NodeId(0), NodeId(1)],
+            |i| if i == 0 { 1.0 } else { 1.3 },
+        );
+        for i in 1..50 {
+            b.tick(i as f64, |_| 0.5);
+        }
+        let p0 = b.power(NodeId(0));
+        let p1 = b.power(NodeId(1));
+        assert!((p1 / p0 - 1.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn unknown_server_has_infinite_power() {
+        let b = book(1);
+        assert_eq!(b.power(NodeId(99)), f64::INFINITY);
+    }
+
+    #[test]
+    fn temperature_inverts_the_papers_power_formula() {
+        // P(t) = T(t)/tau  <=>  T(t) = P(t)*tau.
+        let b = book(1);
+        let tau = 0.05;
+        let t = b.temperature(NodeId(0), tau);
+        assert!((t / tau - b.power(NodeId(0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_is_monotone() {
+        let mut b = book(2);
+        b.tick(1.0, |_| 0.2);
+        let e1 = b.total_energy();
+        b.tick(2.0, |_| 0.2);
+        assert!(b.total_energy() > e1);
+    }
+}

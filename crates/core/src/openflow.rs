@@ -1,0 +1,85 @@
+//! OpenFlow-based QoS prioritization (§IV-B).
+//!
+//! The paper sketches a second realization of prioritized allocation for
+//! clouds with OpenFlow switches: each switch already counts packets per
+//! flow (`Cnt_j`), so serving the flow with the *smallest* count first
+//! approximates shortest-job-first; long flows see their ACKs delayed and
+//! back off on their own. Here the mechanism is a pure function from
+//! per-flow byte counts to priority weights, pluggable into the eq. 6
+//! weighted sum — the software-switch substitute documented in DESIGN.md.
+
+use scda_simnet::FlowId;
+use serde::{Deserialize, Serialize};
+
+use crate::priority::{MAX_WEIGHT, MIN_WEIGHT};
+
+/// Configuration of the packet-count SJF approximation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpenFlowSjf {
+    /// Byte count at which a flow's weight is exactly 1.
+    pub pivot_bytes: f64,
+    /// Sharpness exponent (1 = inverse-proportional).
+    pub gamma: f64,
+}
+
+impl Default for OpenFlowSjf {
+    fn default() -> Self {
+        OpenFlowSjf { pivot_bytes: 1_000_000.0, gamma: 0.5 }
+    }
+}
+
+impl OpenFlowSjf {
+    /// Weight for a flow that has sent `sent_bytes` so far: flows with
+    /// small counts (young/short flows) get weights above 1, heavy senders
+    /// below 1 — the switch "always serves the packets of the flow with
+    /// smaller packet count", here in fluid form.
+    pub fn weight(&self, sent_bytes: f64) -> f64 {
+        (self.pivot_bytes / sent_bytes.max(1.0))
+            .powf(self.gamma)
+            .clamp(MIN_WEIGHT, MAX_WEIGHT)
+    }
+
+    /// Weights for a set of flows given their cumulative counts.
+    pub fn weights(&self, counts: &[(FlowId, f64)]) -> Vec<(FlowId, f64)> {
+        counts.iter().map(|&(id, sent)| (id, self.weight(sent))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_flows_outrank_old_flows() {
+        let s = OpenFlowSjf::default();
+        assert!(s.weight(10_000.0) > s.weight(100_000_000.0));
+    }
+
+    #[test]
+    fn pivot_weight_is_one() {
+        let s = OpenFlowSjf::default();
+        assert!((s.weight(1_000_000.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_are_clamped() {
+        let s = OpenFlowSjf { pivot_bytes: 1e6, gamma: 4.0 };
+        assert_eq!(s.weight(1.0), MAX_WEIGHT);
+        assert_eq!(s.weight(1e15), MIN_WEIGHT);
+    }
+
+    #[test]
+    fn batch_weights_preserve_order() {
+        let s = OpenFlowSjf::default();
+        let out = s.weights(&[(FlowId(1), 1e3), (FlowId(2), 1e9)]);
+        assert_eq!(out[0].0, FlowId(1));
+        assert!(out[0].1 > out[1].1);
+    }
+
+    #[test]
+    fn zero_count_does_not_blow_up() {
+        let s = OpenFlowSjf::default();
+        let w = s.weight(0.0);
+        assert!(w.is_finite() && w <= MAX_WEIGHT);
+    }
+}

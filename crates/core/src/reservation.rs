@@ -1,0 +1,158 @@
+//! QoS by explicit reservation (§IV-C).
+//!
+//! A source may reserve a minimum rate `M_j`. Reserved capacity is deducted
+//! from the link before the max-min sharing of eq. 2 runs, so reserved
+//! flows always see at least `M_j` while everyone (including the reserved
+//! flows) shares the remainder. RMs sum the `M_j` of their node and push
+//! the sums up the RA tree, exactly like the `S` sums — here a
+//! [`ReservationBook`] per monitored link plays that role.
+
+use std::collections::BTreeMap;
+
+use scda_simnet::FlowId;
+use serde::{Deserialize, Serialize};
+
+/// Per-link registry of minimum-rate reservations.
+///
+/// # Examples
+///
+/// ```
+/// use scda_core::ReservationBook;
+/// use scda_simnet::FlowId;
+///
+/// let mut book = ReservationBook::new();
+/// assert!(book.reserve(FlowId(1), 40.0, 100.0));
+/// assert!(!book.reserve(FlowId(2), 70.0, 100.0), "admission control");
+/// assert_eq!(book.shareable_capacity(100.0), 60.0);
+/// assert_eq!(book.entitled_rate(FlowId(1), 10.0), 50.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReservationBook {
+    reservations: BTreeMap<FlowId, f64>,
+    total: f64,
+}
+
+impl ReservationBook {
+    /// Empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Try to reserve `min_rate` bytes/s for `flow` on a link of
+    /// `capacity` bytes/s. Fails (returns `false`, registering nothing)
+    /// when the reservation would oversubscribe the link — the admission
+    /// control a real SLA needs.
+    pub fn reserve(&mut self, flow: FlowId, min_rate: f64, capacity: f64) -> bool {
+        assert!(min_rate >= 0.0, "reservations cannot be negative");
+        if self.reservations.contains_key(&flow) {
+            return false;
+        }
+        if self.total + min_rate > capacity {
+            return false;
+        }
+        self.reservations.insert(flow, min_rate);
+        self.total += min_rate;
+        true
+    }
+
+    /// Release a flow's reservation (no-op if absent).
+    pub fn release(&mut self, flow: FlowId) {
+        if let Some(m) = self.reservations.remove(&flow) {
+            self.total -= m;
+        }
+    }
+
+    /// The reserved minimum of `flow`, if any.
+    pub fn reserved(&self, flow: FlowId) -> Option<f64> {
+        self.reservations.get(&flow).copied()
+    }
+
+    /// Sum of all reservations (bytes/s) — the value an RM reports upward.
+    #[inline]
+    pub fn total_reserved(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of reserved flows (`N^Res` of §IV-C).
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// The capacity left for max-min sharing: `C − Σ M_j`, floored at 0.
+    #[inline]
+    pub fn shareable_capacity(&self, capacity: f64) -> f64 {
+        (capacity - self.total).max(0.0)
+    }
+
+    /// The rate a flow is entitled to, given the shared allocation
+    /// `shared_rate` computed over [`shareable_capacity`]: reserved flows
+    /// get `M_j` plus the shared rate, best-effort flows the shared rate.
+    ///
+    /// [`shareable_capacity`]: ReservationBook::shareable_capacity
+    pub fn entitled_rate(&self, flow: FlowId, shared_rate: f64) -> f64 {
+        self.reserved(flow).unwrap_or(0.0) + shared_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let mut b = ReservationBook::new();
+        assert!(b.reserve(FlowId(1), 100.0, 1000.0));
+        assert_eq!(b.reserved(FlowId(1)), Some(100.0));
+        assert_eq!(b.total_reserved(), 100.0);
+        b.release(FlowId(1));
+        assert_eq!(b.reserved(FlowId(1)), None);
+        assert_eq!(b.total_reserved(), 0.0);
+    }
+
+    #[test]
+    fn admission_control_rejects_oversubscription() {
+        let mut b = ReservationBook::new();
+        assert!(b.reserve(FlowId(1), 600.0, 1000.0));
+        assert!(!b.reserve(FlowId(2), 600.0, 1000.0), "would exceed capacity");
+        assert_eq!(b.count(), 1);
+        assert!(b.reserve(FlowId(2), 400.0, 1000.0));
+    }
+
+    #[test]
+    fn duplicate_reservation_rejected() {
+        let mut b = ReservationBook::new();
+        assert!(b.reserve(FlowId(1), 10.0, 100.0));
+        assert!(!b.reserve(FlowId(1), 10.0, 100.0));
+    }
+
+    #[test]
+    fn shareable_capacity_deducts_reservations() {
+        let mut b = ReservationBook::new();
+        b.reserve(FlowId(1), 300.0, 1000.0);
+        b.reserve(FlowId(2), 200.0, 1000.0);
+        assert_eq!(b.shareable_capacity(1000.0), 500.0);
+    }
+
+    #[test]
+    fn entitled_rate_adds_minimum() {
+        let mut b = ReservationBook::new();
+        b.reserve(FlowId(1), 300.0, 1000.0);
+        assert_eq!(b.entitled_rate(FlowId(1), 50.0), 350.0);
+        assert_eq!(b.entitled_rate(FlowId(2), 50.0), 50.0);
+    }
+
+    #[test]
+    fn release_unknown_is_noop() {
+        let mut b = ReservationBook::new();
+        b.release(FlowId(99));
+        assert_eq!(b.total_reserved(), 0.0);
+    }
+
+    #[test]
+    fn shareable_capacity_floors_at_zero() {
+        let mut b = ReservationBook::new();
+        b.reserve(FlowId(1), 100.0, 100.0);
+        assert_eq!(b.shareable_capacity(50.0), 0.0, "shrunk link still non-negative");
+    }
+}

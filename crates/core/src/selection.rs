@@ -1,0 +1,344 @@
+//! Cloud server selection (§VII).
+//!
+//! Given the per-server metrics the control tree computes each round, pick
+//! block servers per content class:
+//!
+//! * **interactive** — argmax `min(R̂_d, R̂_u)`: the interaction is limited
+//!   by whichever direction is slower (§VII-A);
+//! * **semi-interactive** — two stages: write to the best-downlink server,
+//!   then replicate to the best-uplink server so later reads are fast
+//!   (§VII-B);
+//! * **passive** — write to the best-downlink server, replicate onto a
+//!   *dormant* server whose uplink exceeds the scale-down threshold
+//!   `R_scale`; active content meanwhile avoids those near-idle servers so
+//!   they can stay dormant (§VII-C);
+//! * **power-aware** — any of the above with the rate replaced by
+//!   `R̂ / P(t)` (§VII-D).
+//!
+//! All selectors take an exclusion list (a replica must not land on the
+//! primary) and operate on the deterministic `Vec<ServerMetrics>` order,
+//! so ties break identically across runs.
+
+use scda_simnet::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::content::ContentClass;
+use crate::energy::EnergyBook;
+use crate::tree::ServerMetrics;
+
+/// Selection behavior knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelectorConfig {
+    /// The scale-down threshold `R_scale` (bytes/s): servers with available
+    /// uplink above this are "near idle" and reserved for passive content.
+    pub r_scale: f64,
+    /// Divide rates by measured power (`R̂/P`) when ranking (§VII-D).
+    pub power_aware: bool,
+}
+
+impl Default for SelectorConfig {
+    fn default() -> Self {
+        SelectorConfig { r_scale: 40_000_000.0, power_aware: false }
+    }
+}
+
+/// Which rate a selection ranks on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rank {
+    /// Path downlink rate (write placement).
+    Down,
+    /// Path uplink rate (read/replica placement).
+    Up,
+    /// `min(down, up)` (interactive placement).
+    MinBoth,
+}
+
+/// Stateless selector over a round's server metrics.
+pub struct Selector<'a> {
+    metrics: &'a [ServerMetrics],
+    energy: Option<&'a EnergyBook>,
+    cfg: &'a SelectorConfig,
+}
+
+impl<'a> Selector<'a> {
+    /// A selector over `metrics` (one entry per block server, from
+    /// [`crate::tree::ControlTree::server_metrics`]). Pass the energy book
+    /// to enable dormancy handling and power-aware ranking.
+    pub fn new(
+        metrics: &'a [ServerMetrics],
+        energy: Option<&'a EnergyBook>,
+        cfg: &'a SelectorConfig,
+    ) -> Self {
+        Selector { metrics, energy, cfg }
+    }
+
+    fn score(&self, m: &ServerMetrics, rank: Rank) -> f64 {
+        let raw = match rank {
+            Rank::Down => m.path_down,
+            Rank::Up => m.path_up,
+            Rank::MinBoth => m.path_down.min(m.path_up),
+        };
+        if self.cfg.power_aware {
+            match self.energy {
+                Some(e) => raw / e.power(m.server),
+                None => raw,
+            }
+        } else {
+            raw
+        }
+    }
+
+    fn argmax(
+        &self,
+        rank: Rank,
+        exclude: &[NodeId],
+        filter: impl Fn(&ServerMetrics) -> bool,
+    ) -> Option<(NodeId, f64)> {
+        self.metrics
+            .iter()
+            .filter(|m| !exclude.contains(&m.server))
+            .filter(|m| filter(m))
+            .map(|m| (m.server, self.score(m, rank)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    fn is_reserved_for_passive(&self, m: &ServerMetrics) -> bool {
+        // A near-idle server (high available uplink) that is dormant or
+        // dormancy-eligible is held back for passive content.
+        m.path_up >= self.cfg.r_scale
+    }
+
+    /// Where to **write** new content of the given class (stage 1 of every
+    /// §VII strategy). Active content avoids servers reserved for passive
+    /// data when any other server is available.
+    pub fn write_target(&self, class: ContentClass, exclude: &[NodeId]) -> Option<(NodeId, f64)> {
+        let rank = match class {
+            ContentClass::Interactive => Rank::MinBoth,
+            _ => Rank::Down,
+        };
+        if class.is_active() {
+            // Prefer servers not reserved for passive content...
+            if let Some(hit) = self.argmax(rank, exclude, |m| {
+                !self.is_reserved_for_passive(m) && self.is_usable(m)
+            }) {
+                return Some(hit);
+            }
+        }
+        // ...but never fail outright if only reserved ones remain.
+        self.argmax(rank, exclude, |m| self.is_usable(m))
+            .or_else(|| self.argmax(rank, exclude, |_| true))
+    }
+
+    /// Where to **replicate** content already written to `primary`
+    /// (stage 2 of §VII-B/C). Semi-interactive and interactive replicas
+    /// chase the best uplink so reads are fast; passive replicas go to a
+    /// dormant / near-idle server with uplink above `R_scale`.
+    pub fn replica_target(
+        &self,
+        class: ContentClass,
+        primary: NodeId,
+        exclude: &[NodeId],
+    ) -> Option<(NodeId, f64)> {
+        let mut excl: Vec<NodeId> = exclude.to_vec();
+        excl.push(primary);
+        match class {
+            ContentClass::Passive => {
+                // Dormant servers whose uplink beats the threshold first,
+                // then any server above the threshold, then best uplink.
+                self.argmax(Rank::Up, &excl, |m| {
+                    m.path_up >= self.cfg.r_scale && self.is_dormant(m.server)
+                })
+                .or_else(|| self.argmax(Rank::Up, &excl, |m| m.path_up >= self.cfg.r_scale))
+                .or_else(|| self.argmax(Rank::Up, &excl, |_| true))
+            }
+            ContentClass::Interactive => {
+                self.argmax(Rank::MinBoth, &excl, |m| {
+                    !self.is_reserved_for_passive(m) && self.is_usable(m)
+                })
+                .or_else(|| self.argmax(Rank::MinBoth, &excl, |_| true))
+            }
+            _ => self
+                .argmax(Rank::Up, &excl, |m| !self.is_reserved_for_passive(m) && self.is_usable(m))
+                .or_else(|| self.argmax(Rank::Up, &excl, |_| true)),
+        }
+    }
+
+    /// The best replica of `replicas` to **read** from: highest uplink rate
+    /// among servers currently able to serve (§VIII-C step 3).
+    pub fn read_source(&self, replicas: &[NodeId]) -> Option<(NodeId, f64)> {
+        self.metrics
+            .iter()
+            .filter(|m| replicas.contains(&m.server) && self.is_usable(m))
+            .map(|m| (m.server, self.score(m, Rank::Up)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .or_else(|| {
+                // Fall back to a dormant replica (it will be woken).
+                self.metrics
+                    .iter()
+                    .filter(|m| replicas.contains(&m.server))
+                    .map(|m| (m.server, self.score(m, Rank::Up)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+            })
+    }
+
+    fn is_dormant(&self, s: NodeId) -> bool {
+        self.energy.map(|e| e.is_dormant(s)).unwrap_or(false)
+    }
+
+    fn is_usable(&self, m: &ServerMetrics) -> bool {
+        match self.energy {
+            Some(e) => e.is_active(m.server),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::{EnergyBook, PowerModelConfig};
+
+    fn m(id: u32, down: f64, up: f64) -> ServerMetrics {
+        ServerMetrics {
+            server: NodeId(id),
+            r0_down: down,
+            r0_up: up,
+            path_down: down,
+            path_up: up,
+            down_levels: [down; crate::tree::MAX_LEVELS],
+            up_levels: [up; crate::tree::MAX_LEVELS],
+            n_levels: 4,
+        }
+    }
+
+    fn cfg(r_scale: f64) -> SelectorConfig {
+        SelectorConfig { r_scale, power_aware: false }
+    }
+
+    #[test]
+    fn write_target_picks_best_downlink() {
+        let metrics = [m(0, 10.0, 99.0), m(1, 50.0, 1.0), m(2, 30.0, 1.0)];
+        let c = cfg(f64::INFINITY);
+        let s = Selector::new(&metrics, None, &c);
+        let (bs, rate) = s.write_target(ContentClass::SemiInteractiveRead, &[]).unwrap();
+        assert_eq!(bs, NodeId(1));
+        assert_eq!(rate, 50.0);
+    }
+
+    #[test]
+    fn interactive_write_uses_min_both() {
+        let metrics = [m(0, 100.0, 5.0), m(1, 40.0, 40.0)];
+        let c = cfg(f64::INFINITY);
+        let s = Selector::new(&metrics, None, &c);
+        let (bs, rate) = s.write_target(ContentClass::Interactive, &[]).unwrap();
+        assert_eq!(bs, NodeId(1));
+        assert_eq!(rate, 40.0);
+    }
+
+    #[test]
+    fn exclusions_are_honored() {
+        let metrics = [m(0, 50.0, 50.0), m(1, 40.0, 40.0)];
+        let c = cfg(f64::INFINITY);
+        let s = Selector::new(&metrics, None, &c);
+        let (bs, _) = s
+            .write_target(ContentClass::SemiInteractiveWrite, &[NodeId(0)])
+            .unwrap();
+        assert_eq!(bs, NodeId(1));
+    }
+
+    #[test]
+    fn replica_never_lands_on_primary() {
+        let metrics = [m(0, 50.0, 90.0), m(1, 40.0, 40.0)];
+        let c = cfg(f64::INFINITY);
+        let s = Selector::new(&metrics, None, &c);
+        let (bs, _) = s
+            .replica_target(ContentClass::SemiInteractiveRead, NodeId(0), &[])
+            .unwrap();
+        assert_eq!(bs, NodeId(1), "server 0 has the best uplink but is the primary");
+    }
+
+    #[test]
+    fn passive_replica_prefers_dormant_above_threshold() {
+        let metrics = [m(0, 50.0, 10.0), m(1, 40.0, 80.0), m(2, 40.0, 95.0)];
+        let mut book = EnergyBook::new(
+            PowerModelConfig::default(),
+            [NodeId(0), NodeId(1), NodeId(2)],
+            |_| 1.0,
+        );
+        book.scale_down(NodeId(1)); // dormant, uplink 80 ≥ 60
+        let c = cfg(60.0);
+        let s = Selector::new(&metrics, Some(&book), &c);
+        let (bs, _) = s.replica_target(ContentClass::Passive, NodeId(0), &[]).unwrap();
+        assert_eq!(bs, NodeId(1), "dormant server above R_scale wins over faster active one");
+    }
+
+    #[test]
+    fn active_content_avoids_passive_reserved_servers() {
+        // Server 2 is near idle (uplink ≥ R_scale) → reserved for passive.
+        let metrics = [m(0, 30.0, 30.0), m(1, 40.0, 40.0), m(2, 90.0, 90.0)];
+        let c = cfg(60.0);
+        let s = Selector::new(&metrics, None, &c);
+        let (bs, _) = s.write_target(ContentClass::Interactive, &[]).unwrap();
+        assert_eq!(bs, NodeId(1), "the near-idle server is kept for passive data");
+        // But passive content goes right there.
+        let (bs, _) = s.replica_target(ContentClass::Passive, NodeId(0), &[]).unwrap();
+        assert_eq!(bs, NodeId(2));
+    }
+
+    #[test]
+    fn active_falls_back_to_reserved_when_nothing_else() {
+        let metrics = [m(0, 90.0, 90.0)];
+        let c = cfg(60.0);
+        let s = Selector::new(&metrics, None, &c);
+        assert!(s.write_target(ContentClass::Interactive, &[]).is_some());
+    }
+
+    #[test]
+    fn read_source_picks_fastest_uplink_replica() {
+        let metrics = [m(0, 1.0, 20.0), m(1, 1.0, 70.0), m(2, 1.0, 99.0)];
+        let c = cfg(f64::INFINITY);
+        let s = Selector::new(&metrics, None, &c);
+        // Only 0 and 1 hold the content.
+        let (bs, rate) = s.read_source(&[NodeId(0), NodeId(1)]).unwrap();
+        assert_eq!(bs, NodeId(1));
+        assert_eq!(rate, 70.0);
+    }
+
+    #[test]
+    fn read_source_skips_dormant_unless_only_option() {
+        let metrics = [m(0, 1.0, 20.0), m(1, 1.0, 70.0)];
+        let mut book =
+            EnergyBook::new(PowerModelConfig::default(), [NodeId(0), NodeId(1)], |_| 1.0);
+        book.scale_down(NodeId(1));
+        let c = cfg(f64::INFINITY);
+        let s = Selector::new(&metrics, Some(&book), &c);
+        let (bs, _) = s.read_source(&[NodeId(0), NodeId(1)]).unwrap();
+        assert_eq!(bs, NodeId(0), "active replica preferred over faster dormant one");
+        let (only, _) = s.read_source(&[NodeId(1)]).unwrap();
+        assert_eq!(only, NodeId(1), "dormant replica used when it is the only copy");
+    }
+
+    #[test]
+    fn power_aware_ranking_divides_by_power() {
+        let metrics = [m(0, 80.0, 80.0), m(1, 60.0, 60.0)];
+        // Server 0 is a power hog (heterogeneity 2.0), server 1 nominal.
+        let mut book = EnergyBook::new(
+            PowerModelConfig::default(),
+            [NodeId(0), NodeId(1)],
+            |i| if i == 0 { 2.0 } else { 1.0 },
+        );
+        book.tick(1.0, |_| 0.5);
+        let c = SelectorConfig { r_scale: f64::INFINITY, power_aware: true };
+        let s = Selector::new(&metrics, Some(&book), &c);
+        let (bs, _) = s.write_target(ContentClass::SemiInteractiveWrite, &[]).unwrap();
+        assert_eq!(bs, NodeId(1), "80/2P < 60/P: efficiency beats raw rate");
+    }
+
+    #[test]
+    fn empty_metrics_select_nothing() {
+        let c = cfg(1.0);
+        let s = Selector::new(&[], None, &c);
+        assert!(s.write_target(ContentClass::Passive, &[]).is_none());
+        assert!(s.read_source(&[NodeId(0)]).is_none());
+    }
+}

@@ -1,0 +1,945 @@
+//! The RM/RA control tree (§III-B, §VI, figure 2).
+//!
+//! One **resource monitor** (RM) sits at each block server (level 0),
+//! monitoring the server's uplink/downlink; one **resource allocator** (RA)
+//! sits at each switch (levels 1..h_max), monitoring the switch's links
+//! toward the core. Every control interval τ the tree runs one *round*:
+//!
+//! 1. every RM/RA samples its links (queue `Q`, flow-rate sum `S` or
+//!    arrival rate `Λ`) and updates its [`LinkAllocator`] — eqs. 2-5;
+//! 2. an **upward pass** (figure 2, left) folds the best per-subtree rates
+//!    `R̂` toward the root: an RM's `R̂⁰ = min(R⁰, R_other)`; an RA's
+//!    `R̂ʰ = min(max_children R̂ʰ⁻¹, Rʰ)`, remembering *which* block server
+//!    achieves the best — this is what the NNS queries to place writes;
+//! 3. a **downward pass** (figure 2, right) gives every RM the cumulative
+//!    bottleneck rate `Ř` up to *each* level of the tree, which prices
+//!    reads, replication between racks, and the per-τ window updates of
+//!    on-going flows (§VIII-D);
+//! 4. SLA violations (`S > α·C − β·Q/d`, §IV-A) are detected per link and
+//!    reported to the caller.
+//!
+//! Directions follow the paper: **down** carries data toward the servers
+//! (client writes), **up** carries data from servers toward clients
+//! (reads). Every node therefore monitors a `(down, up)` link pair.
+
+use std::collections::BTreeMap;
+
+use scda_simnet::builders::ThreeTierTree;
+use scda_simnet::{LinkId, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::params::Params;
+use crate::rate_metric::{LinkAllocator, LinkSample, MetricKind};
+use crate::sla::{SlaViolation, ViolationSite};
+
+/// Index of a node in the control tree (not a network node!).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CtrlId(pub usize);
+
+/// Traffic direction, from the servers' point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Toward the servers — the write path (`d` subscripts in the paper).
+    Down,
+    /// From the servers toward clients — the read path (`u` subscripts).
+    Up,
+}
+
+/// Sender/receiver caps from non-network resources (CPU, disk,
+/// application) — the `R_other` of §VI-A.
+#[derive(Debug, Clone, Copy)]
+pub struct RateCaps {
+    /// Cap on serving reads (uplink side), bytes/s.
+    pub send: f64,
+    /// Cap on absorbing writes (downlink side), bytes/s.
+    pub recv: f64,
+}
+
+impl Default for RateCaps {
+    fn default() -> Self {
+        RateCaps { send: f64::INFINITY, recv: f64::INFINITY }
+    }
+}
+
+/// What the control plane reads from the data plane each round. In a real
+/// deployment this is the RM software querying its local switch; in the
+/// reproduction the experiment harness implements it over the simulated
+/// [`scda_simnet::Network`].
+pub trait Telemetry {
+    /// Queue / flow-sum / arrival-rate sample for one directed link.
+    fn sample(&mut self, link: LinkId) -> LinkSample;
+    /// Other-resource caps of a block server.
+    fn rate_caps(&mut self, server: NodeId) -> RateCaps;
+}
+
+/// Specification of one control node for [`ControlTree::new`].
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Tree level: 0 for RMs, 1..=h_max for RAs.
+    pub level: u8,
+    /// Parent index in the spec list (None for the root).
+    pub parent: Option<usize>,
+    /// The block server an RM monitors (None for RAs).
+    pub server: Option<NodeId>,
+    /// Monitored link in the *down* direction (toward servers).
+    pub down_link: LinkId,
+    /// Monitored link in the *up* direction (toward clients).
+    pub up_link: LinkId,
+}
+
+/// Per-direction computed state of a control node.
+#[derive(Debug, Clone)]
+struct DirState {
+    alloc: LinkAllocator,
+    /// This round's own-link allocation `R`.
+    r_own: f64,
+    /// Previous round's `R` (for the Δ-reporting overhead model).
+    r_prev_round: f64,
+    /// Best subtree rate `R̂` (up pass).
+    r_hat: f64,
+    /// Block server achieving `r_hat`.
+    best_bs: Option<NodeId>,
+}
+
+/// A control node: an RM (leaf) or RA (interior).
+struct CtrlNode {
+    level: u8,
+    parent: Option<CtrlId>,
+    children: Vec<CtrlId>,
+    server: Option<NodeId>,
+    down_link: LinkId,
+    up_link: LinkId,
+    down: DirState,
+    up: DirState,
+    /// Best over the subtree of `min(R̂_d, R̂_u)` with the achieving BS —
+    /// the interactive-content selection metric (§VII-A).
+    best_inter: Option<(f64, NodeId)>,
+    /// RMs only: cumulative bottleneck `Ř` to each level, index = level
+    /// (0 = own link only, h_max = whole path). Empty for RAs.
+    r_check_down: Vec<f64>,
+    r_check_up: Vec<f64>,
+}
+
+/// The assembled RM/RA tree.
+pub struct ControlTree {
+    params: Params,
+    nodes: Vec<CtrlNode>,
+    /// Leaves (RMs), in construction order.
+    rms: Vec<CtrlId>,
+    root: CtrlId,
+    /// Bottom-up evaluation order (children strictly before parents).
+    order: Vec<CtrlId>,
+    hmax: u8,
+    rm_by_server: BTreeMap<NodeId, CtrlId>,
+}
+
+/// Maximum tree depth the per-server level cache covers (the paper's
+/// three-tier tree uses 4 levels: the RM plus three RA tiers).
+pub const MAX_LEVELS: usize = 8;
+
+/// Read-only per-server metrics after a control round, used by the server
+/// selection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerMetrics {
+    /// The block server.
+    pub server: NodeId,
+    /// `R̂⁰_d` — available write rate at the server's own link (incl.
+    /// `R_other`).
+    pub r0_down: f64,
+    /// `R̂⁰_u` — available read rate at the server's own link.
+    pub r0_up: f64,
+    /// `Ř^{h_max}_d` — bottleneck write rate over the whole path from the
+    /// cloud entry down to this server.
+    pub path_down: f64,
+    /// `Ř^{h_max}_u` — bottleneck read rate from this server up to the
+    /// cloud entry.
+    pub path_up: f64,
+    /// Cumulative `Ř_d` per level (index = level; entries past
+    /// `n_levels` repeat the deepest value) — a cache of
+    /// [`ControlTree::rate_to_level`] so hot selection paths avoid
+    /// per-call tree walks.
+    pub down_levels: [f64; MAX_LEVELS],
+    /// Cumulative `Ř_u` per level.
+    pub up_levels: [f64; MAX_LEVELS],
+    /// Number of meaningful level entries (`h_max + 1`).
+    pub n_levels: u8,
+}
+
+impl ControlTree {
+    /// Build a tree from node specs. `capacity_of` maps a link to its
+    /// capacity in **bytes/s**.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed specs: multiple roots, parent after child,
+    /// RAs with servers, RMs without, or level inversions.
+    pub fn new(
+        params: Params,
+        metric: MetricKind,
+        specs: &[NodeSpec],
+        mut capacity_of: impl FnMut(LinkId) -> f64,
+    ) -> Self {
+        params.validate().expect("invalid params");
+        assert!(!specs.is_empty(), "control tree needs at least one node");
+        let mut nodes = Vec::with_capacity(specs.len());
+        let mut rms = Vec::new();
+        let mut root = None;
+        let mut rm_by_server = BTreeMap::new();
+        let mut hmax = 0;
+        for (i, s) in specs.iter().enumerate() {
+            if let Some(p) = s.parent {
+                assert!(p < i, "parents must precede children in the spec list");
+                assert!(
+                    specs[p].level > s.level,
+                    "parent level must exceed child level"
+                );
+            } else {
+                assert!(root.is_none(), "multiple roots");
+                root = Some(CtrlId(i));
+            }
+            if s.level == 0 {
+                assert!(s.server.is_some(), "RMs (level 0) must name a server");
+                rms.push(CtrlId(i));
+                rm_by_server.insert(s.server.unwrap(), CtrlId(i));
+            } else {
+                assert!(s.server.is_none(), "RAs must not name a server");
+            }
+            hmax = hmax.max(s.level);
+            let mk_dir = |link: LinkId, cap_of: &mut dyn FnMut(LinkId) -> f64| DirState {
+                alloc: LinkAllocator::new(cap_of(link), metric, &params),
+                r_own: 0.0,
+                r_prev_round: 0.0,
+                r_hat: 0.0,
+                best_bs: None,
+            };
+            nodes.push(CtrlNode {
+                level: s.level,
+                parent: s.parent.map(CtrlId),
+                children: Vec::new(),
+                server: s.server,
+                down_link: s.down_link,
+                up_link: s.up_link,
+                down: mk_dir(s.down_link, &mut capacity_of),
+                up: mk_dir(s.up_link, &mut capacity_of),
+                best_inter: None,
+                r_check_down: Vec::new(),
+                r_check_up: Vec::new(),
+            });
+        }
+        let root = root.expect("no root in spec list");
+        for i in 0..nodes.len() {
+            if let Some(p) = nodes[i].parent {
+                nodes[p.0].children.push(CtrlId(i));
+            }
+        }
+        // Bottom-up order: stable sort by level (children are strictly
+        // lower-level than parents).
+        let mut order: Vec<CtrlId> = (0..nodes.len()).map(CtrlId).collect();
+        order.sort_by_key(|&id| nodes[id.0].level);
+        ControlTree { params, nodes, rms, root, order, hmax, rm_by_server }
+    }
+
+    /// Build the canonical tree for the paper's figure-1/figure-6 topology:
+    /// an RM per server, an RA per edge switch (level 1), per aggregation
+    /// switch (level 2), and one root RA at the core (level 3) monitoring
+    /// the client trunk.
+    pub fn from_three_tier(tree: &ThreeTierTree, params: Params, metric: MetricKind) -> Self {
+        let mut specs = Vec::new();
+        // Root RA: down = gw→core (writes entering the cloud), up =
+        // core→gw (reads leaving it).
+        specs.push(NodeSpec {
+            level: 3,
+            parent: None,
+            server: None,
+            down_link: tree.trunk.0,
+            up_link: tree.trunk.1,
+        });
+        let mut agg_spec = Vec::with_capacity(tree.aggs.len());
+        for (a, &(agg_up, agg_down)) in tree.agg_links.iter().enumerate() {
+            agg_spec.push(specs.len());
+            let _ = a;
+            specs.push(NodeSpec {
+                level: 2,
+                parent: Some(0),
+                server: None,
+                down_link: agg_down,
+                up_link: agg_up,
+            });
+        }
+        for (r, &(edge_up, edge_down)) in tree.edge_links.iter().enumerate() {
+            let parent = agg_spec[tree.agg_of_rack[r]];
+            let edge_idx = specs.len();
+            specs.push(NodeSpec {
+                level: 1,
+                parent: Some(parent),
+                server: None,
+                down_link: edge_down,
+                up_link: edge_up,
+            });
+            for (s, &(srv_up, srv_down)) in tree.server_links[r].iter().enumerate() {
+                specs.push(NodeSpec {
+                    level: 0,
+                    parent: Some(edge_idx),
+                    server: Some(tree.servers[r][s]),
+                    down_link: srv_down,
+                    up_link: srv_up,
+                });
+            }
+        }
+        let topo = &tree.topo;
+        ControlTree::new(params, metric, &specs, |l| topo.link(l).capacity_bytes())
+    }
+
+    /// Highest RA level (`h_max`; 3 in the three-tier tree).
+    #[inline]
+    pub fn hmax(&self) -> u8 {
+        self.hmax
+    }
+
+    /// Number of control nodes (RMs + RAs).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never true for a built tree).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The RM responsible for `server`.
+    pub fn rm_of(&self, server: NodeId) -> Option<CtrlId> {
+        self.rm_by_server.get(&server).copied()
+    }
+
+    /// The params this tree runs with.
+    #[inline]
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Run one control round at simulation time `now`, sampling links via
+    /// `telemetry`. Returns detected SLA violations.
+    pub fn control_round(&mut self, now: f64, telemetry: &mut impl Telemetry) -> Vec<SlaViolation> {
+        let mut violations = Vec::new();
+
+        // Pass 0: sample links, update allocators, detect violations.
+        for id in 0..self.nodes.len() {
+            let (down_link, up_link, level) =
+                (self.nodes[id].down_link, self.nodes[id].up_link, self.nodes[id].level);
+            for (dir, link) in [(Direction::Down, down_link), (Direction::Up, up_link)] {
+                let sample = telemetry.sample(link);
+                let state = match dir {
+                    Direction::Down => &mut self.nodes[id].down,
+                    Direction::Up => &mut self.nodes[id].up,
+                };
+                let cap_term = self.params.capacity_term(state.alloc.capacity(), sample.queue_bytes);
+                let load = sample.flow_rate_sum.max(sample.arrival_rate);
+                if load > cap_term {
+                    violations.push(SlaViolation {
+                        time: now,
+                        site: ViolationSite { node: CtrlId(id), level, link, direction: dir },
+                        demand: load,
+                        capacity_term: cap_term,
+                    });
+                }
+                state.r_prev_round = state.r_own;
+                state.r_own = state.alloc.update(&sample, &self.params);
+            }
+        }
+
+        // Pass 1 (upward, figure 2 left): R̂ and bests, children first.
+        for &id in &self.order {
+            let node = &self.nodes[id.0];
+            if node.level == 0 {
+                let server = node.server.expect("RM has server");
+                let caps = telemetry.rate_caps(server);
+                let n = &mut self.nodes[id.0];
+                n.down.r_hat = n.down.r_own.min(caps.recv);
+                n.down.best_bs = Some(server);
+                n.up.r_hat = n.up.r_own.min(caps.send);
+                n.up.best_bs = Some(server);
+                n.best_inter = Some((n.down.r_hat.min(n.up.r_hat), server));
+            } else {
+                // Gather child bests (children already evaluated).
+                let mut best_down: Option<(f64, NodeId)> = None;
+                let mut best_up: Option<(f64, NodeId)> = None;
+                let mut best_inter: Option<(f64, NodeId)> = None;
+                for &c in &self.nodes[id.0].children {
+                    let ch = &self.nodes[c.0];
+                    if let Some(bs) = ch.down.best_bs {
+                        if best_down.is_none_or(|(v, _)| ch.down.r_hat > v) {
+                            best_down = Some((ch.down.r_hat, bs));
+                        }
+                    }
+                    if let Some(bs) = ch.up.best_bs {
+                        if best_up.is_none_or(|(v, _)| ch.up.r_hat > v) {
+                            best_up = Some((ch.up.r_hat, bs));
+                        }
+                    }
+                    if let Some((v, bs)) = ch.best_inter {
+                        if best_inter.is_none_or(|(bv, _)| v > bv) {
+                            best_inter = Some((v, bs));
+                        }
+                    }
+                }
+                let n = &mut self.nodes[id.0];
+                match best_down {
+                    Some((v, bs)) => {
+                        n.down.r_hat = v.min(n.down.r_own);
+                        n.down.best_bs = Some(bs);
+                    }
+                    None => {
+                        n.down.r_hat = n.down.r_own;
+                        n.down.best_bs = None;
+                    }
+                }
+                match best_up {
+                    Some((v, bs)) => {
+                        n.up.r_hat = v.min(n.up.r_own);
+                        n.up.best_bs = Some(bs);
+                    }
+                    None => {
+                        n.up.r_hat = n.up.r_own;
+                        n.up.best_bs = None;
+                    }
+                }
+                n.best_inter = best_inter
+                    .map(|(v, bs)| (v.min(n.down.r_own).min(n.up.r_own), bs));
+            }
+        }
+
+        // Pass 2 (downward, figure 2 right): every RM's cumulative Ř per
+        // level. Ancestor chains are ≤ h_max long, so walking up per RM is
+        // cheap and keeps the pass allocation-free.
+        for &rm in &self.rms.clone() {
+            let mut down = Vec::with_capacity(self.hmax as usize + 1);
+            let mut up = Vec::with_capacity(self.hmax as usize + 1);
+            let n = &self.nodes[rm.0];
+            let mut cum_down = n.down.r_hat;
+            let mut cum_up = n.up.r_hat;
+            down.push(cum_down);
+            up.push(cum_up);
+            let mut cur = n.parent;
+            while let Some(p) = cur {
+                let pn = &self.nodes[p.0];
+                cum_down = cum_down.min(pn.down.r_own);
+                cum_up = cum_up.min(pn.up.r_own);
+                down.push(cum_down);
+                up.push(cum_up);
+                cur = pn.parent;
+            }
+            let n = &mut self.nodes[rm.0];
+            n.r_check_down = down;
+            n.r_check_up = up;
+        }
+
+        violations
+    }
+
+    /// The RAs at a given tree level, in construction order (level 1 =
+    /// one per rack in the three-tier tree).
+    pub fn ras_at(&self, level: u8) -> Vec<CtrlId> {
+        assert!(level >= 1, "level 0 holds RMs, not RAs");
+        (0..self.nodes.len())
+            .map(CtrlId)
+            .filter(|&id| self.nodes[id.0].level == level)
+            .collect()
+    }
+
+    /// The best block server *under a specific RA* — §VI: "If the NNS
+    /// wants to select a server at a specific rack, it asks the RA at
+    /// level 1 of the corresponding rack for the best server in that
+    /// rack."
+    pub fn best_server_at(&self, ra: CtrlId, dir: Direction) -> Option<(NodeId, f64)> {
+        let n = &self.nodes[ra.0];
+        let s = match dir {
+            Direction::Down => &n.down,
+            Direction::Up => &n.up,
+        };
+        s.best_bs.map(|bs| (bs, s.r_hat))
+    }
+
+    /// The best interactive-content server under a specific RA
+    /// (max of `min(R̂_d, R̂_u)` over its subtree).
+    pub fn best_server_interactive_at(&self, ra: CtrlId) -> Option<(NodeId, f64)> {
+        self.nodes[ra.0].best_inter.map(|(v, bs)| (bs, v))
+    }
+
+    /// Number of nodes whose own-link allocation moved by more than
+    /// `rel_eps` (relative) in the last round — the paper's Δ-reporting
+    /// optimization sends updates only for these ("it can send the
+    /// difference ... if there is a change in the rate values").
+    pub fn changed_nodes(&self, rel_eps: f64) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| [&n.down, &n.up])
+            .filter(|d| {
+                let prev = d.r_prev_round;
+                let cur = d.r_own;
+                (cur - prev).abs() > rel_eps * prev.max(1.0)
+            })
+            .count()
+    }
+
+    /// The best block server in the whole cloud by direction — what the NNS
+    /// gets when it asks the level-`h_max` RA (global write placement).
+    pub fn best_server_global(&self, dir: Direction) -> Option<(NodeId, f64)> {
+        let s = match dir {
+            Direction::Down => &self.nodes[self.root.0].down,
+            Direction::Up => &self.nodes[self.root.0].up,
+        };
+        s.best_bs.map(|bs| (bs, s.r_hat))
+    }
+
+    /// The best server for interactive content: global argmax of
+    /// `min(R̂_d, R̂_u)` (§VII-A).
+    pub fn best_server_interactive(&self) -> Option<(NodeId, f64)> {
+        self.nodes[self.root.0].best_inter.map(|(v, bs)| (bs, v))
+    }
+
+    /// Per-server metrics for filtered selection (replica placement with
+    /// exclusions, dormancy filters, power-aware ranking). RMs in
+    /// construction order — deterministic.
+    pub fn server_metrics(&self) -> Vec<ServerMetrics> {
+        let mut out = Vec::new();
+        self.server_metrics_into(&mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`server_metrics`]: clears and refills
+    /// `out`, so hot per-arrival selection paths can reuse one buffer.
+    ///
+    /// [`server_metrics`]: ControlTree::server_metrics
+    pub fn server_metrics_into(&self, out: &mut Vec<ServerMetrics>) {
+        out.clear();
+        out.reserve(self.rms.len());
+        for &rm in &self.rms {
+            let n = &self.nodes[rm.0];
+            let fill = |levels: &Vec<f64>, fallback: f64| {
+                let mut arr = [fallback; MAX_LEVELS];
+                let mut last = fallback;
+                for (i, slot) in arr.iter_mut().enumerate() {
+                    if let Some(&v) = levels.get(i) {
+                        last = v;
+                    }
+                    *slot = last;
+                }
+                arr
+            };
+            let down_levels = fill(&n.r_check_down, n.down.r_hat);
+            let up_levels = fill(&n.r_check_up, n.up.r_hat);
+            out.push(ServerMetrics {
+                server: n.server.expect("RM has server"),
+                r0_down: n.down.r_hat,
+                r0_up: n.up.r_hat,
+                path_down: n.r_check_down.last().copied().unwrap_or(n.down.r_hat),
+                path_up: n.r_check_up.last().copied().unwrap_or(n.up.r_hat),
+                down_levels,
+                up_levels,
+                n_levels: (self.hmax + 1).min(MAX_LEVELS as u8),
+            });
+        }
+    }
+
+    /// The cumulative bottleneck rate from `server` up to tree level
+    /// `level` (§VIII-D prices on-going flows with this). Level 0 is the
+    /// server's own link.
+    pub fn rate_to_level(&self, server: NodeId, level: u8, dir: Direction) -> Option<f64> {
+        let rm = self.rm_of(server)?;
+        let n = &self.nodes[rm.0];
+        let v = match dir {
+            Direction::Down => &n.r_check_down,
+            Direction::Up => &n.r_check_up,
+        };
+        v.get(level as usize).copied()
+    }
+
+    /// The lowest tree level at which two servers share an ancestor RA
+    /// (§VIII-D: "the lowest level parent both the sender and receiver
+    /// share"). Returns `h_max` for servers under different top-level
+    /// branches, 1 for same-rack pairs, 0 (no network) for `a == b`.
+    pub fn shared_level(&self, a: NodeId, b: NodeId) -> Option<u8> {
+        if a == b {
+            return Some(0);
+        }
+        let (ra, rb) = (self.rm_of(a)?, self.rm_of(b)?);
+        let mut anc_a = Vec::new();
+        let mut cur = self.nodes[ra.0].parent;
+        while let Some(p) = cur {
+            anc_a.push(p);
+            cur = self.nodes[p.0].parent;
+        }
+        let mut cur = self.nodes[rb.0].parent;
+        while let Some(p) = cur {
+            if anc_a.contains(&p) {
+                return Some(self.nodes[p.0].level);
+            }
+            cur = self.nodes[p.0].parent;
+        }
+        None
+    }
+
+    /// The rate a replication/transfer flow between two in-cloud servers
+    /// should use: `min(sender's Ř_u, receiver's Ř_d)` up to their shared
+    /// level (§VIII-D).
+    pub fn transfer_rate(&self, sender: NodeId, receiver: NodeId) -> Option<f64> {
+        let h = self.shared_level(sender, receiver)?;
+        let up = self.rate_to_level(sender, h, Direction::Up)?;
+        let down = self.rate_to_level(receiver, h, Direction::Down)?;
+        Some(up.min(down))
+    }
+
+    /// The allocated rate for a client-facing flow at `server`:
+    /// the full-path `Ř^{h_max}` in the given direction.
+    pub fn client_rate(&self, server: NodeId, dir: Direction) -> Option<f64> {
+        self.rate_to_level(server, self.hmax, dir)
+    }
+
+    /// Export the full per-node state for off-line diagnosis (§I: metrics
+    /// "offloaded to an external server ... for data mining").
+    pub fn snapshot(&self, now: f64) -> crate::diagnostics::TreeSnapshot {
+        use crate::diagnostics::{DirSnapshot, NodeSnapshot, TreeSnapshot};
+        TreeSnapshot {
+            time: now,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| NodeSnapshot {
+                    level: n.level,
+                    server: n.server,
+                    down: DirSnapshot {
+                        link: n.down_link,
+                        capacity: n.down.alloc.capacity(),
+                        rate: n.down.alloc.rate(),
+                        r_hat: n.down.r_hat,
+                        best_bs: n.down.best_bs,
+                    },
+                    up: DirSnapshot {
+                        link: n.up_link,
+                        capacity: n.up.alloc.capacity(),
+                        rate: n.up.alloc.rate(),
+                        r_hat: n.up.r_hat,
+                        best_bs: n.up.best_bs,
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconfigure the capacity (bytes/s) of a monitored link — the data
+    /// plane applied reserve bandwidth and the allocator must agree.
+    /// Returns `false` if no control node monitors `link`.
+    pub fn set_link_capacity(&mut self, link: LinkId, capacity_bytes_per_s: f64) -> bool {
+        for n in &mut self.nodes {
+            if n.down_link == link {
+                n.down.alloc.set_capacity(capacity_bytes_per_s);
+                return true;
+            }
+            if n.up_link == link {
+                n.up.alloc.set_capacity(capacity_bytes_per_s);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scda_simnet::builders::ThreeTierConfig;
+    use scda_simnet::units::mbps;
+
+    /// Telemetry where every link is idle.
+    struct Idle;
+    impl Telemetry for Idle {
+        fn sample(&mut self, _l: LinkId) -> LinkSample {
+            LinkSample::default()
+        }
+        fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
+            RateCaps::default()
+        }
+    }
+
+    fn small_tree() -> (ThreeTierTree, ControlTree) {
+        let cfg = ThreeTierConfig {
+            racks: 4,
+            servers_per_rack: 3,
+            racks_per_agg: 2,
+            clients: 2,
+            ..Default::default()
+        };
+        let tree = cfg.build();
+        let ct = ControlTree::from_three_tier(&tree, Params::default(), MetricKind::Full);
+        (tree, ct)
+    }
+
+    #[test]
+    fn construction_counts_nodes() {
+        let (tree, ct) = small_tree();
+        // 1 root + 2 aggs + 4 edges + 12 RMs
+        assert_eq!(ct.len(), 1 + 2 + 4 + 12);
+        assert_eq!(ct.hmax(), 3);
+        for s in tree.all_servers() {
+            assert!(ct.rm_of(s).is_some());
+        }
+    }
+
+    #[test]
+    fn idle_round_offers_alpha_capacity_everywhere() {
+        let (tree, mut ct) = small_tree();
+        let v = ct.control_round(0.0, &mut Idle);
+        assert!(v.is_empty(), "idle cloud has no SLA violations");
+        let m = ct.server_metrics();
+        assert_eq!(m.len(), 12);
+        let x = mbps(500.0) / 8.0;
+        for sm in &m {
+            // Own-link rates: α·X.
+            assert!((sm.r0_down - 0.95 * x).abs() < 1.0, "r0_down {}", sm.r0_down);
+            assert!((sm.r0_up - 0.95 * x).abs() < 1.0);
+            // Whole path is bottlenecked by the X links too (trunk is 6X,
+            // agg links 3X).
+            assert!((sm.path_down - 0.95 * x).abs() < 1.0);
+        }
+        let _ = tree;
+    }
+
+    #[test]
+    fn best_server_tracks_loaded_links() {
+        let (tree, mut ct) = small_tree();
+        // Load every *server* downlink except rack 2 / server 1 (switch
+        // links stay idle so only the leaf links differentiate servers).
+        let favored = tree.servers[2][1];
+        struct Loaded {
+            favored_down: LinkId,
+            server_downs: Vec<LinkId>,
+        }
+        impl Telemetry for Loaded {
+            fn sample(&mut self, l: LinkId) -> LinkSample {
+                if l != self.favored_down && self.server_downs.contains(&l) {
+                    // Heavy load: S = 10x the allocator's advertisement
+                    // decays R.
+                    LinkSample { flow_rate_sum: 1e9, ..Default::default() }
+                } else {
+                    LinkSample::default()
+                }
+            }
+            fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
+                RateCaps::default()
+            }
+        }
+        let favored_down = tree.server_links[2][1].1;
+        let server_downs: Vec<LinkId> = tree
+            .server_links
+            .iter()
+            .flatten()
+            .map(|&(_, down)| down)
+            .collect();
+        let mut tel = Loaded { favored_down, server_downs };
+        for _ in 0..5 {
+            ct.control_round(0.0, &mut tel);
+        }
+        let (bs, rate) = ct.best_server_global(Direction::Down).unwrap();
+        assert_eq!(bs, favored, "the only unloaded downlink must win");
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn r_other_caps_rm_rates() {
+        let (tree, mut ct) = small_tree();
+        struct SlowDisk {
+            slow: NodeId,
+        }
+        impl Telemetry for SlowDisk {
+            fn sample(&mut self, _l: LinkId) -> LinkSample {
+                LinkSample::default()
+            }
+            fn rate_caps(&mut self, s: NodeId) -> RateCaps {
+                if s == self.slow {
+                    RateCaps { send: 1000.0, recv: 500.0 }
+                } else {
+                    RateCaps::default()
+                }
+            }
+        }
+        let slow = tree.servers[0][0];
+        ct.control_round(0.0, &mut SlowDisk { slow });
+        let m = ct
+            .server_metrics()
+            .into_iter()
+            .find(|sm| sm.server == slow)
+            .unwrap();
+        assert_eq!(m.r0_up, 1000.0);
+        assert_eq!(m.r0_down, 500.0);
+        // And the best global server is NOT the disk-limited one.
+        let (bs, _) = ct.best_server_global(Direction::Down).unwrap();
+        assert_ne!(bs, slow);
+    }
+
+    #[test]
+    fn interactive_best_uses_min_of_directions() {
+        let (tree, mut ct) = small_tree();
+        // Server A: great downlink, terrible uplink. Server B: balanced.
+        struct Skewed {
+            a_up: LinkId,
+        }
+        impl Telemetry for Skewed {
+            fn sample(&mut self, l: LinkId) -> LinkSample {
+                if l == self.a_up {
+                    LinkSample { flow_rate_sum: 1e10, ..Default::default() }
+                } else {
+                    LinkSample::default()
+                }
+            }
+            fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
+                RateCaps::default()
+            }
+        }
+        let a = tree.servers[0][0];
+        let mut tel = Skewed { a_up: tree.server_links[0][0].0 };
+        for _ in 0..5 {
+            ct.control_round(0.0, &mut tel);
+        }
+        let (bs, _) = ct.best_server_interactive().unwrap();
+        assert_ne!(bs, a, "interactive selection must avoid the skewed server");
+    }
+
+    #[test]
+    fn shared_level_structure() {
+        let (tree, ct) = small_tree();
+        let same_rack = ct.shared_level(tree.servers[0][0], tree.servers[0][1]);
+        assert_eq!(same_rack, Some(1));
+        // racks 0,1 share agg 0 (racks_per_agg = 2).
+        let same_agg = ct.shared_level(tree.servers[0][0], tree.servers[1][0]);
+        assert_eq!(same_agg, Some(2));
+        let cross_agg = ct.shared_level(tree.servers[0][0], tree.servers[3][0]);
+        assert_eq!(cross_agg, Some(3));
+        assert_eq!(ct.shared_level(tree.servers[0][0], tree.servers[0][0]), Some(0));
+    }
+
+    #[test]
+    fn transfer_rate_bottlenecked_at_shared_level() {
+        let (tree, mut ct) = small_tree();
+        ct.control_round(0.0, &mut Idle);
+        let r = ct
+            .transfer_rate(tree.servers[0][0], tree.servers[0][1])
+            .unwrap();
+        let x = mbps(500.0) / 8.0;
+        assert!((r - 0.95 * x).abs() < 1.0, "same-rack transfer sees only X links");
+    }
+
+    #[test]
+    fn rate_to_level_is_monotone_decreasing() {
+        let (tree, mut ct) = small_tree();
+        ct.control_round(0.0, &mut Idle);
+        let s = tree.servers[1][2];
+        let mut prev = f64::INFINITY;
+        for h in 0..=3 {
+            let r = ct.rate_to_level(s, h, Direction::Up).unwrap();
+            assert!(r <= prev + 1e-9, "Ř must shrink (or hold) with level");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn sla_violation_detected_on_overload() {
+        let (_tree, mut ct) = small_tree();
+        struct Overloaded;
+        impl Telemetry for Overloaded {
+            fn sample(&mut self, _l: LinkId) -> LinkSample {
+                // Demand far above any link's capacity term.
+                LinkSample { flow_rate_sum: 1e12, ..Default::default() }
+            }
+            fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
+                RateCaps::default()
+            }
+        }
+        let v = ct.control_round(1.5, &mut Overloaded);
+        assert!(!v.is_empty());
+        assert_eq!(v[0].time, 1.5);
+        assert!(v[0].demand > v[0].capacity_term);
+    }
+
+    #[test]
+    fn level_cache_matches_rate_to_level() {
+        let (tree, mut ct) = small_tree();
+        ct.control_round(0.0, &mut Idle);
+        for m in ct.server_metrics() {
+            assert_eq!(m.n_levels, 4);
+            for h in 0..=ct.hmax() {
+                let down = ct.rate_to_level(m.server, h, Direction::Down).unwrap();
+                let up = ct.rate_to_level(m.server, h, Direction::Up).unwrap();
+                assert_eq!(m.down_levels[h as usize], down, "down level {h}");
+                assert_eq!(m.up_levels[h as usize], up, "up level {h}");
+            }
+            // Padding repeats the deepest value.
+            for h in (ct.hmax() as usize + 1)..MAX_LEVELS {
+                assert_eq!(m.down_levels[h], m.down_levels[ct.hmax() as usize]);
+            }
+        }
+        let _ = tree;
+    }
+
+    #[test]
+    fn server_metrics_into_reuses_the_buffer() {
+        let (_tree, mut ct) = small_tree();
+        ct.control_round(0.0, &mut Idle);
+        let mut buf = Vec::new();
+        ct.server_metrics_into(&mut buf);
+        let first = buf.len();
+        let cap = buf.capacity();
+        ct.server_metrics_into(&mut buf);
+        assert_eq!(buf.len(), first, "refill, not append");
+        assert_eq!(buf.capacity(), cap, "no reallocation on refill");
+    }
+
+    #[test]
+    fn rack_local_selection_stays_in_rack() {
+        // §VI: the NNS can ask a level-1 RA for the best server *in that
+        // rack*.
+        let (tree, mut ct) = small_tree();
+        ct.control_round(0.0, &mut Idle);
+        let racks = ct.ras_at(1);
+        assert_eq!(racks.len(), 4, "one level-1 RA per rack");
+        for (r, &ra) in racks.iter().enumerate() {
+            let (bs, rate) = ct.best_server_at(ra, Direction::Down).expect("rack has servers");
+            assert!(tree.servers[r].contains(&bs), "rack {r} returned {bs}");
+            assert!(rate > 0.0);
+            let (ibs, _) = ct.best_server_interactive_at(ra).expect("rack has servers");
+            assert!(tree.servers[r].contains(&ibs));
+        }
+        assert_eq!(ct.ras_at(2).len(), 2);
+        assert_eq!(ct.ras_at(3).len(), 1);
+    }
+
+    #[test]
+    fn changed_nodes_reflects_load_shifts() {
+        let (_tree, mut ct) = small_tree();
+        ct.control_round(0.0, &mut Idle);
+        ct.control_round(0.0, &mut Idle);
+        assert_eq!(ct.changed_nodes(0.05), 0, "steady idle state: no deltas");
+        struct Slam;
+        impl Telemetry for Slam {
+            fn sample(&mut self, _l: LinkId) -> LinkSample {
+                LinkSample { flow_rate_sum: 1e10, ..Default::default() }
+            }
+            fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
+                RateCaps::default()
+            }
+        }
+        ct.control_round(0.0, &mut Slam);
+        assert!(ct.changed_nodes(0.05) > 0, "a load slam must move allocations");
+    }
+
+    #[test]
+    #[should_panic(expected = "parents must precede")]
+    fn bad_spec_order_rejected() {
+        let specs = [
+            NodeSpec { level: 0, parent: Some(1), server: Some(NodeId(0)), down_link: LinkId(0), up_link: LinkId(1) },
+            NodeSpec { level: 1, parent: None, server: None, down_link: LinkId(2), up_link: LinkId(3) },
+        ];
+        ControlTree::new(Params::default(), MetricKind::Full, &specs, |_| 1000.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Load-calibration sweep: how the SCDA-vs-RandTCP comparison moves with
+//! offered load (the knob DESIGN.md §5 uses to place the headline factors
+//! in the paper's range).
+//!
+//! ```text
+//! cargo run --release -p scda-experiments --example calibrate
+//! ```
+
+use scda_experiments::{run_pair, Scale, Scenario, ScdaOptions};
+
+fn main() {
+    println!("video traces (paper scale), sweeping the arrival rate:");
+    for rate in [20.0, 40.0, 60.0] {
+        let mut sc = Scenario::video(Scale::Paper, true, 1);
+        sc.workload = scda_workloads::YouTubeConfig {
+            duration: 100.0,
+            include_control: true,
+            clients: sc.topo.clients,
+            video_rate: rate,
+            seed: 1,
+            ..Default::default()
+        }
+        .generate();
+        let pair = run_pair(&sc, &ScdaOptions::default());
+        let s = pair.scda.throughput.mean_per_flow() / 1000.0;
+        let r = pair.randtcp.throughput.mean_per_flow() / 1000.0;
+        let sf = pair.scda.fct.mean_fct().expect("completions");
+        let rf = pair.randtcp.fct.mean_fct().expect("completions");
+        println!(
+            "  {rate:>5.0} videos/s: thpt {s:>7.0} vs {r:>6.0} KB/s ({:+.0}%) | \
+             AFCT {sf:>6.2} vs {rf:>6.2} s ({:.0}% lower) | {}+{} of {} done",
+            100.0 * (s / r - 1.0),
+            100.0 * (1.0 - sf / rf),
+            pair.scda.completed,
+            pair.randtcp.completed,
+            pair.scda.requested,
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Run the DESIGN.md §6 ablation studies and print their tables.
+//!
+//! ```text
+//! ablations [--scale quick|paper] [--seed S]
+//! ```
+
+use scda_experiments::ablations::{
+    energy_study, metric_comparison, nns_scaling_study, overhead_study, priority_study,
+    selection_transport_grid, table, tau_sweep,
+};
+use scda_experiments::{
+    run_multipath, MultipathConfig, PathPolicy, Scale, Scenario,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut seed = 1u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("quick") => Scale::Quick,
+                    Some("paper") => Scale::Paper,
+                    _ => {
+                        eprintln!("usage: ablations [--scale quick|paper] [--seed S]");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(1);
+            }
+            _ => {
+                eprintln!("usage: ablations [--scale quick|paper] [--seed S]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let video = Scenario::video(scale, false, seed);
+    let dc = Scenario::datacenter(scale, 3.0, seed);
+
+    println!("== ablation 1: selection x transport (video traces) ==");
+    println!("which of SCDA's two mechanisms carries the win?");
+    println!("{}", table(&selection_transport_grid(&video)));
+
+    println!("== ablation 2: full (eq. 2) vs simplified (eq. 5) rate metric ==");
+    println!("{}", table(&metric_comparison(&video)));
+
+    println!("== ablation 3: control-interval sensitivity (datacenter traces) ==");
+    println!("{}", table(&tau_sweep(&dc, &[0.01, 0.025, 0.05, 0.1, 0.2])));
+
+    println!("== ablation 4: SJF priority weights vs uniform (datacenter traces) ==");
+    println!("{}", table(&priority_study(&dc)));
+
+    println!("== ablation 5: dormancy / energy (light video load) ==");
+    let mut light = Scenario::video(scale, false, seed);
+    let keep = light.workload.len() / 4;
+    light.workload.flows.truncate(keep);
+    let cells = energy_study(&light, 0.5 * light.topo.base_bw_bps / 8.0);
+    println!("{}", table(&cells));
+    for c in &cells {
+        if let Some(e) = c.energy_joules {
+            println!(
+                "  {:<28} {:>10.2} kWh, {} dormant servers at end",
+                c.label,
+                e / 3.6e6,
+                c.dormant_servers
+            );
+        }
+    }
+
+    println!("== ablation 6: control-plane overhead (video traces) ==");
+    let oh = overhead_study(&video);
+    let saving = match oh.full_messages.checked_div(oh.delta_messages) {
+        Some(ratio) => format!("{ratio}x fewer"),
+        None => "all rounds quiescent".into(),
+    };
+    println!(
+        "  {:.2}% of allocations move >5% per round -> full reporting {} msgs / {} B per round, \
+         delta reporting {} msgs / {} B ({saving})\n",
+        100.0 * oh.mean_changed_fraction,
+        oh.full_messages,
+        oh.full_bytes,
+        oh.delta_messages,
+        oh.delta_bytes,
+    );
+
+    println!("\n== ablation 7: NNS scaling (metadata peak load) ==");
+    println!("{:>6} {:>12} {:>14}", "NNS", "peak objects", "peak fraction");
+    for (n, peak, frac) in nns_scaling_study(100_000, &[1, 2, 4, 8, 16]) {
+        println!("{n:>6} {peak:>12} {frac:>14.3}");
+    }
+
+    println!("\n== ablation 8: general fabric (§IX) — path policies on a Clos ==");
+    let mcfg = MultipathConfig { seed, ..Default::default() };
+    println!(
+        "{:<34} {:>10} {:>10} {:>8} {:>10}",
+        "policy", "mean FCT", "p95 FCT", "Jain", "done"
+    );
+    for policy in [
+        PathPolicy::EcmpHash,
+        PathPolicy::HederaLike { elephant_bytes: 100e6 },
+        PathPolicy::HederaLike { elephant_bytes: 0.0 },
+        PathPolicy::MaxMinRoute,
+    ] {
+        let r = run_multipath(&mcfg, policy);
+        println!(
+            "{:<34} {:>9.3}s {:>9.3}s {:>8.3} {:>10}",
+            format!("{policy:?}"),
+            r.fct.mean_fct().unwrap_or(f64::NAN),
+            r.fct.quantile(0.95).unwrap_or(f64::NAN),
+            r.fairness.unwrap_or(f64::NAN),
+            format!("{}/{}", r.completed, r.offered),
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Regenerate the paper's evaluation figures from the command line.
+//!
+//! ```text
+//! figures [--fig N]... [--all] [--scale quick|paper] [--seed S] [--out DIR]
+//! ```
+//!
+//! Prints each figure as a text table (x, RandTCP, SCDA) plus the headline
+//! SCDA-vs-RandTCP comparison, and — with `--out` — writes per-figure JSON
+//! for archiving.
+
+use std::collections::BTreeMap;
+
+use scda_experiments::{aggregate, build_figure, run_seeds, Group, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [--fig N]... [--all] [--scale quick|paper|full|full100] [--seed S] [--seeds N] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut figs: Vec<u32> = Vec::new();
+    let mut scale = Scale::Quick;
+    let mut seed = 1u64;
+    let mut n_seeds = 1usize;
+    let mut out: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                i += 1;
+                let n = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                figs.push(n);
+            }
+            "--all" => figs.extend(7..=18),
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("quick") => Scale::Quick,
+                    Some("paper") => Scale::Paper,
+                    Some("full") => Scale::Full,
+                    Some("full100") => Scale::FullLarge,
+                    _ => usage(),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--seeds" => {
+                i += 1;
+                n_seeds = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if figs.is_empty() {
+        figs.extend(7..=18);
+    }
+    figs.sort_unstable();
+    figs.dedup();
+
+    // Group figures so each simulation pair runs once.
+    let mut by_group: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for &f in &figs {
+        let g = Group::for_figure(f).unwrap_or_else(|| {
+            eprintln!("figure {f} is not in the paper (valid: 7-18)");
+            std::process::exit(2);
+        });
+        by_group.entry(g.figures()[0]).or_default().push(f);
+    }
+
+    if let Some(dir) = &out {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+
+    for (lead, figures) in by_group {
+        let group = Group::for_figure(lead).expect("lead figure is valid");
+        if n_seeds > 1 {
+            // Multi-seed confidence pass (rayon fan-out) before the
+            // figure-producing run at the base seed.
+            let seeds: Vec<u64> = (0..n_seeds as u64).map(|k| seed + k).collect();
+            let agg = aggregate(&run_seeds(group, scale, &seeds));
+            eprintln!(
+                "# {group:?} over {} seeds: FCT reduction {:.1}% ± {:.1}%, throughput gain {:+.1}% ± {:.1}%",
+                agg.n,
+                100.0 * agg.mean_fct_reduction,
+                100.0 * agg.std_fct_reduction,
+                100.0 * agg.mean_throughput_gain,
+                100.0 * agg.std_throughput_gain,
+            );
+        }
+        eprintln!("# running group {group:?} ({} figures) at {scale:?} scale...", figures.len());
+        let t0 = std::time::Instant::now();
+        let pair = group.run(scale, seed);
+        eprintln!(
+            "#   done in {:.1}s — SCDA {}/{} completed ({} SLA violations), RandTCP {}/{}",
+            t0.elapsed().as_secs_f64(),
+            pair.scda.completed,
+            pair.scda.requested,
+            pair.scda.sla_violations,
+            pair.randtcp.completed,
+            pair.randtcp.requested,
+        );
+        for f in figures {
+            let report = build_figure(f, &pair);
+            println!("{}", report.to_table());
+            match f {
+                7 | 10 | 17 => {
+                    if let Some(g) = report.mean_gain() {
+                        println!("# SCDA mean throughput gain over RandTCP: {:+.1}%\n", 100.0 * g);
+                    }
+                }
+                8 | 11 | 14 | 16 | 18 => {
+                    // CDFs summarize by the median-FCT shift, not by the
+                    // (meaningless) mean of CDF values.
+                    if let (Some(sm), Some(rm)) =
+                        (pair.scda.fct.quantile(0.5), pair.randtcp.fct.quantile(0.5))
+                    {
+                        println!(
+                            "# SCDA median FCT {sm:.3}s vs RandTCP {rm:.3}s ({:.1}% lower)\n",
+                            100.0 * (1.0 - sm / rm)
+                        );
+                    }
+                }
+                _ => {
+                    if let Some(r) = report.mean_reduction() {
+                        println!("# SCDA mean AFCT reduction vs RandTCP: {:.1}%\n", 100.0 * r);
+                    }
+                }
+            }
+            if let Some(dir) = &out {
+                let path = format!("{dir}/fig{f:02}.json");
+                std::fs::write(&path, report.to_json()).expect("write figure JSON");
+                eprintln!("#   wrote {path}");
+            }
+        }
+    }
+}

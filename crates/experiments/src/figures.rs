@@ -1,0 +1,260 @@
+//! Per-figure regeneration (the DESIGN.md experiment index).
+//!
+//! The paper's twelve evaluation figures come from five simulation groups —
+//! each group is one SCDA run plus one RandTCP run on the same scenario,
+//! and each figure is a projection of a group's metrics:
+//!
+//! | group | figures | scenario |
+//! |---|---|---|
+//! | `VideoWithControl` | 7, 8, 9 | YouTube traces incl. control flows, X=500 Mbps, K=3 |
+//! | `VideoNoControl` | 10, 11, 12 | same without control flows |
+//! | `DatacenterK1` | 13, 14 | datacenter traces, K=1 |
+//! | `DatacenterK3` | 15, 16 | datacenter traces, K=3 |
+//! | `Synthetic` | 17, 18 | Pareto/Poisson, X=200 Mbps, K=3 |
+
+use scda_metrics::{FigureReport, Series};
+use serde::{Deserialize, Serialize};
+
+use crate::runner::{run_randtcp, run_scda, RunResult, ScdaOptions};
+use crate::scenario::{Scale, Scenario};
+
+/// One scenario evaluated under both systems.
+#[derive(Debug)]
+pub struct ExperimentPair {
+    /// The scenario name.
+    pub scenario: String,
+    /// SCDA run.
+    pub scda: RunResult,
+    /// RandTCP run.
+    pub randtcp: RunResult,
+}
+
+/// Run both systems on a scenario.
+pub fn run_pair(sc: &Scenario, opts: &ScdaOptions) -> ExperimentPair {
+    ExperimentPair {
+        scenario: sc.name.clone(),
+        scda: run_scda(sc, opts),
+        randtcp: run_randtcp(sc),
+    }
+}
+
+/// The five simulation groups behind figures 7-18.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Group {
+    /// Figures 7-9.
+    VideoWithControl,
+    /// Figures 10-12.
+    VideoNoControl,
+    /// Figures 13-14.
+    DatacenterK1,
+    /// Figures 15-16.
+    DatacenterK3,
+    /// Figures 17-18.
+    Synthetic,
+}
+
+impl Group {
+    /// Build the group's scenario.
+    pub fn scenario(self, scale: Scale, seed: u64) -> Scenario {
+        match self {
+            Group::VideoWithControl => Scenario::video(scale, true, seed),
+            Group::VideoNoControl => Scenario::video(scale, false, seed),
+            Group::DatacenterK1 => Scenario::datacenter(scale, 1.0, seed),
+            Group::DatacenterK3 => Scenario::datacenter(scale, 3.0, seed),
+            Group::Synthetic => Scenario::synthetic(scale, seed),
+        }
+    }
+
+    /// Run the group (both systems).
+    pub fn run(self, scale: Scale, seed: u64) -> ExperimentPair {
+        run_pair(&self.scenario(scale, seed), &ScdaOptions::default())
+    }
+
+    /// The figures this group regenerates.
+    pub fn figures(self) -> &'static [u32] {
+        match self {
+            Group::VideoWithControl => &[7, 8, 9],
+            Group::VideoNoControl => &[10, 11, 12],
+            Group::DatacenterK1 => &[13, 14],
+            Group::DatacenterK3 => &[15, 16],
+            Group::Synthetic => &[17, 18],
+        }
+    }
+
+    /// The group that regenerates figure `fig` (7-18).
+    pub fn for_figure(fig: u32) -> Option<Group> {
+        match fig {
+            7..=9 => Some(Group::VideoWithControl),
+            10..=12 => Some(Group::VideoNoControl),
+            13 | 14 => Some(Group::DatacenterK1),
+            15 | 16 => Some(Group::DatacenterK3),
+            17 | 18 => Some(Group::Synthetic),
+            _ => None,
+        }
+    }
+
+    /// All groups, in figure order.
+    pub fn all() -> [Group; 5] {
+        [
+            Group::VideoWithControl,
+            Group::VideoNoControl,
+            Group::DatacenterK1,
+            Group::DatacenterK3,
+            Group::Synthetic,
+        ]
+    }
+}
+
+fn throughput_series(r: &RunResult) -> Vec<(f64, f64)> {
+    // The paper plots average instantaneous throughput in KB/s.
+    r.throughput
+        .points()
+        .iter()
+        .map(|p| (p.time, p.per_flow / 1000.0))
+        .collect()
+}
+
+fn cdf_series(r: &RunResult, x_max: f64) -> Vec<(f64, f64)> {
+    r.fct.cdf(x_max, 61)
+}
+
+fn afct_series(r: &RunResult, size_max: f64, bins: usize, x_unit: f64) -> Vec<(f64, f64)> {
+    r.fct
+        .afct_by_size(size_max, bins)
+        .iter()
+        .map(|b| (b.center() / x_unit, b.afct))
+        .collect()
+}
+
+/// Build one of the paper's figures (7-18) from its group's runs.
+///
+/// # Panics
+///
+/// Panics if `fig` is not in 7-18 or `pair` is the wrong group's output
+/// (the caller pairs them via [`Group::for_figure`]).
+pub fn build_figure(fig: u32, pair: &ExperimentPair) -> FigureReport {
+    /// (title, x label, y label, scda series, randtcp series)
+    type FigureParts = (String, &'static str, &'static str, Vec<(f64, f64)>, Vec<(f64, f64)>);
+    let (title, x_label, y_label, scda, randtcp): FigureParts =
+        match fig {
+            7 | 10 | 17 => (
+                format!("Instantaneous average throughput — {}", pair.scenario),
+                "time (s)",
+                "Avg. Inst. Thpt (KB/s)",
+                throughput_series(&pair.scda),
+                throughput_series(&pair.randtcp),
+            ),
+            8 | 11 | 14 | 16 | 18 => {
+                let x_max = match fig {
+                    8 => 12.0,
+                    11 => 35.0,
+                    14 => 12.0,
+                    16 => 10.0,
+                    _ => 120.0,
+                };
+                (
+                    format!("FCT CDF — {}", pair.scenario),
+                    "FCT (s)",
+                    "CDF",
+                    cdf_series(&pair.scda, x_max),
+                    cdf_series(&pair.randtcp, x_max),
+                )
+            }
+            9 | 12 => (
+                format!("AFCT by file size — {}", pair.scenario),
+                "file size (MB)",
+                "AFCT (s)",
+                afct_series(&pair.scda, 90e6, 18, 1e6),
+                afct_series(&pair.randtcp, 90e6, 18, 1e6),
+            ),
+            13 | 15 => (
+                format!("AFCT by file size — {}", pair.scenario),
+                "file size (KB)",
+                "AFCT (s)",
+                afct_series(&pair.scda, 7e6, 14, 1e3),
+                afct_series(&pair.randtcp, 7e6, 14, 1e3),
+            ),
+            _ => panic!("figure {fig} is not part of the paper's evaluation"),
+        };
+    FigureReport {
+        figure: fig,
+        title,
+        x_label: x_label.into(),
+        y_label: y_label.into(),
+        scda: Series::new("SCDA", scda),
+        randtcp: Series::new("RandTCP", randtcp),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_figure_mapping_is_total_over_7_to_18() {
+        for fig in 7..=18 {
+            let g = Group::for_figure(fig).expect("every figure has a group");
+            assert!(g.figures().contains(&fig));
+        }
+        assert!(Group::for_figure(6).is_none());
+        assert!(Group::for_figure(19).is_none());
+    }
+
+    #[test]
+    fn all_groups_cover_all_figures_once() {
+        let mut seen = Vec::new();
+        for g in Group::all() {
+            seen.extend_from_slice(g.figures());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (7..=18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scenarios_match_paper_parameters() {
+        use scda_simnet::units::mbps;
+        let k1 = Group::DatacenterK1.scenario(Scale::Quick, 1);
+        assert_eq!(k1.topo.k_factor, 1.0);
+        let syn = Group::Synthetic.scenario(Scale::Quick, 1);
+        assert_eq!(syn.topo.base_bw_bps, mbps(200.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the paper")]
+    fn unknown_figure_panics() {
+        let sc = Group::VideoNoControl.scenario(Scale::Quick, 1);
+        // Cheap: empty runs are fine for the panic path.
+        let pair = ExperimentPair {
+            scenario: sc.name,
+            scda: crate::runner::RunResult {
+                system: "SCDA".into(),
+                fct: Default::default(),
+                throughput: scda_metrics::ThroughputSeries::new(1.0),
+                sla_violations: 0,
+                requested: 0,
+                completed: 0,
+                energy_joules: None,
+                dormant_servers: 0,
+                mitigations_applied: 0,
+                replications_completed: 0,
+                control_rounds: 0,
+                changed_dirs_total: 0,
+            },
+            randtcp: crate::runner::RunResult {
+                system: "RandTCP".into(),
+                fct: Default::default(),
+                throughput: scda_metrics::ThroughputSeries::new(1.0),
+                sla_violations: 0,
+                requested: 0,
+                completed: 0,
+                energy_joules: None,
+                dormant_servers: 0,
+                mitigations_applied: 0,
+                replications_completed: 0,
+                control_rounds: 0,
+                changed_dirs_total: 0,
+            },
+        };
+        build_figure(3, &pair);
+    }
+}

@@ -1,0 +1,935 @@
+//! End-to-end system runners: SCDA and the RandTCP baseline.
+//!
+//! Both systems replay the same [`Scenario`] over the same figure-6
+//! topology and report the same metrics; they differ exactly where the
+//! paper says they differ:
+//!
+//! * **RandTCP** (VL2/Hedera behavior): every request is assigned a
+//!   uniformly random block server, pays one TCP handshake, and lets TCP
+//!   Reno discover its rate.
+//! * **SCDA**: requests go through the control plane — the RM/RA tree runs
+//!   a control round every τ, the NNS-side selector places each request on
+//!   the best server for its content class, flows pay the figure-3/5
+//!   control-message setup, start at their *allocated* explicit rate, and
+//!   get re-windowed every τ (§VIII-D). SLA violations are counted as they
+//!   are detected.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use scda_core::{
+    ContentClass, ControlTree, Direction, EnergyBook, LinkAllocator, LinkSample, MetricKind,
+    Mitigation, OpenFlowSjf, Params, PowerModelConfig, PriorityPolicy, ProtocolCosts, RateCaps,
+    ResourceBook, ResourceProfile, Selector, SelectorConfig, SlaMonitor, SlaPolicy, Telemetry,
+};
+use scda_metrics::{FctStats, FlowRecord, ThroughputSeries};
+use scda_simnet::{FlowId, LinkId, Network, NodeId};
+use scda_transport::{AnyTransport, FlowDriver, Reno, RenoConfig, ScdaWindow, Transport};
+
+/// How the control plane picks block servers — the ablation knob that
+/// separates SCDA's two wins (smart selection vs explicit rates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// The SCDA §VII class-aware best-rate selection.
+    BestRate,
+    /// Uniform random selection (the VL2/Hedera behavior).
+    Random,
+}
+
+/// Which data plane carries the flows in an SCDA-controlled run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataTransport {
+    /// SCDA explicit-rate windows, refreshed every τ (§VIII).
+    ExplicitRate,
+    /// TCP Reno — pairs with [`SelectionPolicy::BestRate`] to isolate the
+    /// server-selection contribution.
+    Tcp,
+}
+
+/// A minimum-rate reservation plan (§IV-C): every `every`-th external
+/// flow reserves `min_rate` bytes/s — its window never drops below the
+/// reserved floor, while best-effort flows share what remains (the
+/// allocator's eq. 3 accounting sees the reserved flows' rates and
+/// shrinks everyone else's share automatically).
+#[derive(Debug, Clone, Copy)]
+pub struct ReservationPlan {
+    /// Reserve for flows whose id is divisible by this (2 = every other).
+    pub every: u64,
+    /// The reserved minimum, bytes/s.
+    pub min_rate: f64,
+}
+
+/// Energy/dormancy options (§VII-C/D).
+#[derive(Debug, Clone)]
+pub struct EnergyOptions {
+    /// The synthetic power model.
+    pub model: PowerModelConfig,
+    /// Heterogeneity spread: server `i` draws `1 + spread·f(i)` with
+    /// `f(i)` a deterministic value in `[-0.5, 0.5]` (rack position, age).
+    pub hetero_spread: f64,
+    /// Scale idle servers down to the dormant state (and wake them on
+    /// demand, charging the wake latency to connection setup).
+    pub dormancy: bool,
+}
+
+impl Default for EnergyOptions {
+    fn default() -> Self {
+        EnergyOptions { model: PowerModelConfig::default(), hetero_spread: 0.4, dormancy: true }
+    }
+}
+use scda_workloads::{FlowDirection, FlowKind};
+
+use crate::scenario::Scenario;
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct RunResult {
+    /// "SCDA" or "RandTCP".
+    pub system: String,
+    /// Completed-flow statistics (FCT CDFs, AFCT curves).
+    pub fct: FctStats,
+    /// Instantaneous-throughput series.
+    pub throughput: ThroughputSeries,
+    /// SLA violations detected by the control plane (0 for RandTCP, which
+    /// has no detector — that asymmetry *is* the paper's point).
+    pub sla_violations: usize,
+    /// Requests offered by the workload.
+    pub requested: usize,
+    /// Requests completed within the simulated horizon.
+    pub completed: usize,
+    /// Total fleet energy in joules, when the run accounts energy.
+    pub energy_joules: Option<f64>,
+    /// Servers dormant at the end of the run.
+    pub dormant_servers: usize,
+    /// Reserve-bandwidth mitigations applied (0 unless mitigation is on).
+    pub mitigations_applied: usize,
+    /// Internal replication transfers completed (§VIII-B; 0 unless
+    /// `replicate_writes` is on).
+    pub replications_completed: usize,
+    /// Control rounds executed (0 for RandTCP — it has no control plane).
+    pub control_rounds: usize,
+    /// Sum over rounds of node-directions whose allocation moved > 5%
+    /// (the Δ-reporting overhead driver; see `scda_core::overhead`).
+    pub changed_dirs_total: usize,
+}
+
+/// SCDA-side knobs.
+#[derive(Debug, Clone)]
+pub struct ScdaOptions {
+    /// Table I parameters; `tau` is overridden by the scenario.
+    pub params: Params,
+    /// Eq. 2 (full) or eq. 5 (simplified) rate metric.
+    pub metric: MetricKind,
+    /// Server-selection configuration.
+    pub selector: SelectorConfig,
+    /// Optional priority policy applied to every flow (None = uniform
+    /// max-min).
+    pub priority: Option<PriorityPolicy>,
+    /// Server-selection policy (ablation knob; default SCDA best-rate).
+    pub selection_policy: SelectionPolicy,
+    /// Data transport (ablation knob; default explicit rate).
+    pub transport_kind: DataTransport,
+    /// Energy accounting + dormancy, when enabled.
+    pub energy: Option<EnergyOptions>,
+    /// OpenFlow packet-count SJF weighting (§IV-B): overrides `priority`
+    /// with weights derived from bytes already sent.
+    pub openflow_sjf: Option<OpenFlowSjf>,
+    /// Apply the SLA mitigation ladder in-band: violated links receive
+    /// reserve bandwidth (bounded by `mitigation_reserve_factor`), then
+    /// content reassignment kicks in via the normal selection path.
+    pub mitigation: Option<SlaPolicy>,
+    /// Cap on how far mitigation may grow a link beyond its original
+    /// capacity (1.5 = up to +50% reserve capacity).
+    pub mitigation_reserve_factor: f64,
+    /// Replicate every completed external write to a second block server
+    /// (the internal write of §VIII-B / figure 4).
+    pub replicate_writes: bool,
+    /// Minimum-rate reservations for a subset of flows (§IV-C).
+    pub reservations: Option<ReservationPlan>,
+    /// Per-server CPU/disk profiles (cycled over the server list); when
+    /// set, the RMs report finite `R_other` caps (eq. 4) and flows open
+    /// against the servers' disks.
+    pub resource_profiles: Option<Vec<ResourceProfile>>,
+}
+
+impl Default for ScdaOptions {
+    fn default() -> Self {
+        ScdaOptions {
+            params: Params::default(),
+            metric: MetricKind::Full,
+            selector: SelectorConfig { r_scale: f64::INFINITY, power_aware: false },
+            priority: None,
+            selection_policy: SelectionPolicy::BestRate,
+            transport_kind: DataTransport::ExplicitRate,
+            energy: None,
+            openflow_sjf: None,
+            mitigation: None,
+            mitigation_reserve_factor: 1.5,
+            replicate_writes: false,
+            reservations: None,
+            resource_profiles: None,
+        }
+    }
+}
+
+/// A flow waiting for its connection setup to finish.
+struct PendingStart {
+    id: FlowId,
+    src: NodeId,
+    dst: NodeId,
+    size: f64,
+    arrival: f64,
+    /// The block server whose rates price the flow (primary / sender).
+    server: NodeId,
+    dir: FlowDirection,
+    client_idx: usize,
+    /// An internal (figure 4) replication transfer.
+    internal: bool,
+    transport: AnyTransport,
+}
+
+/// Min-heap key for pending starts (time, then insertion id).
+struct StartKey(f64, u64);
+impl PartialEq for StartKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0 && self.1 == other.1
+    }
+}
+impl Eq for StartKey {}
+impl PartialOrd for StartKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for StartKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Map a workload flow kind onto the paper's content classes.
+fn class_of(kind: FlowKind) -> ContentClass {
+    match kind {
+        FlowKind::Control => ContentClass::Interactive,
+        FlowKind::Video => ContentClass::SemiInteractiveRead,
+        FlowKind::Datacenter => ContentClass::SemiInteractiveWrite,
+        FlowKind::Synthetic => ContentClass::SemiInteractiveRead,
+        FlowKind::Interactive => ContentClass::Interactive,
+    }
+}
+
+/// Run the RandTCP baseline on a scenario.
+pub fn run_randtcp(sc: &Scenario) -> RunResult {
+    let tree = sc.topo.build();
+    let servers = tree.all_servers();
+    let clients = tree.clients.clone();
+    let mut driver = FlowDriver::new(Network::new(tree.topo));
+
+    let mut rng = StdRng::seed_from_u64(sc.seed ^ 0x7a3d_5eed);
+    let mut fct = FctStats::new();
+    let mut thpt = ThroughputSeries::new(sc.throughput_interval);
+    let mut pending: BinaryHeap<Reverse<(StartKey, usize)>> = BinaryHeap::new();
+    let mut starts: Vec<Option<PendingStart>> = Vec::new();
+    let mut arrivals: HashMap<FlowId, (f64, f64)> = HashMap::new(); // id -> (arrival, size)
+
+    let mut next_flow = 0usize;
+    let mut next_id = 0u64;
+    let steps = (sc.duration / sc.dt).ceil() as u64;
+    for step in 0..steps {
+        let now = step as f64 * sc.dt;
+
+        while next_flow < sc.workload.flows.len() && sc.workload.flows[next_flow].arrival <= now {
+            let f = sc.workload.flows[next_flow];
+            next_flow += 1;
+            let client = clients[f.client % clients.len()];
+            let server = servers[rng.random_range(0..servers.len())];
+            let (src, dst) = match f.direction {
+                FlowDirection::Write => (client, server),
+                FlowDirection::Read => (server, client),
+            };
+            let one_way = driver
+                .net_mut()
+                .base_rtt_between(src, dst)
+                .expect("client and server are connected")
+                / 2.0;
+            let start = f.arrival + ProtocolCosts::tcp_handshake(one_way);
+            let id = FlowId(next_id);
+            next_id += 1;
+            let idx = starts.len();
+            starts.push(Some(PendingStart {
+                id,
+                src,
+                dst,
+                size: f.size_bytes,
+                arrival: f.arrival,
+                server,
+                dir: f.direction,
+                client_idx: f.client,
+                internal: false,
+                transport: AnyTransport::Tcp(Reno::new(RenoConfig {
+                    // A generous receiver window: the baseline's handicap
+                    // should be TCP's *control* (slow start, loss probing),
+                    // not an artificially small socket buffer.
+                    max_cwnd: 8_000_000.0,
+                    ..Default::default()
+                })),
+            }));
+            pending.push(Reverse((StartKey(start, id.0), idx)));
+        }
+
+        while let Some(Reverse((StartKey(t, _), idx))) = pending.peek() {
+            if *t > now {
+                break;
+            }
+            let (_, idx) = (*t, *idx);
+            pending.pop();
+            let p = starts[idx].take().expect("start scheduled once");
+            arrivals.insert(p.id, (p.arrival, p.size));
+            driver.start_flow(p.id, p.src, p.dst, p.size, p.transport, now);
+        }
+
+        let summary = driver.tick(now, sc.dt);
+        thpt.record(now, summary.delivered_bytes, driver.active_count());
+        for c in &summary.completed {
+            let (arrival, size) = arrivals.remove(&c.id).expect("completed flow was started");
+            fct.push(FlowRecord { size_bytes: size, start: arrival, finish: c.finish });
+        }
+    }
+
+    RunResult {
+        system: "RandTCP".into(),
+        completed: fct.len(),
+        requested: sc.workload.len(),
+        fct,
+        throughput: thpt,
+        sla_violations: 0,
+        energy_joules: None,
+        dormant_servers: 0,
+        mitigations_applied: 0,
+        replications_completed: 0,
+        control_rounds: 0,
+        changed_dirs_total: 0,
+    }
+}
+
+/// Telemetry bridge from the simulated network to the control tree.
+struct NetTelemetry<'a> {
+    net: &'a mut Network,
+    loads: &'a [f64],
+    tau: f64,
+    resources: Option<&'a ResourceBook>,
+}
+
+impl Telemetry for NetTelemetry<'_> {
+    fn sample(&mut self, link: LinkId) -> LinkSample {
+        LinkSample {
+            queue_bytes: self.net.link_state(link).queue_bytes,
+            flow_rate_sum: self.loads[link.index()],
+            arrival_rate: self.net.link_state_mut(link).take_arrived() / self.tau,
+        }
+    }
+
+    fn rate_caps(&mut self, server: NodeId) -> RateCaps {
+        // Infinite unless the run models server resources (eq. 4's
+        // R_other): then disk/CPU caps flow into every advertised rate.
+        match self.resources {
+            Some(book) => book.rate_caps(server),
+            None => RateCaps::default(),
+        }
+    }
+}
+
+/// Run SCDA on a scenario.
+pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
+    let tree = sc.topo.build();
+    let servers = tree.all_servers();
+    let clients = tree.clients.clone();
+    let client_links = tree.client_links.clone();
+    // Rack / aggregation coordinates per server, for path-level
+    // outstanding-load discounting.
+    let mut server_coord: BTreeMap<NodeId, (usize, usize)> = BTreeMap::new();
+    for (r, rack) in tree.servers.iter().enumerate() {
+        for &srv in rack {
+            server_coord.insert(srv, (r, tree.agg_of_rack[r]));
+        }
+    }
+    let n_racks = tree.servers.len();
+    let n_aggs = tree.aggs.len();
+    let params = Params { tau: sc.tau, drain_horizon: sc.tau, ..opts.params.clone() };
+    let mut ct = ControlTree::from_three_tier(&tree, params.clone(), opts.metric);
+    let costs = ProtocolCosts {
+        control_hop: params.control_hop_delay,
+        client_wan: sc.topo.client_delay_s,
+    };
+    let link_count = tree.topo.link_count();
+    let mut driver = FlowDriver::new(Network::new(tree.topo));
+
+    // Client-side RMs: allocators for the WAN links the RA tree does not
+    // cover ("FES agents associated with the UCL clients").
+    let mut client_alloc: Vec<(LinkAllocator, LinkAllocator)> = client_links
+        .iter()
+        .map(|&(up, down)| {
+            let cap_up = driver.net().topo().link(up).capacity_bytes();
+            let cap_down = driver.net().topo().link(down).capacity_bytes();
+            (
+                LinkAllocator::new(cap_up, opts.metric, &params),
+                LinkAllocator::new(cap_down, opts.metric, &params),
+            )
+        })
+        .collect();
+
+    /// What a flow is, for rate refresh, energy attribution and
+    /// completion bookkeeping.
+    enum CtlKind {
+        /// Client-facing transfer (figures 3/5).
+        External { dir: FlowDirection, client_idx: usize },
+        /// Server-to-server replication (figure 4).
+        Internal { receiver: NodeId },
+    }
+    struct FlowCtl {
+        /// The block server whose tree rates price this flow (primary for
+        /// external flows, the *sender* for internal replication).
+        server: NodeId,
+        kind: CtlKind,
+    }
+
+    let mut fct = FctStats::new();
+    let mut thpt = ThroughputSeries::new(sc.throughput_interval);
+    let mut pending: BinaryHeap<Reverse<(StartKey, usize)>> = BinaryHeap::new();
+    let mut starts: Vec<Option<PendingStart>> = Vec::new();
+    let mut arrivals: HashMap<FlowId, (f64, f64)> = HashMap::new();
+    let mut flow_ctl: BTreeMap<FlowId, FlowCtl> = BTreeMap::new();
+    let mut link_loads = vec![0.0_f64; link_count];
+    // Outstanding (pending + in-flight) flows, tracked at every tree
+    // level: the NNS knows where it sent work that has not finished and
+    // discounts each candidate's advertised rate by the share those flows
+    // will claim at the server link, its rack's edge uplink, its
+    // aggregation link and the trunk — so bursts spread across racks
+    // instead of herding onto one momentary "best" server between control
+    // rounds.
+    let mut outstanding: BTreeMap<NodeId, u32> = BTreeMap::new();
+    let mut outstanding_rack = vec![0u32; n_racks];
+    let mut outstanding_agg = vec![0u32; n_aggs];
+    let mut outstanding_total = 0u32;
+    let mut sla_violations = 0usize;
+    let mut sla_monitor = opts.mitigation.clone().map(SlaMonitor::new);
+    let mut mitigations_applied = 0usize;
+    let mut replications_completed = 0usize;
+    let mut control_rounds = 0usize;
+    let mut changed_dirs_total = 0usize;
+    // Scratch buffer for the per-arrival selection metrics (reused to keep
+    // the hot path allocation-free at the 16k-server scale).
+    let mut metrics_buf: Vec<scda_core::ServerMetrics> = Vec::new();
+    let mut resources = opts.resource_profiles.as_ref().map(|profiles| {
+        assert!(!profiles.is_empty(), "resource profile list cannot be empty");
+        ResourceBook::new(servers.iter().copied(), |i| profiles[i % profiles.len()].clone())
+    });
+    // Original capacities of links that received reserve bandwidth, to
+    // bound how far mitigation may grow them.
+    let mut boosted: BTreeMap<scda_simnet::LinkId, f64> = BTreeMap::new();
+    let mut sel_rng = StdRng::seed_from_u64(sc.seed ^ 0x5e1e_c7ed);
+    let server_link_bytes = sc.topo.base_bw_bps / 8.0;
+    let mut energy = opts.energy.as_ref().map(|e| {
+        let spread = e.hetero_spread;
+        EnergyBook::new(e.model.clone(), servers.iter().copied(), |i| {
+            1.0 + spread * (((i * 7919) % 101) as f64 / 100.0 - 0.5)
+        })
+    });
+
+    // Prime the tree so the first arrivals see idle-state advertisements.
+    {
+        let mut tel = NetTelemetry {
+            net: driver.net_mut(),
+            loads: &link_loads,
+            tau: sc.tau,
+            resources: resources.as_ref(),
+        };
+        ct.control_round(0.0, &mut tel);
+    }
+
+    // Per-flow weight under the configured priority policy. The OpenFlow
+    // variant (§IV-B) keys on bytes already sent (the switch's packet
+    // counter); the policy variants key on bytes remaining.
+    let weight_of = |remaining: f64, size: f64, rate: f64, now: f64| -> f64 {
+        if let Some(of) = &opts.openflow_sjf {
+            return of.weight(size - remaining);
+        }
+        match &opts.priority {
+            Some(p) => p.weight(remaining, rate, now),
+            None => 1.0,
+        }
+    };
+
+    let mut next_flow = 0usize;
+    let mut next_id = 0u64;
+    let mut next_ctrl = sc.tau;
+    let steps = (sc.duration / sc.dt).ceil() as u64;
+    for step in 0..steps {
+        let now = step as f64 * sc.dt;
+
+        // Admit new requests: classify, select a server, price the setup.
+        while next_flow < sc.workload.flows.len() && sc.workload.flows[next_flow].arrival <= now {
+            let f = sc.workload.flows[next_flow];
+            next_flow += 1;
+            let client = clients[f.client % clients.len()];
+
+            // Discount each candidate's advertised rate by the NNS's own
+            // outstanding assignments: k not-yet-visible flows on a level-h
+            // link of capacity C shift a per-flow share r to r/(1 + k·r/C)
+            // (i.e. C/N -> C/(N + k)). The candidate's score is the minimum
+            // over its path levels — so a server in a quiet rack outranks
+            // one whose rack or aggregation uplink is already spoken for.
+            // The per-level rates come from the ServerMetrics level cache,
+            // keeping this hot path free of tree walks and allocations.
+            let x = sc.topo.base_bw_bps / 8.0;
+            let level_caps = [
+                x,
+                x,
+                sc.topo.k_factor * x,
+                sc.topo.trunk_mult * x,
+            ];
+            ct.server_metrics_into(&mut metrics_buf);
+            for m in metrics_buf.iter_mut() {
+                let &(rack, agg) = server_coord.get(&m.server).expect("server has coords");
+                let k0 = outstanding.get(&m.server).copied().unwrap_or(0) as f64;
+                let counts = [
+                    k0,
+                    outstanding_rack[rack] as f64,
+                    outstanding_agg[agg] as f64,
+                    outstanding_total as f64,
+                ];
+                let mut adj_down = f64::INFINITY;
+                let mut adj_up = f64::INFINITY;
+                for (h, (&k, &cap)) in counts.iter().zip(&level_caps).enumerate() {
+                    let rd = m.down_levels[h];
+                    adj_down = adj_down.min(rd / (1.0 + k * rd / cap));
+                    let ru = m.up_levels[h];
+                    adj_up = adj_up.min(ru / (1.0 + k * ru / cap));
+                }
+                m.path_down = adj_down;
+                m.path_up = adj_up;
+                m.r0_down /= 1.0 + k0;
+                m.r0_up /= 1.0 + k0;
+            }
+            let sel = Selector::new(&metrics_buf, energy.as_ref(), &opts.selector);
+            let class = class_of(f.kind);
+            let picked = match opts.selection_policy {
+                SelectionPolicy::BestRate => match f.direction {
+                    FlowDirection::Write => sel.write_target(class, &[]),
+                    FlowDirection::Read => sel.read_source(&servers),
+                },
+                SelectionPolicy::Random => {
+                    let s = servers[sel_rng.random_range(0..servers.len())];
+                    Some((s, 0.0))
+                }
+            };
+            let (server, _rate) = picked.expect("at least one server exists");
+            *outstanding.entry(server).or_insert(0) += 1;
+            {
+                let &(rack, agg) = server_coord.get(&server).expect("server has coords");
+                outstanding_rack[rack] += 1;
+                outstanding_agg[agg] += 1;
+                outstanding_total += 1;
+            }
+
+            // Waking a dormant server costs its transition latency before
+            // the connection can open (§VII-C).
+            let mut wake_delay = 0.0;
+            if let Some(book) = energy.as_mut() {
+                if book.is_dormant(server) {
+                    book.wake(server, now);
+                    wake_delay = opts.energy.as_ref().expect("energy enabled").model.wake_latency;
+                }
+            }
+
+            let (src, dst, setup, tree_dir) = match f.direction {
+                FlowDirection::Write => {
+                    (client, server, costs.external_write_setup(), Direction::Down)
+                }
+                FlowDirection::Read => {
+                    (server, client, costs.external_read_setup(), Direction::Up)
+                }
+            };
+            let base_rtt = driver
+                .net_mut()
+                .base_rtt_between(src, dst)
+                .expect("client and server are connected");
+            let tree_rate = ct.client_rate(server, tree_dir).unwrap_or(params.min_rate);
+            let ci = f.client % client_alloc.len();
+            let wan_rate = match f.direction {
+                FlowDirection::Write => client_alloc[ci].0.rate(),
+                FlowDirection::Read => client_alloc[ci].1.rate(),
+            };
+            let w = weight_of(f.size_bytes, f.size_bytes, tree_rate, now);
+            let mut rate = (w * tree_rate.min(wan_rate)).max(params.min_rate);
+            if let Some(plan) = &opts.reservations {
+                if next_id.is_multiple_of(plan.every) {
+                    rate = rate.max(plan.min_rate);
+                }
+            }
+
+            let id = FlowId(next_id);
+            next_id += 1;
+            let idx = starts.len();
+            let transport = match opts.transport_kind {
+                DataTransport::ExplicitRate => {
+                    AnyTransport::Scda(ScdaWindow::new(rate, rate, base_rtt))
+                }
+                DataTransport::Tcp => AnyTransport::Tcp(Reno::new(RenoConfig {
+                    max_cwnd: 8_000_000.0,
+                    ..Default::default()
+                })),
+            };
+            let start = f.arrival + setup + wake_delay;
+            starts.push(Some(PendingStart {
+                id,
+                src,
+                dst,
+                size: f.size_bytes,
+                arrival: f.arrival,
+                server,
+                dir: f.direction,
+                client_idx: ci,
+                internal: false,
+                transport,
+            }));
+            pending.push(Reverse((StartKey(start, id.0), idx)));
+        }
+
+        // Open connections whose setup completed.
+        while let Some(Reverse((StartKey(t, _), idx))) = pending.peek() {
+            if *t > now {
+                break;
+            }
+            let idx = *idx;
+            pending.pop();
+            let p = starts[idx].take().expect("start scheduled once");
+            if let Some(book) = resources.as_mut() {
+                // Writes hit the server's disk write path, reads its read
+                // path; internal replication writes the receiver's disk.
+                if p.internal {
+                    book.open_flow(p.dst, true);
+                } else {
+                    book.open_flow(p.server, p.dir == FlowDirection::Write);
+                }
+            }
+            if !p.internal {
+                arrivals.insert(p.id, (p.arrival, p.size));
+            }
+            flow_ctl.insert(
+                p.id,
+                FlowCtl {
+                    server: p.server,
+                    kind: if p.internal {
+                        CtlKind::Internal { receiver: p.dst }
+                    } else {
+                        CtlKind::External { dir: p.dir, client_idx: p.client_idx }
+                    },
+                },
+            );
+            driver.start_flow(p.id, p.src, p.dst, p.size, p.transport, now);
+        }
+
+        // Control round every τ: measure, allocate, re-window (§VIII-D).
+        if now + 1e-12 >= next_ctrl {
+            next_ctrl += sc.tau;
+            let round_violations;
+            // Current offered rates, per link (the S sums of eq. 4/6 —
+            // weights are already baked into each flow's installed rate).
+            link_loads.fill(0.0);
+            for (id, _, _) in driver.active_flows() {
+                let rtt = driver.net().rtt(id);
+                let rate = driver
+                    .transport(id)
+                    .expect("active flow has transport")
+                    .offered_rate(rtt);
+                for &l in &driver.net().flow(id).path {
+                    link_loads[l.index()] += rate;
+                }
+            }
+            {
+                let mut tel = NetTelemetry {
+                    net: driver.net_mut(),
+                    loads: &link_loads,
+                    tau: sc.tau,
+                    resources: resources.as_ref(),
+                };
+                round_violations = ct.control_round(now, &mut tel);
+                sla_violations += round_violations.len();
+                control_rounds += 1;
+                changed_dirs_total += ct.changed_nodes(0.05);
+                // Client-side RM updates over the same telemetry.
+                for (ci, &(up, down)) in client_links.iter().enumerate() {
+                    let su = tel.sample(up);
+                    let sd = tel.sample(down);
+                    client_alloc[ci].0.update(&su, &params);
+                    client_alloc[ci].1.update(&sd, &params);
+                }
+            }
+            // SLA mitigation ladder (§IV-A): grant reserve bandwidth on
+            // violated links, bounded by the reserve factor; the monitor
+            // escalates repeat offenders (reassignment happens naturally —
+            // the violated link's rates collapse and selection avoids it).
+            if let Some(mon) = sla_monitor.as_mut() {
+                for v in &round_violations {
+                    match mon.ingest(*v) {
+                        Mitigation::AddBandwidth { extra } => {
+                            let link = v.site.link;
+                            let cur = driver.net().topo().link(link).capacity_bps;
+                            let orig = *boosted.entry(link).or_insert(cur);
+                            let new =
+                                (cur + extra * 8.0).min(orig * opts.mitigation_reserve_factor);
+                            if new > cur {
+                                driver.net_mut().set_link_capacity(link, new);
+                                ct.set_link_capacity(link, new / 8.0);
+                                mitigations_applied += 1;
+                            }
+                        }
+                        Mitigation::ReassignServer | Mitigation::Escalate => {
+                            // Selection pressure does the reassignment; an
+                            // operator would add capacity on Escalate.
+                        }
+                    }
+                }
+            }
+
+            // Energy accounting + dormancy management (§VII-C/D).
+            if let Some(book) = energy.as_mut() {
+                // Per-server utilization from the offered rates of the
+                // flows it is serving.
+                let mut per_server: BTreeMap<NodeId, f64> = BTreeMap::new();
+                for (id, ctl) in &flow_ctl {
+                    if let Some(t) = driver.transport(*id) {
+                        let rtt = driver.net().rtt(*id);
+                        *per_server.entry(ctl.server).or_insert(0.0) +=
+                            t.offered_rate(rtt);
+                    }
+                }
+                book.tick(now, |srv| {
+                    per_server.get(&srv).copied().unwrap_or(0.0) / server_link_bytes
+                });
+                if opts.energy.as_ref().expect("energy enabled").dormancy {
+                    // Idle servers with uplink headroom above R_scale nap
+                    // until demand wakes them.
+                    for m in ct.server_metrics() {
+                        let busy = per_server.get(&m.server).copied().unwrap_or(0.0) > 0.0;
+                        if !busy && m.path_up >= opts.selector.r_scale && book.is_active(m.server)
+                        {
+                            book.scale_down(m.server);
+                        }
+                    }
+                }
+            }
+
+            // Refresh every on-going flow's windows from fresh allocations.
+            let ids: Vec<FlowId> = flow_ctl.keys().copied().collect();
+            for id in ids {
+                let Some(progress) = driver.progress(id) else {
+                    flow_ctl.remove(&id);
+                    continue;
+                };
+                let remaining = progress.remaining();
+                let size = progress.size_bytes;
+                let ctl = &flow_ctl[&id];
+                let alloc = match &ctl.kind {
+                    CtlKind::External { dir, client_idx } => {
+                        let tree_dir = match dir {
+                            FlowDirection::Write => Direction::Down,
+                            FlowDirection::Read => Direction::Up,
+                        };
+                        let tree_rate =
+                            ct.client_rate(ctl.server, tree_dir).unwrap_or(params.min_rate);
+                        let wan_rate = match dir {
+                            FlowDirection::Write => client_alloc[*client_idx].0.rate(),
+                            FlowDirection::Read => client_alloc[*client_idx].1.rate(),
+                        };
+                        tree_rate.min(wan_rate)
+                    }
+                    CtlKind::Internal { receiver } => ct
+                        .transfer_rate(ctl.server, *receiver)
+                        .unwrap_or(params.min_rate),
+                };
+                let w = weight_of(remaining, size, alloc, now);
+                let mut rate = (w * alloc).max(params.min_rate);
+                if let Some(plan) = &opts.reservations {
+                    if matches!(ctl.kind, CtlKind::External { .. }) && id.0 % plan.every == 0 {
+                        rate = rate.max(plan.min_rate);
+                    }
+                }
+                if let Some(AnyTransport::Scda(win)) = driver.transport_mut(id) {
+                    win.set_rates(rate, rate);
+                }
+            }
+        }
+
+        let summary = driver.tick(now, sc.dt);
+        thpt.record(now, summary.delivered_bytes, driver.active_count());
+        for c in &summary.completed {
+            let ctl = flow_ctl.remove(&c.id);
+            if let (Some(book), Some(ctl)) = (resources.as_mut(), ctl.as_ref()) {
+                match &ctl.kind {
+                    CtlKind::External { dir, .. } => {
+                        book.close_flow(ctl.server, *dir == FlowDirection::Write)
+                    }
+                    CtlKind::Internal { receiver } => book.close_flow(*receiver, true),
+                }
+            }
+            let is_internal = matches!(
+                ctl.as_ref().map(|x| &x.kind),
+                Some(CtlKind::Internal { .. })
+            );
+            let was_write = matches!(
+                ctl.as_ref().map(|x| &x.kind),
+                Some(CtlKind::External { dir: FlowDirection::Write, .. })
+            );
+            if let Some(ctl) = &ctl {
+                if !is_internal {
+                    if let Some(k) = outstanding.get_mut(&ctl.server) {
+                        *k = k.saturating_sub(1);
+                    }
+                    let &(rack, agg) =
+                        server_coord.get(&ctl.server).expect("server has coords");
+                    outstanding_rack[rack] = outstanding_rack[rack].saturating_sub(1);
+                    outstanding_agg[agg] = outstanding_agg[agg].saturating_sub(1);
+                    outstanding_total = outstanding_total.saturating_sub(1);
+                }
+            }
+            if is_internal {
+                replications_completed += 1;
+                continue;
+            }
+            let (arrival, size) = arrivals.remove(&c.id).expect("completed flow was started");
+            fct.push(FlowRecord { size_bytes: size, start: arrival, finish: c.finish });
+
+            // Internal write (§VIII-B, figure 4): replicate the freshly
+            // written content to the best-uplink server so future reads
+            // are fast.
+            if was_write && opts.replicate_writes {
+                let primary = ctl.as_ref().expect("write flow has control state").server;
+                let metrics = ct.server_metrics();
+                let sel = Selector::new(&metrics, energy.as_ref(), &opts.selector);
+                if let Some((replica, _)) =
+                    sel.replica_target(ContentClass::SemiInteractiveRead, primary, &[])
+                {
+                    let rate = ct
+                        .transfer_rate(primary, replica)
+                        .unwrap_or(params.min_rate)
+                        .max(params.min_rate);
+                    let base_rtt = driver
+                        .net_mut()
+                        .base_rtt_between(primary, replica)
+                        .expect("servers are connected");
+                    let id = FlowId(next_id);
+                    next_id += 1;
+                    let idx = starts.len();
+                    let start = c.finish + costs.internal_write_setup();
+                    starts.push(Some(PendingStart {
+                        id,
+                        src: primary,
+                        dst: replica,
+                        size,
+                        arrival: c.finish,
+                        server: primary,
+                        dir: FlowDirection::Write,
+                        client_idx: 0,
+                        internal: true,
+                        transport: AnyTransport::Scda(ScdaWindow::new(rate, rate, base_rtt)),
+                    }));
+                    pending.push(Reverse((StartKey(start, id.0), idx)));
+                }
+            }
+        }
+    }
+
+    RunResult {
+        system: "SCDA".into(),
+        completed: fct.len(),
+        requested: sc.workload.len(),
+        fct,
+        throughput: thpt,
+        sla_violations,
+        energy_joules: energy.as_ref().map(EnergyBook::total_energy),
+        dormant_servers: energy.as_ref().map(EnergyBook::dormant_count).unwrap_or(0),
+        mitigations_applied,
+        replications_completed,
+        control_rounds,
+        changed_dirs_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scale;
+
+    fn tiny_video(include_control: bool) -> Scenario {
+        let mut sc = Scenario::video(Scale::Quick, include_control, 42);
+        // Trim for unit-test speed: first 5 s of arrivals, 15 s horizon.
+        sc.workload.flows.retain(|f| f.arrival < 5.0);
+        sc.duration = 15.0;
+        sc
+    }
+
+    #[test]
+    fn randtcp_completes_most_flows() {
+        let sc = tiny_video(false);
+        let r = run_randtcp(&sc);
+        assert!(r.requested > 0);
+        assert!(
+            r.completed as f64 >= 0.6 * r.requested as f64,
+            "completed {}/{}",
+            r.completed,
+            r.requested
+        );
+        assert!(r.fct.mean_fct().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn scda_completes_most_flows() {
+        let sc = tiny_video(false);
+        let r = run_scda(&sc, &ScdaOptions::default());
+        assert!(
+            r.completed as f64 >= 0.8 * r.requested as f64,
+            "completed {}/{}",
+            r.completed,
+            r.requested
+        );
+    }
+
+    #[test]
+    fn scda_beats_randtcp_on_mean_fct() {
+        let sc = tiny_video(false);
+        let s = run_scda(&sc, &ScdaOptions::default());
+        let r = run_randtcp(&sc);
+        let sf = s.fct.mean_fct().unwrap();
+        let rf = r.fct.mean_fct().unwrap();
+        assert!(
+            sf < rf,
+            "SCDA mean FCT {sf} must beat RandTCP {rf}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let sc = tiny_video(true);
+        let a = run_scda(&sc, &ScdaOptions::default());
+        let b = run_scda(&sc, &ScdaOptions::default());
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.fct.mean_fct(), b.fct.mean_fct());
+        let ra = run_randtcp(&sc);
+        let rb = run_randtcp(&sc);
+        assert_eq!(ra.fct.mean_fct(), rb.fct.mean_fct());
+    }
+
+    #[test]
+    fn simplified_metric_also_works() {
+        let sc = tiny_video(false);
+        let opts = ScdaOptions { metric: MetricKind::Simplified, ..Default::default() };
+        let r = run_scda(&sc, &opts);
+        assert!(r.completed as f64 >= 0.7 * r.requested as f64);
+    }
+}

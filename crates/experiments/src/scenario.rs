@@ -1,0 +1,287 @@
+//! Experiment scenarios: topology + workload + timing for each §X setup.
+
+use scda_simnet::builders::ThreeTierConfig;
+use scda_simnet::units::mbps;
+use scda_workloads::{DatacenterConfig, SyntheticConfig, Workload, YouTubeConfig};
+use serde::{Deserialize, Serialize};
+
+/// How big to run: `Quick` for tests/benches (small fabric, short trace),
+/// `Paper` approaching the paper's dimensions (more racks, 100 s traces).
+/// Both keep the figure *shapes*; `Paper` just averages more flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// ~8 racks × 5 servers, 30 s — seconds of wall-clock.
+    Quick,
+    /// 20 racks × 10 servers, 100 s — the DESIGN.md default scale (the
+    /// paper itself scales YouTube arrivals to 20 servers).
+    Paper,
+    /// The full figure-6 fabric: 163 racks × 10 servers (the paper's
+    /// n = 10 configuration), 100 s. ~10 s of wall-clock per group.
+    Full,
+    /// 163 racks × 100 servers — the paper's n = 100 configuration
+    /// (16,300 block servers). Minutes of wall-clock per group.
+    FullLarge,
+}
+
+/// A fully-specified experiment input.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable name (appears in reports).
+    pub name: String,
+    /// The figure-6 topology parameters.
+    pub topo: ThreeTierConfig,
+    /// The offered workload.
+    pub workload: Workload,
+    /// Simulated duration, seconds.
+    pub duration: f64,
+    /// Network tick, seconds.
+    pub dt: f64,
+    /// SCDA control interval τ, seconds.
+    pub tau: f64,
+    /// Throughput-series sampling interval, seconds.
+    pub throughput_interval: f64,
+    /// Seed for any per-run randomness (e.g. RandTCP server picks).
+    pub seed: u64,
+}
+
+impl Scenario {
+    fn base_topo(scale: Scale, x_mbps: f64, k: f64) -> ThreeTierConfig {
+        match scale {
+            Scale::Quick => ThreeTierConfig {
+                racks: 8,
+                servers_per_rack: 5,
+                racks_per_agg: 4,
+                clients: 8,
+                base_bw_bps: mbps(x_mbps),
+                k_factor: k,
+                ..Default::default()
+            },
+            Scale::Paper => ThreeTierConfig {
+                base_bw_bps: mbps(x_mbps),
+                k_factor: k,
+                ..Default::default()
+            },
+            Scale::Full => ThreeTierConfig {
+                racks: 163,
+                servers_per_rack: 10,
+                racks_per_agg: 28,
+                // More clients than the scaled defaults so the offered
+                // load is not WAN-limited; the 6X trunk is then the
+                // binding client-side resource, as in figure 6.
+                clients: 64,
+                base_bw_bps: mbps(x_mbps),
+                k_factor: k,
+                ..Default::default()
+            },
+            Scale::FullLarge => ThreeTierConfig {
+                racks: 163,
+                servers_per_rack: 100,
+                racks_per_agg: 28,
+                clients: 64,
+                base_bw_bps: mbps(x_mbps),
+                k_factor: k,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn durations(scale: Scale) -> (f64, f64) {
+        // (trace duration, extra drain time to let stragglers finish)
+        match scale {
+            Scale::Quick => (30.0, 20.0),
+            Scale::Paper | Scale::Full | Scale::FullLarge => (100.0, 40.0),
+        }
+    }
+
+    /// §X-A1: YouTube video traces, X = 500 Mbps, K = 3, with or without
+    /// the HTTP control flows (figures 7-9 and 10-12 respectively).
+    pub fn video(scale: Scale, include_control: bool, seed: u64) -> Scenario {
+        let topo = Self::base_topo(scale, 500.0, 3.0);
+        let (dur, drain) = Self::durations(scale);
+        let wl = YouTubeConfig {
+            duration: dur,
+            include_control,
+            clients: topo.clients,
+            video_rate: match scale {
+                Scale::Quick => 12.0,
+                Scale::Paper => 50.0,
+                // ~40 videos/s × ~7 MB ≈ 75% of the 6X trunk.
+                Scale::Full | Scale::FullLarge => 40.0,
+            },
+            seed,
+            ..Default::default()
+        }
+        .generate();
+        Scenario {
+            name: format!(
+                "video traces {} control flows",
+                if include_control { "with" } else { "without" }
+            ),
+            topo,
+            workload: wl,
+            duration: dur + drain,
+            dt: 0.005,
+            tau: 0.05,
+            throughput_interval: 1.0,
+            seed,
+        }
+    }
+
+    /// §X-A2: general datacenter traces, X = 500 Mbps, bandwidth factor
+    /// `k` ∈ {1, 3} (figures 13-14 and 15-16).
+    pub fn datacenter(scale: Scale, k: f64, seed: u64) -> Scenario {
+        let topo = Self::base_topo(scale, 500.0, k);
+        let (dur, drain) = Self::durations(scale);
+        let wl = DatacenterConfig {
+            duration: dur,
+            clients: topo.clients,
+            arrival_rate: match scale {
+                Scale::Quick => 60.0,
+                Scale::Paper => 200.0,
+                Scale::Full | Scale::FullLarge => 400.0,
+            },
+            seed,
+            ..Default::default()
+        }
+        .generate();
+        Scenario {
+            name: format!("datacenter traces K={k}"),
+            topo,
+            workload: wl,
+            duration: dur + drain,
+            dt: 0.005,
+            tau: 0.05,
+            throughput_interval: 1.0,
+            seed,
+        }
+    }
+
+    /// §X-B: Pareto(mean 500 KB, shape 1.6) sizes, Poisson(200/s)
+    /// arrivals, X = 200 Mbps, K = 3 (figures 17-18).
+    pub fn synthetic(scale: Scale, seed: u64) -> Scenario {
+        let topo = Self::base_topo(scale, 200.0, 3.0);
+        let (dur, drain) = Self::durations(scale);
+        let wl = SyntheticConfig {
+            duration: dur,
+            clients: topo.clients,
+            arrival_rate: match scale {
+                Scale::Quick => 80.0,
+                Scale::Paper => 200.0,
+                Scale::Full | Scale::FullLarge => 200.0,
+            },
+            seed,
+            ..Default::default()
+        }
+        .generate();
+        Scenario {
+            name: "pareto sizes / poisson arrivals".into(),
+            topo,
+            workload: wl,
+            duration: dur + drain,
+            dt: 0.005,
+            tau: 0.05,
+            throughput_interval: 1.0,
+            seed,
+        }
+    }
+}
+
+impl Scenario {
+    /// A kitchen-sink mix: video + datacenter + interactive sessions over
+    /// the same fabric — the "diverse QoS requirements" setting of §I, used
+    /// by the content-class tests (interactive flows must route through the
+    /// `min(R̂_d, R̂_u)` selection path while bulk traffic takes the
+    /// class-specific paths).
+    pub fn mixed(scale: Scale, seed: u64) -> Scenario {
+        use scda_workloads::InteractiveConfig;
+        let base = Scenario::video(scale, false, seed);
+        let (dur, _) = Self::durations(scale);
+        let dc = DatacenterConfig {
+            duration: dur,
+            clients: base.topo.clients,
+            arrival_rate: match scale {
+                Scale::Quick => 20.0,
+                Scale::Paper => 60.0,
+                Scale::Full | Scale::FullLarge => 120.0,
+            },
+            seed: seed ^ 0xdc,
+            ..Default::default()
+        }
+        .generate();
+        let chat = InteractiveConfig {
+            duration: dur,
+            clients: base.topo.clients,
+            session_rate: match scale {
+                Scale::Quick => 1.0,
+                Scale::Paper | Scale::Full | Scale::FullLarge => 3.0,
+            },
+            seed: seed ^ 0xc4a7,
+            ..Default::default()
+        }
+        .generate();
+        Scenario {
+            name: "mixed video + datacenter + interactive".into(),
+            workload: base.workload.merged(dc).merged(chat),
+            ..base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scda_workloads::FlowKind;
+
+    #[test]
+    fn video_scenarios_differ_by_control() {
+        let with = Scenario::video(Scale::Quick, true, 1);
+        let without = Scenario::video(Scale::Quick, false, 1);
+        assert!(with
+            .workload
+            .flows
+            .iter()
+            .any(|f| f.kind == FlowKind::Control));
+        assert!(without
+            .workload
+            .flows
+            .iter()
+            .all(|f| f.kind == FlowKind::Video));
+    }
+
+    #[test]
+    fn datacenter_k_changes_topology_only() {
+        let k1 = Scenario::datacenter(Scale::Quick, 1.0, 1);
+        let k3 = Scenario::datacenter(Scale::Quick, 3.0, 1);
+        assert_eq!(k1.topo.k_factor, 1.0);
+        assert_eq!(k3.topo.k_factor, 3.0);
+        assert_eq!(k1.workload.len(), k3.workload.len(), "same workload both K");
+    }
+
+    #[test]
+    fn synthetic_uses_200mbps_base() {
+        let s = Scenario::synthetic(Scale::Quick, 1);
+        assert_eq!(s.topo.base_bw_bps, mbps(200.0));
+        assert_eq!(s.topo.k_factor, 3.0);
+    }
+
+    #[test]
+    fn mixed_scenario_contains_all_kinds() {
+        let s = Scenario::mixed(Scale::Quick, 1);
+        let kinds: std::collections::BTreeSet<_> =
+            s.workload.flows.iter().map(|f| format!("{:?}", f.kind)).collect();
+        assert!(kinds.contains("Video"));
+        assert!(kinds.contains("Datacenter"));
+        assert!(kinds.contains("Interactive"));
+        // Sorted by arrival after merging.
+        for w in s.workload.flows.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    #[test]
+    fn duration_covers_trace_plus_drain() {
+        let s = Scenario::video(Scale::Quick, false, 1);
+        let last_arrival = s.workload.flows.last().unwrap().arrival;
+        assert!(s.duration > last_arrival + 10.0);
+    }
+}

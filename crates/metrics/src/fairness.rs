@@ -1,0 +1,118 @@
+//! Fairness and utilization statistics.
+//!
+//! The paper's core allocation claim is max-min fairness (§IV, §XII);
+//! Jain's fairness index quantifies how close a set of concurrent flow
+//! rates comes to an equal-share ideal, and the utilization summary backs
+//! the "available resource is utilized as long as there is demand"
+//! property (question 3 of §I).
+
+use serde::{Deserialize, Serialize};
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`, in `(0, 1]`; 1 means all
+/// rates equal, `1/n` means one flow hogs everything. Returns `None` for
+/// an empty slice or all-zero rates.
+///
+/// # Examples
+///
+/// ```
+/// use scda_metrics::jain_index;
+/// assert_eq!(jain_index(&[5.0, 5.0]), Some(1.0));
+/// assert_eq!(jain_index(&[8.0, 0.0]), Some(0.5));
+/// assert_eq!(jain_index(&[]), None);
+/// ```
+pub fn jain_index(rates: &[f64]) -> Option<f64> {
+    if rates.is_empty() {
+        return None;
+    }
+    let sum: f64 = rates.iter().sum();
+    let sq: f64 = rates.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return None;
+    }
+    Some(sum * sum / (rates.len() as f64 * sq))
+}
+
+/// Running utilization accumulator for one resource (a link, a server).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Utilization {
+    /// Σ (used/capacity)·dt.
+    weighted: f64,
+    /// Σ dt.
+    time: f64,
+    /// Max instantaneous utilization seen.
+    pub peak: f64,
+}
+
+impl Utilization {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `used` of `capacity` for `dt` seconds.
+    pub fn record(&mut self, used: f64, capacity: f64, dt: f64) {
+        debug_assert!(capacity > 0.0 && dt >= 0.0);
+        let u = (used / capacity).clamp(0.0, 1.0);
+        self.weighted += u * dt;
+        self.time += dt;
+        self.peak = self.peak.max(u);
+    }
+
+    /// Time-averaged utilization in `[0, 1]` (0 before any sample).
+    pub fn mean(&self) -> f64 {
+        if self.time > 0.0 {
+            self.weighted / self.time
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_rates_are_perfectly_fair() {
+        assert!((jain_index(&[5.0, 5.0, 5.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hog_scores_one_over_n() {
+        let idx = jain_index(&[10.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((idx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_shares_score_between() {
+        let idx = jain_index(&[2.0, 1.0, 1.0]).unwrap();
+        assert!(idx > 0.25 && idx < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(jain_index(&[]).is_none());
+        assert!(jain_index(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn utilization_time_average() {
+        let mut u = Utilization::new();
+        u.record(50.0, 100.0, 1.0);
+        u.record(100.0, 100.0, 1.0);
+        assert!((u.mean() - 0.75).abs() < 1e-12);
+        assert_eq!(u.peak, 1.0);
+    }
+
+    #[test]
+    fn utilization_clamps_overload() {
+        let mut u = Utilization::new();
+        u.record(300.0, 100.0, 2.0);
+        assert_eq!(u.mean(), 1.0);
+    }
+
+    #[test]
+    fn empty_utilization_is_zero() {
+        assert_eq!(Utilization::new().mean(), 0.0);
+    }
+}

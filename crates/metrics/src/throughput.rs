@@ -1,0 +1,164 @@
+//! Instantaneous-throughput time series (figures 7, 10, 17).
+//!
+//! The paper plots "Avg. Inst. Thpt (KB/sec)" over simulation time: the
+//! per-interval average of the throughput flows achieve. The collector
+//! accumulates delivered bytes (and the active-flow population) per fixed
+//! interval; the series can then be read out aggregate (total KB/s) or
+//! per-flow (total / active flows), which is the form whose magnitude
+//! matches the paper's axes.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-interval throughput accumulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputSeries {
+    interval: f64,
+    /// Delivered bytes per interval.
+    bytes: Vec<f64>,
+    /// Sum of active-flow counts sampled per tick, and tick counts, per
+    /// interval — yields the mean population.
+    active_sum: Vec<f64>,
+    samples: Vec<u32>,
+}
+
+/// One point of the read-out series.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ThroughputPoint {
+    /// Interval midpoint, seconds.
+    pub time: f64,
+    /// Aggregate delivered rate over the interval, bytes/second.
+    pub aggregate: f64,
+    /// Mean number of active flows over the interval.
+    pub active_flows: f64,
+    /// Average per-flow instantaneous throughput, bytes/second (the
+    /// paper's y axis, modulo the KB scaling).
+    pub per_flow: f64,
+}
+
+impl ThroughputSeries {
+    /// A collector with the given sampling `interval` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not strictly positive.
+    pub fn new(interval: f64) -> Self {
+        assert!(interval > 0.0);
+        ThroughputSeries { interval, bytes: Vec::new(), active_sum: Vec::new(), samples: Vec::new() }
+    }
+
+    fn bucket(&mut self, t: f64) -> usize {
+        let b = (t / self.interval) as usize;
+        while self.bytes.len() <= b {
+            self.bytes.push(0.0);
+            self.active_sum.push(0.0);
+            self.samples.push(0);
+        }
+        b
+    }
+
+    /// Record one simulation tick at time `t`: `delivered` bytes moved
+    /// end-to-end and `active` flows were in flight.
+    pub fn record(&mut self, t: f64, delivered_bytes: f64, active: usize) {
+        let b = self.bucket(t);
+        self.bytes[b] += delivered_bytes;
+        self.active_sum[b] += active as f64;
+        self.samples[b] += 1;
+    }
+
+    /// Read out the series.
+    pub fn points(&self) -> Vec<ThroughputPoint> {
+        (0..self.bytes.len())
+            .map(|b| {
+                let aggregate = self.bytes[b] / self.interval;
+                let active = if self.samples[b] > 0 {
+                    self.active_sum[b] / self.samples[b] as f64
+                } else {
+                    0.0
+                };
+                ThroughputPoint {
+                    time: (b as f64 + 0.5) * self.interval,
+                    aggregate,
+                    active_flows: active,
+                    per_flow: if active > 0.0 { aggregate / active } else { 0.0 },
+                }
+            })
+            .collect()
+    }
+
+    /// Time-average of the aggregate throughput over non-empty intervals.
+    pub fn mean_aggregate(&self) -> f64 {
+        if self.bytes.is_empty() {
+            return 0.0;
+        }
+        self.bytes.iter().sum::<f64>() / (self.bytes.len() as f64 * self.interval)
+    }
+
+    /// Time-average of the per-flow throughput over intervals that had
+    /// active flows.
+    pub fn mean_per_flow(&self) -> f64 {
+        let pts = self.points();
+        let busy: Vec<&ThroughputPoint> = pts.iter().filter(|p| p.active_flows > 0.0).collect();
+        if busy.is_empty() {
+            return 0.0;
+        }
+        busy.iter().map(|p| p.per_flow).sum::<f64>() / busy.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate_bytes() {
+        let mut s = ThroughputSeries::new(1.0);
+        s.record(0.2, 100.0, 2);
+        s.record(0.7, 300.0, 2);
+        s.record(1.5, 500.0, 1);
+        let pts = s.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].aggregate, 400.0);
+        assert_eq!(pts[0].active_flows, 2.0);
+        assert_eq!(pts[0].per_flow, 200.0);
+        assert_eq!(pts[1].aggregate, 500.0);
+        assert_eq!(pts[1].per_flow, 500.0);
+    }
+
+    #[test]
+    fn midpoints_are_interval_centers() {
+        let mut s = ThroughputSeries::new(2.0);
+        s.record(0.1, 1.0, 1);
+        s.record(3.9, 1.0, 1);
+        let pts = s.points();
+        assert_eq!(pts[0].time, 1.0);
+        assert_eq!(pts[1].time, 3.0);
+    }
+
+    #[test]
+    fn gaps_produce_zero_intervals() {
+        let mut s = ThroughputSeries::new(1.0);
+        s.record(0.5, 10.0, 1);
+        s.record(2.5, 10.0, 1);
+        let pts = s.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1].aggregate, 0.0);
+        assert_eq!(pts[1].per_flow, 0.0);
+    }
+
+    #[test]
+    fn means_average_correctly() {
+        let mut s = ThroughputSeries::new(1.0);
+        s.record(0.5, 100.0, 1);
+        s.record(1.5, 300.0, 3);
+        assert!((s.mean_aggregate() - 200.0).abs() < 1e-9);
+        assert!((s.mean_per_flow() - 100.0).abs() < 1e-9); // (100 + 100)/2
+    }
+
+    #[test]
+    fn empty_series_is_zero() {
+        let s = ThroughputSeries::new(1.0);
+        assert_eq!(s.mean_aggregate(), 0.0);
+        assert_eq!(s.mean_per_flow(), 0.0);
+        assert!(s.points().is_empty());
+    }
+}

@@ -1,0 +1,358 @@
+//! Max-min water-filling reference solver.
+//!
+//! Computes the exact max-min fair allocation for a set of flows over
+//! capacitated links, honoring optional per-flow rate caps (a flow
+//! bottlenecked "elsewhere" — at its application, CPU or disk, the
+//! `R_other` of the paper's §VI-A — is simply a capped flow).
+//!
+//! SCDA's *distributed* allocation (the RM/RA iteration of eqs. 2-4) is
+//! supposed to converge to this allocation; the integration tests use this
+//! solver as ground truth for that claim, and the control plane uses it for
+//! the end-to-end reference rate `R_e2e` of eq. 4.
+
+use crate::ids::LinkId;
+
+/// One flow for the solver: the directed links it crosses and an optional
+/// external rate cap (same units as the link capacities).
+#[derive(Debug, Clone)]
+pub struct FluidFlow {
+    /// Directed links the flow traverses.
+    pub path: Vec<LinkId>,
+    /// Rate limit imposed outside these links (application, CPU, disk), if
+    /// any.
+    pub cap: Option<f64>,
+}
+
+impl FluidFlow {
+    /// An uncapped flow over `path`.
+    pub fn new(path: Vec<LinkId>) -> Self {
+        FluidFlow { path, cap: None }
+    }
+
+    /// A flow over `path` additionally limited to `cap`.
+    pub fn capped(path: Vec<LinkId>, cap: f64) -> Self {
+        FluidFlow { path, cap: Some(cap) }
+    }
+}
+
+/// Progressive-filling max-min: returns one rate per flow (same order as
+/// `flows`).
+///
+/// # Examples
+///
+/// A capped flow releases its unused share (the paper's eq. 3 behavior):
+///
+/// ```
+/// use scda_simnet::{max_min_rates, FluidFlow, LinkId};
+/// let rates = max_min_rates(
+///     &[100.0],
+///     &[FluidFlow::capped(vec![LinkId(0)], 10.0), FluidFlow::new(vec![LinkId(0)])],
+/// );
+/// assert_eq!(rates, vec![10.0, 90.0]);
+/// ```
+///
+/// `caps[l]` is the capacity of link `LinkId(l)`; only links referenced by
+/// some path matter. Flows with an empty path get their cap (or
+/// `f64::INFINITY` if uncapped — the caller decides what "unconstrained"
+/// means for a same-host transfer).
+///
+/// The classic invariants hold on the output (and are property-tested):
+/// no link is over capacity, and every flow is *either* at its cap *or*
+/// crosses at least one saturated link on which it has a maximal rate.
+pub fn max_min_rates(caps: &[f64], flows: &[FluidFlow]) -> Vec<f64> {
+    const EPS: f64 = 1e-9;
+    let n = flows.len();
+    let mut rate = vec![0.0_f64; n];
+    let mut frozen = vec![false; n];
+
+    let mut rem: Vec<f64> = caps.to_vec();
+    let mut count = vec![0u32; caps.len()];
+    for f in flows {
+        for &l in &f.path {
+            count[l.index()] += 1;
+        }
+    }
+
+    // Flows with no links are only limited by their cap.
+    for (j, f) in flows.iter().enumerate() {
+        if f.path.is_empty() {
+            rate[j] = f.cap.unwrap_or(f64::INFINITY);
+            frozen[j] = true;
+        }
+    }
+
+    let mut remaining = frozen.iter().filter(|&&f| !f).count();
+    while remaining > 0 {
+        // Tightest per-flow fair share over loaded links.
+        let mut s = f64::INFINITY;
+        for (l, &c) in count.iter().enumerate() {
+            if c > 0 {
+                s = s.min((rem[l].max(0.0)) / c as f64);
+            }
+        }
+        debug_assert!(s.is_finite(), "active flows must cross some counted link");
+
+        // Capped flows whose cap is below the fair share freeze first: they
+        // are bottlenecked elsewhere and release their unused share — the
+        // max-min property the paper highlights for eq. 3.
+        let mut froze_capped = false;
+        for j in 0..n {
+            if frozen[j] {
+                continue;
+            }
+            if let Some(cap) = flows[j].cap {
+                if cap <= s + EPS {
+                    rate[j] = cap.max(0.0);
+                    frozen[j] = true;
+                    remaining -= 1;
+                    froze_capped = true;
+                    for &l in &flows[j].path {
+                        rem[l.index()] -= rate[j];
+                        count[l.index()] -= 1;
+                    }
+                }
+            }
+        }
+        if froze_capped {
+            continue;
+        }
+
+        // Otherwise saturate the bottleneck links: freeze every flow
+        // crossing a link whose fair share equals the minimum.
+        let mut froze_any = false;
+        for j in 0..n {
+            if frozen[j] {
+                continue;
+            }
+            let bottlenecked = flows[j].path.iter().any(|&l| {
+                let c = count[l.index()];
+                c > 0 && (rem[l.index()].max(0.0) / c as f64) <= s + EPS
+            });
+            if bottlenecked {
+                rate[j] = s;
+                frozen[j] = true;
+                remaining -= 1;
+                froze_any = true;
+                for &l in &flows[j].path {
+                    rem[l.index()] -= s;
+                    count[l.index()] -= 1;
+                }
+            }
+        }
+        debug_assert!(froze_any, "progress stall in water-filling");
+        if !froze_any {
+            // Defensive: freeze everything at the current share rather than
+            // loop forever (can only happen under pathological float input).
+            for j in 0..n {
+                if !frozen[j] {
+                    rate[j] = s;
+                    frozen[j] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LinkId {
+        LinkId(i)
+    }
+
+    #[test]
+    fn equal_shares_on_one_link() {
+        let caps = [90.0];
+        let flows = vec![FluidFlow::new(vec![l(0)]); 3];
+        let r = max_min_rates(&caps, &flows);
+        for x in r {
+            assert!((x - 30.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn capped_flow_releases_share() {
+        // 2 flows on a 100-link; one capped at 10 → other gets 90.
+        let caps = [100.0];
+        let flows = vec![
+            FluidFlow::capped(vec![l(0)], 10.0),
+            FluidFlow::new(vec![l(0)]),
+        ];
+        let r = max_min_rates(&caps, &flows);
+        assert!((r[0] - 10.0).abs() < 1e-6);
+        assert!((r[1] - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_link_bottleneck_chain() {
+        // Classic example: link0 cap 100 shared by f0,f1; link1 cap 40
+        // crossed by f1 only. f1 gets 40, f0 gets 60.
+        let caps = [100.0, 40.0];
+        let flows = vec![
+            FluidFlow::new(vec![l(0)]),
+            FluidFlow::new(vec![l(0), l(1)]),
+        ];
+        let r = max_min_rates(&caps, &flows);
+        assert!((r[1] - 40.0).abs() < 1e-6);
+        assert!((r[0] - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parking_lot() {
+        // Three links of cap 30; one long flow over all three, one short
+        // flow per link. Max-min: everyone gets 15.
+        let caps = [30.0, 30.0, 30.0];
+        let flows = vec![
+            FluidFlow::new(vec![l(0), l(1), l(2)]),
+            FluidFlow::new(vec![l(0)]),
+            FluidFlow::new(vec![l(1)]),
+            FluidFlow::new(vec![l(2)]),
+        ];
+        let r = max_min_rates(&caps, &flows);
+        for x in &r {
+            assert!((x - 15.0).abs() < 1e-6, "rates {r:?}");
+        }
+    }
+
+    #[test]
+    fn empty_path_uncapped_is_infinite() {
+        let r = max_min_rates(&[], &[FluidFlow::new(vec![])]);
+        assert!(r[0].is_infinite());
+    }
+
+    #[test]
+    fn empty_path_capped_gets_cap() {
+        let r = max_min_rates(&[], &[FluidFlow::capped(vec![], 7.0)]);
+        assert_eq!(r[0], 7.0);
+    }
+
+    #[test]
+    fn no_flows_no_rates() {
+        let r = max_min_rates(&[10.0], &[]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn heterogeneous_caps_waterfill() {
+        // One 120-link, three flows capped at 10, 20, none.
+        let caps = [120.0];
+        let flows = vec![
+            FluidFlow::capped(vec![l(0)], 10.0),
+            FluidFlow::capped(vec![l(0)], 20.0),
+            FluidFlow::new(vec![l(0)]),
+        ];
+        let r = max_min_rates(&caps, &flows);
+        assert!((r[0] - 10.0).abs() < 1e-6);
+        assert!((r[1] - 20.0).abs() < 1e-6);
+        assert!((r[2] - 90.0).abs() < 1e-6);
+    }
+
+    /// Check the two max-min invariants for a computed allocation.
+    fn assert_max_min(caps: &[f64], flows: &[FluidFlow], rates: &[f64]) {
+        const EPS: f64 = 1e-6;
+        // 1. Feasibility.
+        let mut load = vec![0.0; caps.len()];
+        for (f, &r) in flows.iter().zip(rates) {
+            for &l in &f.path {
+                load[l.index()] += r;
+            }
+        }
+        for (l, &ld) in load.iter().enumerate() {
+            assert!(ld <= caps[l] + EPS, "link {l} over capacity: {ld} > {}", caps[l]);
+        }
+        // 2. Every flow is at its cap or has a saturated link where its
+        //    rate is maximal among the link's flows.
+        for (j, (f, &r)) in flows.iter().zip(rates).enumerate() {
+            if let Some(cap) = f.cap {
+                if (r - cap).abs() < EPS {
+                    continue;
+                }
+            }
+            let ok = f.path.iter().any(|&l| {
+                let saturated = load[l.index()] >= caps[l.index()] - EPS;
+                let maximal = flows
+                    .iter()
+                    .zip(rates)
+                    .filter(|(g, _)| g.path.contains(&l))
+                    .all(|(_, &r2)| r2 <= r + EPS);
+                saturated && maximal
+            });
+            assert!(ok, "flow {j} (rate {r}) is neither capped nor bottlenecked");
+        }
+    }
+
+    #[test]
+    fn invariants_on_fixed_cases() {
+        let caps = [100.0, 40.0, 75.0];
+        let flows = vec![
+            FluidFlow::new(vec![l(0), l(1)]),
+            FluidFlow::new(vec![l(0), l(2)]),
+            FluidFlow::capped(vec![l(2)], 5.0),
+            FluidFlow::new(vec![l(1), l(2)]),
+        ];
+        let r = max_min_rates(&caps, &flows);
+        assert_max_min(&caps, &flows, &r);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_case() -> impl Strategy<Value = (Vec<f64>, Vec<FluidFlow>)> {
+            // 1..6 links with caps 1..1000, 1..12 flows with random paths
+            // (non-empty subsets) and optional caps.
+            (1usize..6).prop_flat_map(|nl| {
+                let caps = proptest::collection::vec(1.0f64..1000.0, nl);
+                let flows = proptest::collection::vec(
+                    (
+                        proptest::collection::vec(0u32..nl as u32, 1..=nl),
+                        proptest::option::of(0.5f64..500.0),
+                    ),
+                    1..12,
+                );
+                (caps, flows).prop_map(|(caps, fl)| {
+                    let flows = fl
+                        .into_iter()
+                        .map(|(mut path, cap)| {
+                            path.sort_unstable();
+                            path.dedup();
+                            FluidFlow { path: path.into_iter().map(LinkId).collect(), cap }
+                        })
+                        .collect();
+                    (caps, flows)
+                })
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn max_min_invariants_hold((caps, flows) in arb_case()) {
+                let rates = max_min_rates(&caps, &flows);
+                prop_assert_eq!(rates.len(), flows.len());
+                for &r in &rates {
+                    prop_assert!(r >= -1e-9 && r.is_finite());
+                }
+                super::assert_max_min(&caps, &flows, &rates);
+            }
+
+            #[test]
+            fn allocation_is_scale_invariant((caps, flows) in arb_case()) {
+                // Scaling all capacities and caps by c scales all rates by c.
+                let c = 3.5;
+                let caps2: Vec<f64> = caps.iter().map(|x| x * c).collect();
+                let flows2: Vec<FluidFlow> = flows
+                    .iter()
+                    .map(|f| FluidFlow { path: f.path.clone(), cap: f.cap.map(|x| x * c) })
+                    .collect();
+                let r1 = max_min_rates(&caps, &flows);
+                let r2 = max_min_rates(&caps2, &flows2);
+                for (a, b) in r1.iter().zip(&r2) {
+                    prop_assert!((a * c - b).abs() < 1e-6 * (1.0 + b.abs()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Typed index newtypes for the simulator arenas.
+//!
+//! Nodes, links and flows are stored in contiguous vectors and referenced by
+//! index everywhere (no `Rc`, no interior pointers); the newtypes keep the
+//! three index spaces from being mixed up at compile time.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node (server, switch or client) in a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Index of a *directed* link in a [`crate::Topology`].
+///
+/// Every physical cable is represented as two directed links (one per
+/// direction) so that uplink and downlink rate allocation — which the SCDA
+/// rate metric treats separately (the `d`/`u` subscripts of Table I) — fall
+/// out naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// Identifier of a flow registered with the fluid [`crate::Network`].
+///
+/// Flow ids are assigned by the caller (the experiment harness numbers flows
+/// in arrival order) and never reused within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowId(pub u64);
+
+impl NodeId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl std::fmt::Display for LinkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl std::fmt::Display for FlowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(LinkId(0) < LinkId(10));
+        assert!(FlowId(5) < FlowId(6));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(4).to_string(), "l4");
+        assert_eq!(FlowId(9).to_string(), "f9");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(LinkId(8).index(), 8);
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-link fluid queue state.
+//!
+//! Each directed link carries a FIFO byte queue integrated forward in time
+//! by [`LinkState::advance`]: offered bytes flow in, the link services at
+//! capacity, the excess accumulates in the queue, and anything beyond the
+//! queue capacity is dropped. The instantaneous queue length is exactly the
+//! `Q(t)` the SCDA rate metric (paper eq. 2) reads from the switch, and the
+//! arrival counter is the `L(t)`/`Λ(t)` of the simplified metric (eq. 5) —
+//! the paper stresses that both are *already maintained by every switch*,
+//! which is why SCDA needs no hardware changes; here they are fields the
+//! resource monitors read.
+
+use serde::{Deserialize, Serialize};
+
+/// Mutable queue/accounting state of one directed link.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LinkState {
+    /// Current FIFO occupancy in bytes (`Q(t)` of Table I).
+    pub queue_bytes: f64,
+    /// Bytes that arrived since the last [`LinkState::take_arrived`] call
+    /// (the `L(t)` of eq. 5, reset every control interval).
+    arrived_since_sample: f64,
+    /// Lifetime bytes offered to the link.
+    pub total_arrived_bytes: f64,
+    /// Lifetime bytes dropped at the queue tail.
+    pub total_dropped_bytes: f64,
+    /// Lifetime bytes serviced (transmitted onto the wire).
+    pub total_serviced_bytes: f64,
+}
+
+impl LinkState {
+    /// Fresh, empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Integrate the queue forward by `dt` seconds under an aggregate
+    /// offered load of `offered_bytes_per_s`, a service capacity of
+    /// `cap_bytes_per_s` and a queue limit of `queue_cap_bytes`.
+    ///
+    /// Returns the *drop fraction*: the share of offered bytes that did not
+    /// fit. Zero while the queue has room; approaches
+    /// `1 - capacity/offered` in saturated steady state, which is what
+    /// makes loss-driven transports (TCP) back off to the link rate.
+    pub fn advance(
+        &mut self,
+        offered_bytes_per_s: f64,
+        cap_bytes_per_s: f64,
+        queue_cap_bytes: f64,
+        dt: f64,
+    ) -> f64 {
+        debug_assert!(offered_bytes_per_s >= 0.0 && dt >= 0.0);
+        let inflow = offered_bytes_per_s * dt;
+        let service = cap_bytes_per_s * dt;
+        self.arrived_since_sample += inflow;
+        self.total_arrived_bytes += inflow;
+
+        let before = self.queue_bytes + inflow;
+        let serviced = before.min(service);
+        self.total_serviced_bytes += serviced;
+        let mut q = before - serviced;
+        let mut drop_frac = 0.0;
+        if q > queue_cap_bytes {
+            let dropped = q - queue_cap_bytes;
+            q = queue_cap_bytes;
+            self.total_dropped_bytes += dropped;
+            if inflow > 0.0 {
+                drop_frac = (dropped / inflow).min(1.0);
+            }
+        }
+        self.queue_bytes = q;
+        drop_frac
+    }
+
+    /// Queueing delay a byte entering now would experience, in seconds.
+    #[inline]
+    pub fn queueing_delay(&self, cap_bytes_per_s: f64) -> f64 {
+        if cap_bytes_per_s > 0.0 {
+            self.queue_bytes / cap_bytes_per_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Read and reset the arrival counter (bytes since the previous call) —
+    /// the per-control-interval `L(t)` of the simplified rate metric.
+    pub fn take_arrived(&mut self) -> f64 {
+        std::mem::take(&mut self.arrived_since_sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn underload_leaves_queue_empty() {
+        let mut l = LinkState::new();
+        let drop = l.advance(50.0, 100.0, 1000.0, 1.0);
+        assert_eq!(drop, 0.0);
+        assert_eq!(l.queue_bytes, 0.0);
+        assert_eq!(l.total_serviced_bytes, 50.0);
+    }
+
+    #[test]
+    fn overload_builds_queue_without_drops_first() {
+        let mut l = LinkState::new();
+        let drop = l.advance(150.0, 100.0, 1000.0, 1.0);
+        assert_eq!(drop, 0.0);
+        assert!((l.queue_bytes - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_queue_drops_excess() {
+        let mut l = LinkState::new();
+        // 10 s of 50 B/s excess fills a 100 B queue after 2 s, then drops.
+        let mut total_drop_frac = 0.0;
+        for _ in 0..10 {
+            total_drop_frac += l.advance(150.0, 100.0, 100.0, 1.0);
+        }
+        assert!((l.queue_bytes - 100.0).abs() < 1e-9);
+        assert!(total_drop_frac > 0.0);
+        // Steady-state drop fraction approaches 50/150 = 1/3.
+        let last = l.advance(150.0, 100.0, 100.0, 1.0);
+        assert!((last - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_drains_when_idle() {
+        let mut l = LinkState::new();
+        l.advance(300.0, 100.0, 1000.0, 1.0); // queue = 200
+        l.advance(0.0, 100.0, 1000.0, 1.0); // drains 100
+        assert!((l.queue_bytes - 100.0).abs() < 1e-9);
+        l.advance(0.0, 100.0, 1000.0, 5.0); // fully drains
+        assert_eq!(l.queue_bytes, 0.0);
+    }
+
+    #[test]
+    fn queueing_delay_is_queue_over_capacity() {
+        let mut l = LinkState::new();
+        l.advance(200.0, 100.0, 1000.0, 1.0); // queue = 100
+        assert!((l.queueing_delay(100.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn take_arrived_resets() {
+        let mut l = LinkState::new();
+        l.advance(100.0, 100.0, 1000.0, 2.0);
+        assert!((l.take_arrived() - 200.0).abs() < 1e-9);
+        assert_eq!(l.take_arrived(), 0.0);
+        assert!((l.total_arrived_bytes - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservation_of_bytes() {
+        // arrived = serviced + dropped + still queued, over any history.
+        let mut l = LinkState::new();
+        let loads = [0.0, 500.0, 20.0, 300.0, 0.0, 1000.0, 50.0];
+        for &r in &loads {
+            l.advance(r, 100.0, 150.0, 0.7);
+        }
+        let balance =
+            l.total_arrived_bytes - l.total_serviced_bytes - l.total_dropped_bytes - l.queue_bytes;
+        assert!(balance.abs() < 1e-6, "byte conservation violated: {balance}");
+    }
+}

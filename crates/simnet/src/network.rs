@@ -1,0 +1,416 @@
+//! The tick-driven fluid network.
+//!
+//! [`Network`] owns the topology, the routing cache, one [`LinkState`] per
+//! directed link and the set of active flows. A transport layer drives it:
+//! every tick it hands [`Network::advance`] the instantaneous offered rate
+//! of each flow, and gets back per-flow goodput, loss fraction and the
+//! queueing-inflated RTT — everything a window-based transport (TCP) or an
+//! explicit-rate transport (SCDA) needs to react.
+//!
+//! The network layer deliberately knows nothing about windows, SLAs or
+//! server selection; those live in `scda-transport` and `scda-core`.
+
+use std::collections::BTreeMap;
+
+use crate::ids::{FlowId, LinkId, NodeId};
+use crate::link::LinkState;
+use crate::routing::Routes;
+use crate::topology::Topology;
+
+/// An active flow: its endpoints, routed path and propagation RTT.
+#[derive(Debug, Clone)]
+pub struct NetFlow {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Directed links from `src` to `dst`.
+    pub path: Vec<LinkId>,
+    /// Propagation-only round-trip time (no queueing) in seconds.
+    pub base_rtt: f64,
+}
+
+/// Per-flow outcome of one tick.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowTick {
+    /// Which flow.
+    pub flow: FlowId,
+    /// Bytes successfully carried end-to-end this tick.
+    pub goodput_bytes: f64,
+    /// Fraction of this flow's offered bytes lost to full queues on its
+    /// path this tick (0 when all queues had room).
+    pub loss_frac: f64,
+    /// Round-trip time including current forward-path queueing delay.
+    pub rtt: f64,
+}
+
+/// Outcome of one [`Network::advance`] call.
+#[derive(Debug, Clone, Default)]
+pub struct TickReport {
+    /// One entry per offered flow, in the order offered.
+    pub flows: Vec<FlowTick>,
+}
+
+/// The fluid network: topology + routes + link queues + active flows.
+pub struct Network {
+    topo: Topology,
+    routes: Routes,
+    links: Vec<LinkState>,
+    flows: BTreeMap<FlowId, NetFlow>,
+    /// Scratch: per-link aggregate offered rate (bytes/s) for the current
+    /// tick.
+    offered: Vec<f64>,
+    /// Scratch: per-link drop fraction for the current tick.
+    drop_frac: Vec<f64>,
+    /// Failed links with their pre-failure (capacity, delay) (see
+    /// `faults`).
+    failed: Vec<(LinkId, f64, f64)>,
+}
+
+impl Network {
+    /// Wrap a topology; all queues start empty.
+    pub fn new(topo: Topology) -> Self {
+        let routes = Routes::new(&topo);
+        let n_links = topo.link_count();
+        Network {
+            topo,
+            routes,
+            links: vec![LinkState::new(); n_links],
+            flows: BTreeMap::new(),
+            offered: vec![0.0; n_links],
+            drop_frac: vec![0.0; n_links],
+            failed: Vec::new(),
+        }
+    }
+
+    /// Failed links with their remembered original (capacity, delay).
+    #[inline]
+    pub fn failed_links(&self) -> &[(LinkId, f64, f64)] {
+        &self.failed
+    }
+
+    /// Internal: mutable failed-link registry (used by the `faults`
+    /// module).
+    #[inline]
+    pub(crate) fn failed_links_internal(&mut self) -> &mut Vec<(LinkId, f64, f64)> {
+        &mut self.failed
+    }
+
+    /// Internal: mutable topology (used by the `faults` module; external
+    /// callers go through `set_link_capacity`/`fail_link` so the routing
+    /// cache stays coherent).
+    #[inline]
+    pub(crate) fn topo_mut_internal(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// The underlying topology.
+    #[inline]
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable access to the routing cache (e.g. to pre-warm paths).
+    #[inline]
+    pub fn routes_mut(&mut self) -> &mut Routes {
+        &mut self.routes
+    }
+
+    /// Register a flow from `src` to `dst` under the caller-chosen id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already active, the destination is unreachable,
+    /// or `src == dst` (zero-length paths carry no network traffic — model
+    /// local transfers outside the network).
+    pub fn insert_flow(&mut self, id: FlowId, src: NodeId, dst: NodeId) -> &NetFlow {
+        assert!(src != dst, "flow endpoints must differ");
+        let path = self
+            .routes
+            .path(&self.topo, src, dst)
+            .unwrap_or_else(|| panic!("no route {src} -> {dst}"));
+        let base_rtt: f64 = 2.0 * path.iter().map(|&l| self.topo.link(l).delay_s).sum::<f64>();
+        let prev = self
+            .flows
+            .insert(id, NetFlow { src, dst, path, base_rtt });
+        assert!(prev.is_none(), "flow id {id} already active");
+        &self.flows[&id]
+    }
+
+    /// Register a flow over an explicit `path` (e.g. an ECMP candidate or
+    /// the cross-layer max/min route of §IX) rather than the default
+    /// shortest path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is active, the path is empty, or the path is not a
+    /// contiguous `src -> dst` walk.
+    pub fn insert_flow_with_path(
+        &mut self,
+        id: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        path: Vec<LinkId>,
+    ) -> &NetFlow {
+        assert!(!path.is_empty(), "explicit path must have links");
+        assert_eq!(self.topo.link(path[0]).src, src, "path must leave src");
+        assert_eq!(
+            self.topo.link(*path.last().expect("non-empty")).dst,
+            dst,
+            "path must enter dst"
+        );
+        for w in path.windows(2) {
+            assert_eq!(
+                self.topo.link(w[0]).dst,
+                self.topo.link(w[1]).src,
+                "path must be contiguous"
+            );
+        }
+        let base_rtt: f64 = 2.0 * path.iter().map(|&l| self.topo.link(l).delay_s).sum::<f64>();
+        let prev = self.flows.insert(id, NetFlow { src, dst, path, base_rtt });
+        assert!(prev.is_none(), "flow id {id} already active");
+        &self.flows[&id]
+    }
+
+    /// Deregister a completed/aborted flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is not active (double-removal is a harness bug).
+    pub fn remove_flow(&mut self, id: FlowId) -> NetFlow {
+        self.flows.remove(&id).unwrap_or_else(|| panic!("flow {id} not active"))
+    }
+
+    /// The active flow behind `id`.
+    #[inline]
+    pub fn flow(&self, id: FlowId) -> &NetFlow {
+        &self.flows[&id]
+    }
+
+    /// Whether `id` is currently active.
+    #[inline]
+    pub fn contains_flow(&self, id: FlowId) -> bool {
+        self.flows.contains_key(&id)
+    }
+
+    /// Number of active flows.
+    #[inline]
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Propagation-only RTT between two nodes over the routed path (used
+    /// to price connection handshakes before a flow exists).
+    pub fn base_rtt_between(&mut self, src: NodeId, dst: NodeId) -> Option<f64> {
+        self.routes.base_rtt(&self.topo, src, dst)
+    }
+
+    /// Current queueing-inflated RTT of a flow (forward-path queues only;
+    /// ACKs are modeled as unqueued, which matches the paper's asymmetric
+    /// write/read traffic).
+    pub fn rtt(&self, id: FlowId) -> f64 {
+        let f = &self.flows[&id];
+        f.base_rtt
+            + f.path
+                .iter()
+                .map(|&l| self.links[l.index()].queueing_delay(self.topo.link(l).capacity_bytes()))
+                .sum::<f64>()
+    }
+
+    /// Link queue/accounting state.
+    #[inline]
+    pub fn link_state(&self, l: LinkId) -> &LinkState {
+        &self.links[l.index()]
+    }
+
+    /// Mutable link state (the resource monitors use this to sample-and-
+    /// reset arrival counters).
+    #[inline]
+    pub fn link_state_mut(&mut self, l: LinkId) -> &mut LinkState {
+        &mut self.links[l.index()]
+    }
+
+    /// Advance the whole network by `dt` seconds.
+    ///
+    /// `offered` lists each flow's instantaneous sending rate in
+    /// **bytes/second**; flows not listed offer zero. Every link (even
+    /// idle ones) integrates its queue, so queues drain during lulls.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) on unknown flow ids or negative rates.
+    pub fn advance(&mut self, dt: f64, offered: &[(FlowId, f64)]) -> TickReport {
+        debug_assert!(dt > 0.0);
+        self.offered.fill(0.0);
+        for &(id, rate) in offered {
+            debug_assert!(rate >= 0.0, "negative offered rate for {id}");
+            let f = &self.flows[&id];
+            for &l in &f.path {
+                self.offered[l.index()] += rate;
+            }
+        }
+
+        for (i, state) in self.links.iter_mut().enumerate() {
+            let link = &self.topo.links()[i];
+            self.drop_frac[i] = state.advance(
+                self.offered[i],
+                link.capacity_bytes(),
+                link.queue_cap_bytes,
+                dt,
+            );
+        }
+
+        let mut report = TickReport { flows: Vec::with_capacity(offered.len()) };
+        for &(id, rate) in offered {
+            let f = &self.flows[&id];
+            // Delivery is limited by each link's service share: a FIFO link
+            // offered A > C delivers each flow's bytes scaled by C/A (the
+            // rest sits in the queue as delay, or is dropped once the
+            // queue is full). Loss is reported separately as the
+            // congestion signal loss-driven transports react to.
+            let mut survive = 1.0;
+            let mut service = 1.0;
+            let mut qdelay = 0.0;
+            for &l in &f.path {
+                let i = l.index();
+                survive *= 1.0 - self.drop_frac[i];
+                let cap = self.topo.link(l).capacity_bytes();
+                if self.offered[i] > cap {
+                    service *= cap / self.offered[i];
+                }
+                qdelay += self.links[i].queueing_delay(cap);
+            }
+            report.flows.push(FlowTick {
+                flow: id,
+                goodput_bytes: rate * dt * service,
+                loss_frac: 1.0 - survive,
+                rtt: f.base_rtt + qdelay,
+            });
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::dumbbell;
+    use crate::units::mbps;
+
+    fn net() -> (Network, Vec<NodeId>, Vec<NodeId>, (LinkId, LinkId)) {
+        let (topo, s, r, b) = dumbbell(4, mbps(80.0), 0.001, 100_000.0);
+        (Network::new(topo), s, r, b)
+    }
+
+    #[test]
+    fn insert_and_remove_flow() {
+        let (mut n, s, r, _) = net();
+        n.insert_flow(FlowId(1), s[0], r[0]);
+        assert!(n.contains_flow(FlowId(1)));
+        assert_eq!(n.flow_count(), 1);
+        let f = n.remove_flow(FlowId(1));
+        assert_eq!(f.src, s[0]);
+        assert!(!n.contains_flow(FlowId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn duplicate_flow_id_panics() {
+        let (mut n, s, r, _) = net();
+        n.insert_flow(FlowId(1), s[0], r[0]);
+        n.insert_flow(FlowId(1), s[1], r[1]);
+    }
+
+    #[test]
+    fn base_rtt_accounts_for_both_directions() {
+        let (mut n, s, r, _) = net();
+        let f = n.insert_flow(FlowId(1), s[0], r[0]);
+        // path: access (0.1ms) + bottleneck (1ms) + access (0.1ms) = 1.2ms
+        // one-way, 2.4ms RTT.
+        assert!((f.base_rtt - 0.0024).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underload_goodput_equals_offered() {
+        let (mut n, s, r, _) = net();
+        n.insert_flow(FlowId(1), s[0], r[0]);
+        let rep = n.advance(0.1, &[(FlowId(1), 1_000_000.0)]); // 1 MB/s « 10 MB/s
+        assert_eq!(rep.flows.len(), 1);
+        let ft = rep.flows[0];
+        assert!((ft.goodput_bytes - 100_000.0).abs() < 1e-6);
+        assert_eq!(ft.loss_frac, 0.0);
+    }
+
+    #[test]
+    fn overload_builds_queue_then_drops() {
+        let (mut n, s, r, (fwd, _)) = net();
+        n.insert_flow(FlowId(1), s[0], r[0]);
+        n.insert_flow(FlowId(2), s[1], r[1]);
+        // Bottleneck is 10 MB/s; offer 20 MB/s total.
+        let offered = [(FlowId(1), 10e6), (FlowId(2), 10e6)];
+        let rep1 = n.advance(0.005, &offered);
+        // First tick: queue absorbs (queue cap 100 KB > 50 KB excess).
+        assert_eq!(rep1.flows[0].loss_frac, 0.0);
+        assert!(n.link_state(fwd).queue_bytes > 0.0);
+        // Keep pushing; queue fills and drops begin.
+        let mut lossy = false;
+        for _ in 0..20 {
+            let rep = n.advance(0.005, &offered);
+            if rep.flows[0].loss_frac > 0.0 {
+                lossy = true;
+                break;
+            }
+        }
+        assert!(lossy, "sustained 2x overload must eventually drop");
+    }
+
+    #[test]
+    fn rtt_inflates_with_queueing() {
+        let (mut n, s, r, _) = net();
+        n.insert_flow(FlowId(1), s[0], r[0]);
+        let base = n.rtt(FlowId(1));
+        n.advance(0.01, &[(FlowId(1), 50e6)]); // 5x overload builds queue
+        assert!(n.rtt(FlowId(1)) > base);
+    }
+
+    #[test]
+    fn idle_links_drain() {
+        let (mut n, s, r, (fwd, _)) = net();
+        n.insert_flow(FlowId(1), s[0], r[0]);
+        n.advance(0.01, &[(FlowId(1), 50e6)]);
+        let q1 = n.link_state(fwd).queue_bytes;
+        assert!(q1 > 0.0);
+        n.advance(0.05, &[]); // nobody sends
+        assert!(n.link_state(fwd).queue_bytes < q1);
+    }
+
+    #[test]
+    fn flows_not_offered_are_idle() {
+        let (mut n, s, r, _) = net();
+        n.insert_flow(FlowId(1), s[0], r[0]);
+        n.insert_flow(FlowId(2), s[1], r[1]);
+        let rep = n.advance(0.01, &[(FlowId(2), 1e6)]);
+        assert_eq!(rep.flows.len(), 1);
+        assert_eq!(rep.flows[0].flow, FlowId(2));
+    }
+
+    #[test]
+    fn aggregate_goodput_capped_at_bottleneck_in_steady_state() {
+        let (mut n, s, r, _) = net();
+        for i in 0..4 {
+            n.insert_flow(FlowId(i as u64), s[i], r[i]);
+        }
+        let offered: Vec<_> = (0..4).map(|i| (FlowId(i as u64), 10e6)).collect();
+        // Run long enough to reach loss steady state.
+        let mut last_goodput = 0.0;
+        for _ in 0..200 {
+            let rep = n.advance(0.005, &offered);
+            last_goodput = rep.flows.iter().map(|f| f.goodput_bytes).sum::<f64>() / 0.005;
+        }
+        let cap = mbps(80.0) / 8.0;
+        assert!(
+            last_goodput <= cap * 1.05,
+            "steady-state goodput {last_goodput} must not exceed bottleneck {cap}"
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Shortest-path routing.
+//!
+//! Per-source Dijkstra over link propagation delay (ties broken by hop
+//! count, then by link index, so paths are deterministic), with the
+//! resulting shortest-path trees cached. This covers both the tree
+//! topologies of the paper's figures 1 and 6 — where the shortest path is
+//! the unique up-then-down path — and the general topologies of §IX, where
+//! the paper's cross-layer max/min route selection (reference \[7\]) needs a
+//! candidate path to evaluate.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::ids::{LinkId, NodeId};
+use crate::topology::Topology;
+
+/// Routing table: lazily computed, cached shortest-path trees.
+#[derive(Debug, Clone)]
+pub struct Routes {
+    /// `prev[src][dst]` = link used to *reach* `dst` on the shortest path
+    /// from `src`, or `None` if unreachable / dst == src. Computed per
+    /// source on first use.
+    prev: Vec<Option<Vec<Option<LinkId>>>>,
+}
+
+impl Routes {
+    /// Empty cache for a topology with `node_count` nodes.
+    pub fn new(topo: &Topology) -> Self {
+        Routes { prev: vec![None; topo.node_count()] }
+    }
+
+    /// The shortest path from `src` to `dst` as a sequence of directed
+    /// links, or `None` if unreachable. The first link leaves `src`; the
+    /// last enters `dst`.
+    pub fn path(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
+        if src == dst {
+            return Some(Vec::new());
+        }
+        self.ensure_source(topo, src);
+        let tree = self.prev[src.index()].as_ref().expect("just computed");
+        // Walk predecessor links back from dst.
+        let mut rev = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let l = tree[cur.index()]?;
+            rev.push(l);
+            cur = topo.link(l).src;
+        }
+        rev.reverse();
+        Some(rev)
+    }
+
+    /// End-to-end propagation RTT of the shortest path (both directions,
+    /// assuming symmetric delay), or `None` if unreachable.
+    pub fn base_rtt(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<f64> {
+        let fwd: f64 = self
+            .path(topo, src, dst)?
+            .iter()
+            .map(|&l| topo.link(l).delay_s)
+            .sum();
+        Some(2.0 * fwd)
+    }
+
+    /// Run Dijkstra from `src` if not cached yet.
+    fn ensure_source(&mut self, topo: &Topology, src: NodeId) {
+        if self.prev[src.index()].is_some() {
+            return;
+        }
+        let n = topo.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut hops = vec![u32::MAX; n];
+        let mut prev: Vec<Option<LinkId>> = vec![None; n];
+        let mut done = vec![false; n];
+        dist[src.index()] = 0.0;
+        hops[src.index()] = 0;
+
+        // Priority: (delay, hop count, node index) — a total, deterministic
+        // order.
+        #[derive(PartialEq)]
+        struct Key(f64, u32, u32);
+        impl Eq for Key {}
+        impl PartialOrd for Key {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Key {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0
+                    .total_cmp(&other.0)
+                    .then_with(|| self.1.cmp(&other.1))
+                    .then_with(|| self.2.cmp(&other.2))
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse(Key(0.0, 0, src.0)));
+        while let Some(Reverse(Key(d, h, u))) = heap.pop() {
+            let u = NodeId(u);
+            if done[u.index()] {
+                continue;
+            }
+            done[u.index()] = true;
+            for &l in topo.out_links(u) {
+                let link = topo.link(l);
+                let v = link.dst;
+                let nd = d + link.delay_s;
+                let nh = h + 1;
+                let better = nd < dist[v.index()]
+                    || (nd == dist[v.index()] && nh < hops[v.index()]);
+                if better {
+                    dist[v.index()] = nd;
+                    hops[v.index()] = nh;
+                    prev[v.index()] = Some(l);
+                    heap.push(Reverse(Key(nd, nh, v.0)));
+                }
+            }
+        }
+        self.prev[src.index()] = Some(prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeKind;
+    use crate::units::mbps;
+
+    /// a - sw - b, plus a slow direct a - b detour with higher delay.
+    fn diamondish() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Server, "a");
+        let sw = t.add_node(NodeKind::Switch { level: 1 }, "sw");
+        let b = t.add_node(NodeKind::Server, "b");
+        t.add_duplex(a, sw, mbps(100.0), 0.001, 1e6);
+        t.add_duplex(sw, b, mbps(100.0), 0.001, 1e6);
+        t.add_duplex(a, b, mbps(10.0), 0.1, 1e6); // slow, high-delay direct
+        (t, a, sw, b)
+    }
+
+    #[test]
+    fn picks_lower_delay_path() {
+        let (t, a, _sw, b) = diamondish();
+        let mut r = Routes::new(&t);
+        let p = r.path(&t, a, b).unwrap();
+        assert_eq!(p.len(), 2, "should route via the switch, not direct");
+        assert_eq!(t.link(p[0]).src, a);
+        assert_eq!(t.link(p[1]).dst, b);
+    }
+
+    #[test]
+    fn path_to_self_is_empty() {
+        let (t, a, ..) = diamondish();
+        let mut r = Routes::new(&t);
+        assert_eq!(r.path(&t, a, a), Some(vec![]));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Server, "a");
+        let b = t.add_node(NodeKind::Server, "b");
+        let mut r = Routes::new(&t);
+        assert_eq!(r.path(&t, a, b), None);
+    }
+
+    #[test]
+    fn base_rtt_doubles_one_way_delay() {
+        let (t, a, _sw, b) = diamondish();
+        let mut r = Routes::new(&t);
+        let rtt = r.base_rtt(&t, a, b).unwrap();
+        assert!((rtt - 2.0 * 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paths_are_link_consistent() {
+        let (t, a, _sw, b) = diamondish();
+        let mut r = Routes::new(&t);
+        let p = r.path(&t, a, b).unwrap();
+        for w in p.windows(2) {
+            assert_eq!(t.link(w[0]).dst, t.link(w[1]).src);
+        }
+    }
+
+    #[test]
+    fn equal_delay_ties_prefer_fewer_hops() {
+        // a -> b directly (delay 2ms) vs a -> sw -> b (1ms + 1ms).
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Server, "a");
+        let sw = t.add_node(NodeKind::Switch { level: 1 }, "sw");
+        let b = t.add_node(NodeKind::Server, "b");
+        t.add_duplex(a, sw, mbps(1.0), 0.001, 1e6);
+        t.add_duplex(sw, b, mbps(1.0), 0.001, 1e6);
+        t.add_duplex(a, b, mbps(1.0), 0.002, 1e6);
+        let mut r = Routes::new(&t);
+        let p = r.path(&t, a, b).unwrap();
+        assert_eq!(p.len(), 1, "tie on delay should prefer the direct hop");
+    }
+
+    #[test]
+    fn cache_is_reused() {
+        let (t, a, _sw, b) = diamondish();
+        let mut r = Routes::new(&t);
+        let p1 = r.path(&t, a, b).unwrap();
+        let p2 = r.path(&t, a, b).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

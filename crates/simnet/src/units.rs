@@ -1,0 +1,90 @@
+//! Simulation time and unit helpers.
+//!
+//! Time is a plain `f64` of seconds throughout the simulator (NS2 does the
+//! same). This module centralizes the unit conversions the SCDA paper's
+//! parameters use — link capacities quoted in Mbps/Gbps, content sizes in
+//! KB/MB, control intervals in milliseconds — so scenario code never
+//! hand-multiplies powers of ten.
+
+/// Simulation time in seconds.
+pub type SimTime = f64;
+
+/// One millisecond, in seconds.
+pub const MS: f64 = 1e-3;
+
+/// One microsecond, in seconds.
+pub const US: f64 = 1e-6;
+
+/// Bits per second from a megabit-per-second figure (e.g. the paper's
+/// base bandwidth `X = 500 Mbps`).
+#[inline]
+pub const fn mbps(x: f64) -> f64 {
+    x * 1e6
+}
+
+/// Bits per second from a gigabit-per-second figure.
+#[inline]
+pub const fn gbps(x: f64) -> f64 {
+    x * 1e9
+}
+
+/// Bytes from a kilobyte figure (decimal, as the paper's traces use:
+/// control flows are "< 5KB").
+#[inline]
+pub const fn kb(x: f64) -> f64 {
+    x * 1e3
+}
+
+/// Bytes from a megabyte figure (decimal; the paper's YouTube cap is
+/// "about 30MB").
+#[inline]
+pub const fn mb(x: f64) -> f64 {
+    x * 1e6
+}
+
+/// Convert a link capacity in bits/second to bytes/second.
+#[inline]
+pub const fn bits_to_bytes(bits_per_sec: f64) -> f64 {
+    bits_per_sec / 8.0
+}
+
+/// Convert bytes/second to bits/second.
+#[inline]
+pub const fn bytes_to_bits(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec * 8.0
+}
+
+/// The maximum segment size used by the window models, in bytes.
+///
+/// Matches NS2's default TCP packet size (1000 B payload + 40 B header);
+/// window growth in congestion avoidance is quantized by this.
+pub const MSS: f64 = 1040.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbps_round_trip() {
+        assert_eq!(mbps(500.0), 5e8);
+        assert_eq!(gbps(1.0), 1e9);
+    }
+
+    #[test]
+    fn byte_conversions_are_inverse() {
+        let c = mbps(100.0);
+        assert!((bytes_to_bits(bits_to_bytes(c)) - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_helpers() {
+        assert_eq!(kb(5.0), 5_000.0);
+        assert_eq!(mb(30.0), 30_000_000.0);
+    }
+
+    #[test]
+    fn time_constants() {
+        assert!((10.0 * MS - 0.01).abs() < 1e-15);
+        assert!((50.0 * US - 5e-5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,381 @@
+//! The flow driver: couples transports to the fluid network.
+//!
+//! Both evaluated systems (SCDA and the RandTCP baseline) run on the same
+//! driver; they differ only in which transport each flow carries and in
+//! who updates the transports between ticks (SCDA's control plane installs
+//! fresh rate allocations every τ; TCP updates itself from loss feedback).
+
+use std::collections::BTreeMap;
+
+use scda_simnet::{FlowId, Network, NodeId};
+
+use crate::flow::FlowProgress;
+use crate::{AnyTransport, Transport};
+
+/// A finished transfer, as reported by [`FlowDriver::tick`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompletedFlow {
+    /// Flow id.
+    pub id: FlowId,
+    /// Content size in bytes.
+    pub size_bytes: f64,
+    /// Transfer start time (s).
+    pub start: f64,
+    /// Completion time (s).
+    pub finish: f64,
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+}
+
+impl CompletedFlow {
+    /// Flow completion time in seconds.
+    #[inline]
+    pub fn fct(&self) -> f64 {
+        self.finish - self.start
+    }
+}
+
+/// Outcome of one driver tick.
+#[derive(Debug, Clone, Default)]
+pub struct TickSummary {
+    /// Flows that finished during this tick.
+    pub completed: Vec<CompletedFlow>,
+    /// Total bytes delivered end-to-end across all flows this tick (the
+    /// sample behind the paper's instantaneous-throughput figures).
+    pub delivered_bytes: f64,
+}
+
+struct ActiveFlow {
+    progress: FlowProgress,
+    transport: AnyTransport,
+    src: NodeId,
+    dst: NodeId,
+}
+
+/// Drives a set of flows over a [`Network`] tick by tick.
+pub struct FlowDriver {
+    net: Network,
+    active: BTreeMap<FlowId, ActiveFlow>,
+    /// Scratch buffer of (flow, offered rate) pairs reused across ticks.
+    offered: Vec<(FlowId, f64)>,
+}
+
+impl FlowDriver {
+    /// A driver over `net` with no active flows.
+    pub fn new(net: Network) -> Self {
+        FlowDriver { net, active: BTreeMap::new(), offered: Vec::new() }
+    }
+
+    /// The underlying network (queue state, RTTs, topology).
+    #[inline]
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable network access (resource monitors sample link counters).
+    #[inline]
+    pub fn net_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Number of in-flight transfers.
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Begin a transfer of `size_bytes` from `src` to `dst` at time `now`
+    /// using `transport`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already active or the pair is unroutable.
+    pub fn start_flow(
+        &mut self,
+        id: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: f64,
+        transport: AnyTransport,
+        now: f64,
+    ) {
+        self.net.insert_flow(id, src, dst);
+        let prev = self.active.insert(
+            id,
+            ActiveFlow { progress: FlowProgress::new(id, size_bytes, now), transport, src, dst },
+        );
+        assert!(prev.is_none(), "flow id {id} already driven");
+    }
+
+    /// Begin driving a transfer whose network flow was already inserted
+    /// (e.g. over an explicit ECMP/max-min path via
+    /// [`Network::insert_flow_with_path`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network does not know `id` or the driver already
+    /// drives it.
+    pub fn start_preinserted_flow(
+        &mut self,
+        id: FlowId,
+        size_bytes: f64,
+        transport: AnyTransport,
+        now: f64,
+    ) {
+        assert!(self.net.contains_flow(id), "network flow {id} must be inserted first");
+        let (src, dst) = {
+            let f = self.net.flow(id);
+            (f.src, f.dst)
+        };
+        let prev = self.active.insert(
+            id,
+            ActiveFlow { progress: FlowProgress::new(id, size_bytes, now), transport, src, dst },
+        );
+        assert!(prev.is_none(), "flow id {id} already driven");
+    }
+
+    /// Abort an in-flight transfer (SLA mitigation may migrate a flow to a
+    /// different server: abort + restart).
+    pub fn abort_flow(&mut self, id: FlowId) -> Option<FlowProgress> {
+        let f = self.active.remove(&id)?;
+        self.net.remove_flow(id);
+        Some(f.progress)
+    }
+
+    /// The transport of an active flow (the SCDA control plane uses this
+    /// to install per-τ rate allocations).
+    pub fn transport_mut(&mut self, id: FlowId) -> Option<&mut AnyTransport> {
+        self.active.get_mut(&id).map(|f| &mut f.transport)
+    }
+
+    /// Read-only transport access (telemetry sums current offered rates).
+    pub fn transport(&self, id: FlowId) -> Option<&AnyTransport> {
+        self.active.get(&id).map(|f| &f.transport)
+    }
+
+    /// Progress of an active flow.
+    pub fn progress(&self, id: FlowId) -> Option<&FlowProgress> {
+        self.active.get(&id).map(|f| &f.progress)
+    }
+
+    /// Iterate over active flow ids with their endpoints, in id order.
+    pub fn active_flows(&self) -> impl Iterator<Item = (FlowId, NodeId, NodeId)> + '_ {
+        self.active.iter().map(|(&id, f)| (id, f.src, f.dst))
+    }
+
+    /// Current queueing-inflated RTT of an active flow.
+    pub fn rtt(&self, id: FlowId) -> f64 {
+        self.net.rtt(id)
+    }
+
+    /// Advance every flow by `dt` seconds starting at time `now`.
+    ///
+    /// Each transport offers `min(its rate, remaining/dt)`; the network
+    /// resolves contention; transports digest the outcome; completed flows
+    /// are removed and reported.
+    pub fn tick(&mut self, now: f64, dt: f64) -> TickSummary {
+        self.offered.clear();
+        for (&id, f) in &self.active {
+            let rtt = self.net.rtt(id);
+            let rate = f.transport.offered_rate(rtt).min(f.progress.remaining() / dt);
+            self.offered.push((id, rate));
+        }
+
+        let report = self.net.advance(dt, &self.offered);
+
+        let tick_end = now + dt;
+        let mut summary = TickSummary::default();
+        for (ft, &(_, rate)) in report.flows.iter().zip(&self.offered) {
+            let f = self.active.get_mut(&ft.flow).expect("reported flow is active");
+            f.transport.on_tick(now, ft.goodput_bytes, rate * dt, ft.loss_frac, ft.rtt);
+            summary.delivered_bytes += ft.goodput_bytes;
+            if f.progress.on_delivered(ft.goodput_bytes, tick_end) {
+                // The fluid model streams bytes with zero transit time; the
+                // last byte really lands one forward-propagation later
+                // (validated against the packet-level simulator in
+                // tests/fluid_vs_packet.rs).
+                let one_way = self.net.flow(ft.flow).base_rtt / 2.0;
+                summary.completed.push(CompletedFlow {
+                    id: ft.flow,
+                    size_bytes: f.progress.size_bytes,
+                    start: f.progress.start,
+                    finish: tick_end + one_way,
+                    src: f.src,
+                    dst: f.dst,
+                });
+            }
+        }
+        for c in &summary.completed {
+            self.active.remove(&c.id);
+            self.net.remove_flow(c.id);
+        }
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::{Reno, RenoConfig};
+    use crate::ScdaWindow;
+    use scda_simnet::builders::dumbbell;
+    use scda_simnet::units::mbps;
+
+    fn driver(n: usize) -> (FlowDriver, Vec<NodeId>, Vec<NodeId>) {
+        let (topo, s, r, _) = dumbbell(n, mbps(80.0), 0.001, 200_000.0);
+        (FlowDriver::new(Network::new(topo)), s, r)
+    }
+
+    fn run(d: &mut FlowDriver, t0: f64, dur: f64, dt: f64) -> Vec<CompletedFlow> {
+        let mut done = Vec::new();
+        let mut now = t0;
+        while now < t0 + dur {
+            done.extend(d.tick(now, dt).completed);
+            now += dt;
+        }
+        done
+    }
+
+    #[test]
+    fn single_tcp_flow_completes() {
+        let (mut d, s, r) = driver(1);
+        d.start_flow(FlowId(1), s[0], r[0], 500_000.0, AnyTransport::Tcp(Reno::default()), 0.0);
+        let done = run(&mut d, 0.0, 20.0, 0.001);
+        assert_eq!(done.len(), 1);
+        assert_eq!(d.active_count(), 0);
+        let fct = done[0].fct();
+        // 500 KB at 10 MB/s line rate is 50 ms minimum; slow start makes it
+        // slower, but it must finish well within 20 s.
+        assert!(fct > 0.05 && fct < 20.0, "fct = {fct}");
+    }
+
+    #[test]
+    fn scda_flow_finishes_near_allocated_rate() {
+        let (mut d, s, r) = driver(1);
+        let rate = mbps(80.0) / 8.0; // full bottleneck, bytes/s
+        let rtt = 0.0024;
+        d.start_flow(
+            FlowId(1),
+            s[0],
+            r[0],
+            1_000_000.0,
+            AnyTransport::Scda(ScdaWindow::new(rate, rate, rtt)),
+            0.0,
+        );
+        let done = run(&mut d, 0.0, 5.0, 0.001);
+        assert_eq!(done.len(), 1);
+        let fct = done[0].fct();
+        let ideal = 1_000_000.0 / rate;
+        assert!(
+            (fct - ideal).abs() < 0.05,
+            "explicit-rate fct {fct} should be near ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn scda_beats_tcp_on_short_flows() {
+        // The paper's headline effect in miniature: a short transfer under
+        // slow start vs one that jumps straight to the known rate. Use a
+        // WAN-like RTT (the paper's clients sit behind 50 ms links) so slow
+        // start costs several round trips.
+        let wan = |n| {
+            let (topo, s, r, _) = dumbbell(n, mbps(80.0), 0.02, 200_000.0);
+            (FlowDriver::new(Network::new(topo)), s, r)
+        };
+        let (mut d1, s, r) = wan(1);
+        d1.start_flow(FlowId(1), s[0], r[0], 200_000.0, AnyTransport::Tcp(Reno::default()), 0.0);
+        let tcp_fct = run(&mut d1, 0.0, 20.0, 0.001)[0].fct();
+
+        let (mut d2, s, r) = wan(1);
+        let rate = mbps(80.0) / 8.0;
+        d2.start_flow(
+            FlowId(1),
+            s[0],
+            r[0],
+            200_000.0,
+            AnyTransport::Scda(ScdaWindow::new(rate, rate, 0.048)),
+            0.0,
+        );
+        let scda_fct = run(&mut d2, 0.0, 20.0, 0.001)[0].fct();
+        assert!(
+            scda_fct < 0.6 * tcp_fct,
+            "scda {scda_fct} should be well under tcp {tcp_fct}"
+        );
+    }
+
+    #[test]
+    fn two_tcp_flows_share_bottleneck_roughly_fairly() {
+        let (mut d, s, r) = driver(2);
+        let size = 8_000_000.0;
+        d.start_flow(FlowId(1), s[0], r[0], size, AnyTransport::Tcp(Reno::default()), 0.0);
+        d.start_flow(FlowId(2), s[1], r[1], size, AnyTransport::Tcp(Reno::default()), 0.0);
+        let done = run(&mut d, 0.0, 60.0, 0.001);
+        assert_eq!(done.len(), 2);
+        let f1 = done.iter().find(|c| c.id == FlowId(1)).unwrap().fct();
+        let f2 = done.iter().find(|c| c.id == FlowId(2)).unwrap().fct();
+        let ratio = f1.max(f2) / f1.min(f2);
+        assert!(ratio < 1.5, "equal flows should finish within 50%: {f1} vs {f2}");
+    }
+
+    #[test]
+    fn abort_removes_flow() {
+        let (mut d, s, r) = driver(1);
+        d.start_flow(FlowId(1), s[0], r[0], 1e6, AnyTransport::Tcp(Reno::default()), 0.0);
+        d.tick(0.0, 0.001);
+        let p = d.abort_flow(FlowId(1)).unwrap();
+        assert!(p.acked_bytes < 1e6);
+        assert_eq!(d.active_count(), 0);
+        assert!(d.abort_flow(FlowId(1)).is_none());
+    }
+
+    #[test]
+    fn delivered_bytes_tracks_goodput() {
+        let (mut d, s, r) = driver(1);
+        let rate = 1_000_000.0;
+        d.start_flow(
+            FlowId(1),
+            s[0],
+            r[0],
+            1e9,
+            AnyTransport::Scda(ScdaWindow::new(rate, rate, 0.0024)),
+            0.0,
+        );
+        // Warm up RTT estimate, then measure one tick.
+        for i in 0..100 {
+            d.tick(i as f64 * 0.001, 0.001);
+        }
+        let s100 = d.tick(0.1, 0.001);
+        assert!((s100.delivered_bytes - rate * 0.001).abs() < rate * 0.001 * 0.1);
+    }
+
+    #[test]
+    fn timeout_capped_flow_never_exceeds_remaining() {
+        let (mut d, s, r) = driver(1);
+        d.start_flow(
+            FlowId(1),
+            s[0],
+            r[0],
+            1000.0,
+            AnyTransport::Scda(ScdaWindow::new(1e9, 1e9, 0.0024)),
+            0.0,
+        );
+        // Huge allocated rate but only 1000 bytes: must complete without
+        // negative remaining or repeated completion.
+        let done = run(&mut d, 0.0, 1.0, 0.001);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].size_bytes, 1000.0);
+    }
+
+    #[test]
+    fn tcp_config_with_small_receiver_window_limits_rate() {
+        let (mut d, s, r) = driver(1);
+        let cfg = RenoConfig { max_cwnd: 5_000.0, ..Default::default() };
+        d.start_flow(FlowId(1), s[0], r[0], 1_000_000.0, AnyTransport::Tcp(Reno::new(cfg)), 0.0);
+        // max rate = 5 KB / 2.4 ms ≈ 2.08 MB/s → 1 MB takes ≥ ~0.48 s.
+        let done = run(&mut d, 0.0, 30.0, 0.001);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].fct() > 0.4);
+    }
+}

@@ -1,0 +1,177 @@
+//! The general-datacenter workload model (§X-A2).
+//!
+//! The paper replays flow sizes from the VL2 measurement study \[12\] and
+//! inter-arrivals from Benson et al.'s IMC'10 "in the wild" traces \[3\].
+//! Both published the same qualitative shape: the overwhelming majority of
+//! flows are *mice* of a few KB, a thin band of medium flows, and rare
+//! *elephants* that carry most of the bytes — and arrivals are bursty
+//! (heavy-tailed inter-arrival gaps), not Poisson. This generator
+//! reproduces that shape with a three-component size mixture (log-normal
+//! mice, log-uniform middle, uniform elephants up to the ~7 MB the paper's
+//! figure 13-16 axes show) and log-normal inter-arrival gaps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::LogNormalByMedian;
+use crate::spec::{FlowDirection, FlowKind, FlowSpec, Workload};
+
+/// Parameters of the datacenter-trace generator.
+#[derive(Debug, Clone)]
+pub struct DatacenterConfig {
+    /// Trace duration in seconds.
+    pub duration: f64,
+    /// Mean flow arrival rate, flows/second.
+    pub arrival_rate: f64,
+    /// Burstiness: sigma of the log-normal inter-arrival gaps (0 ≈
+    /// regular, 2+ ≈ heavy ON/OFF bursts as in Benson et al.).
+    pub burst_sigma: f64,
+    /// Fraction of mice flows.
+    pub mice_fraction: f64,
+    /// Median mice size, bytes (VL2: most flows are a few KB).
+    pub mice_median: f64,
+    /// Fraction of elephant flows.
+    pub elephant_fraction: f64,
+    /// Elephant size range in bytes (paper axes reach ~7 MB).
+    pub elephant_range: (f64, f64),
+    /// Number of client endpoints.
+    pub clients: usize,
+    /// Fraction of writes (rest are reads).
+    pub write_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DatacenterConfig {
+    fn default() -> Self {
+        DatacenterConfig {
+            duration: 100.0,
+            arrival_rate: 60.0,
+            burst_sigma: 1.2,
+            mice_fraction: 0.8,
+            mice_median: 3_000.0,
+            elephant_fraction: 0.05,
+            elephant_range: (1_000_000.0, 7_000_000.0),
+            clients: 16,
+            write_fraction: 0.4,
+            seed: 1,
+        }
+    }
+}
+
+impl DatacenterConfig {
+    /// Generate the workload.
+    pub fn generate(&self) -> Workload {
+        assert!(self.mice_fraction + self.elephant_fraction <= 1.0);
+        assert!(self.duration > 0.0 && self.arrival_rate > 0.0 && self.clients > 0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mice = LogNormalByMedian::new(self.mice_median, 1.0);
+        // Log-normal gaps with the requested mean: mean = e^(mu + s²/2) so
+        // mu = ln(1/rate) − s²/2.
+        let s = self.burst_sigma;
+        let gap_median = (1.0 / self.arrival_rate) * (-s * s / 2.0).exp();
+        let gaps = LogNormalByMedian::new(gap_median, s);
+
+        let mut flows = Vec::new();
+        let mut t = gaps.sample(&mut rng);
+        while t < self.duration {
+            let u: f64 = rng.random::<f64>();
+            let size = if u < self.mice_fraction {
+                mice.sample(&mut rng).clamp(100.0, 50_000.0)
+            } else if u < self.mice_fraction + self.elephant_fraction {
+                rng.random_range(self.elephant_range.0..self.elephant_range.1)
+            } else {
+                // Middle band: log-uniform between mice and elephants.
+                let lo = 10_000.0_f64;
+                let hi = self.elephant_range.0;
+                (lo.ln() + rng.random::<f64>() * (hi.ln() - lo.ln())).exp()
+            };
+            let direction = if rng.random::<f64>() < self.write_fraction {
+                FlowDirection::Write
+            } else {
+                FlowDirection::Read
+            };
+            flows.push(FlowSpec {
+                arrival: t,
+                size_bytes: size,
+                kind: FlowKind::Datacenter,
+                direction,
+                client: rng.random_range(0..self.clients),
+            });
+            t += gaps.sample(&mut rng);
+        }
+        Workload::new(flows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mice_dominate_counts_elephants_dominate_bytes() {
+        let cfg = DatacenterConfig { duration: 400.0, ..Default::default() };
+        let w = cfg.generate();
+        let mice = w.flows.iter().filter(|f| f.size_bytes < 50_001.0).count();
+        assert!(
+            mice as f64 / w.len() as f64 > 0.7,
+            "mice fraction {} too low",
+            mice as f64 / w.len() as f64
+        );
+        let elephant_bytes: f64 = w
+            .flows
+            .iter()
+            .filter(|f| f.size_bytes >= 1_000_000.0)
+            .map(|f| f.size_bytes)
+            .sum();
+        assert!(
+            elephant_bytes / w.total_bytes() > 0.5,
+            "elephants carry {} of bytes",
+            elephant_bytes / w.total_bytes()
+        );
+    }
+
+    #[test]
+    fn arrival_rate_approximately_matches() {
+        let cfg = DatacenterConfig { duration: 500.0, arrival_rate: 60.0, seed: 5, ..Default::default() };
+        let w = cfg.generate();
+        let rate = w.len() as f64 / 500.0;
+        // Log-normal gaps have high variance; 25% tolerance.
+        assert!((rate - 60.0).abs() < 15.0, "rate {rate}");
+    }
+
+    #[test]
+    fn sizes_stay_in_figure_range() {
+        let w = DatacenterConfig::default().generate();
+        for f in &w.flows {
+            assert!(f.size_bytes >= 100.0 && f.size_bytes <= 7_000_000.0);
+        }
+    }
+
+    #[test]
+    fn burstiness_creates_gap_variance() {
+        let bursty = DatacenterConfig { burst_sigma: 2.0, duration: 300.0, ..Default::default() }.generate();
+        let smooth = DatacenterConfig { burst_sigma: 0.2, duration: 300.0, ..Default::default() }.generate();
+        let cv = |w: &Workload| {
+            let gaps: Vec<f64> = w.flows.windows(2).map(|p| p[1].arrival - p[0].arrival).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var.sqrt() / mean
+        };
+        assert!(cv(&bursty) > 2.0 * cv(&smooth), "bursty CV {} vs smooth {}", cv(&bursty), cv(&smooth));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = DatacenterConfig { seed: 2, ..Default::default() }.generate();
+        let b = DatacenterConfig { seed: 2, ..Default::default() }.generate();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.total_bytes(), b.total_bytes());
+    }
+
+    #[test]
+    fn all_flows_are_datacenter_kind() {
+        let w = DatacenterConfig::default().generate();
+        assert!(w.flows.iter().all(|f| f.kind == FlowKind::Datacenter));
+    }
+}

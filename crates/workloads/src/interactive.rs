@@ -1,0 +1,165 @@
+//! Interactive-session workload (the HWHR content of §II-B).
+//!
+//! Chat, collaborative editing and hot database tables are the paper's
+//! examples of *interactive* content: writes and reads interleaved within
+//! the 5-second interactivity interval, high frequency in both directions.
+//! This generator produces sessions of write→read ping-pongs — exactly the
+//! access pattern the classifier must label [`ContentClass::Interactive`]
+//! and the selector must place on servers with balanced
+//! `min(R̂_d, R̂_u)` — for the content-lifecycle experiments and examples.
+//!
+//! [`ContentClass::Interactive`]: ../scda_core/content/enum.ContentClass.html
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::PoissonProcess;
+use crate::spec::{FlowDirection, FlowKind, FlowSpec, Workload};
+
+/// Parameters of the interactive-session generator.
+#[derive(Debug, Clone)]
+pub struct InteractiveConfig {
+    /// Trace duration, seconds.
+    pub duration: f64,
+    /// Session arrival rate, sessions/second.
+    pub session_rate: f64,
+    /// Messages (write→read pairs) per session, uniform in this range.
+    pub messages_per_session: (usize, usize),
+    /// Gap between consecutive messages in a session, seconds (must stay
+    /// under the 5 s interactivity interval for the class to hold).
+    pub message_gap: f64,
+    /// Write→read echo delay within one message, seconds.
+    pub echo_delay: f64,
+    /// Message size range in bytes (chat-sized).
+    pub size_range: (f64, f64),
+    /// Number of client endpoints.
+    pub clients: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for InteractiveConfig {
+    fn default() -> Self {
+        InteractiveConfig {
+            duration: 60.0,
+            session_rate: 2.0,
+            messages_per_session: (5, 30),
+            message_gap: 1.5,
+            echo_delay: 0.3,
+            size_range: (200.0, 20_000.0),
+            clients: 16,
+            seed: 1,
+        }
+    }
+}
+
+impl InteractiveConfig {
+    /// Generate the workload: each message is a client write followed by a
+    /// partner read of the same content shortly after.
+    pub fn generate(&self) -> Workload {
+        assert!(self.duration > 0.0 && self.session_rate > 0.0 && self.clients > 0);
+        assert!(self.messages_per_session.0 >= 1);
+        assert!(
+            self.message_gap + self.echo_delay < 5.0,
+            "gaps beyond the interactivity interval are not interactive content"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let sessions = PoissonProcess::new(self.session_rate).arrivals(self.duration, &mut rng);
+        let mut flows = Vec::new();
+        for t0 in sessions {
+            let n = rng.random_range(self.messages_per_session.0..=self.messages_per_session.1);
+            let writer = rng.random_range(0..self.clients);
+            let reader = (writer + 1 + rng.random_range(0..self.clients - 1)) % self.clients;
+            for m in 0..n {
+                let t = t0 + m as f64 * self.message_gap;
+                if t >= self.duration {
+                    break;
+                }
+                let size = rng.random_range(self.size_range.0..self.size_range.1);
+                flows.push(FlowSpec {
+                    arrival: t,
+                    size_bytes: size,
+                    kind: FlowKind::Interactive,
+                    direction: FlowDirection::Write,
+                    client: writer,
+                });
+                flows.push(FlowSpec {
+                    arrival: t + self.echo_delay,
+                    size_bytes: size,
+                    kind: FlowKind::Interactive,
+                    direction: FlowDirection::Read,
+                    client: reader,
+                });
+            }
+        }
+        Workload::new(flows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_reads_pair_up() {
+        let w = InteractiveConfig::default().generate();
+        let writes = w.flows.iter().filter(|f| f.direction == FlowDirection::Write).count();
+        let reads = w.flows.iter().filter(|f| f.direction == FlowDirection::Read).count();
+        assert_eq!(writes, reads, "every message is echoed");
+        assert!(writes > 0);
+    }
+
+    #[test]
+    fn all_flows_are_interactive_kind_and_small() {
+        let cfg = InteractiveConfig::default();
+        let w = cfg.generate();
+        for f in &w.flows {
+            assert_eq!(f.kind, FlowKind::Interactive);
+            assert!(f.size_bytes >= cfg.size_range.0 && f.size_bytes <= cfg.size_range.1);
+        }
+    }
+
+    #[test]
+    fn gaps_stay_under_interactivity_interval() {
+        let w = InteractiveConfig::default().generate();
+        // Echo follows its write within the 5 s interval.
+        for pair in w.flows.windows(2) {
+            if pair[0].direction == FlowDirection::Write
+                && pair[1].direction == FlowDirection::Read
+                && (pair[0].size_bytes - pair[1].size_bytes).abs() < 1e-9
+            {
+                assert!(pair[1].arrival - pair[0].arrival < 5.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interactivity interval")]
+    fn sluggish_sessions_rejected() {
+        InteractiveConfig { message_gap: 6.0, ..Default::default() }.generate();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = InteractiveConfig { seed: 5, ..Default::default() }.generate();
+        let b = InteractiveConfig { seed: 5, ..Default::default() }.generate();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.total_bytes(), b.total_bytes());
+    }
+
+    #[test]
+    fn reader_differs_from_writer() {
+        let w = InteractiveConfig { clients: 3, ..Default::default() }.generate();
+        // Writes and their echoes come from different clients (the paper's
+        // chat scenario: two parties).
+        let mut writers = std::collections::BTreeSet::new();
+        let mut readers = std::collections::BTreeSet::new();
+        for f in &w.flows {
+            match f.direction {
+                FlowDirection::Write => writers.insert(f.client),
+                FlowDirection::Read => readers.insert(f.client),
+            };
+        }
+        assert!(!writers.is_empty() && !readers.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Trace import/export.
+//!
+//! Workloads serialize to JSON so users with real traces (the YouTube or
+//! Benson datasets the paper used, or their own) can feed them straight
+//! into the experiment harness instead of the synthetic generators, and so
+//! generated workloads can be archived with experiment results.
+
+use crate::spec::Workload;
+
+/// Serialize a workload to a JSON string.
+pub fn to_json(w: &Workload) -> String {
+    serde_json::to_string(w).expect("workload serialization cannot fail")
+}
+
+/// Parse a workload from JSON; flows are re-sorted by arrival so hand-built
+/// traces need not be pre-sorted.
+pub fn from_json(s: &str) -> Result<Workload, serde_json::Error> {
+    let w: Workload = serde_json::from_str(s)?;
+    Ok(Workload::new(w.flows))
+}
+
+/// Parse a workload from simple CSV rows: `arrival,size_bytes,kind,direction,client`
+/// with kinds `control|video|datacenter|synthetic|interactive` and
+/// directions `read|write`. Header lines and blanks are skipped; any
+/// malformed row aborts with a line-numbered error (silent truncation
+/// would corrupt an experiment).
+///
+/// # Examples
+///
+/// ```
+/// let w = scda_workloads::trace::from_csv(
+///     "0.5, 2048, video, read, 0\n1.5, 300, control, write, 1\n",
+/// ).unwrap();
+/// assert_eq!(w.len(), 2);
+/// ```
+pub fn from_csv(s: &str) -> Result<Workload, String> {
+    use crate::spec::{FlowDirection, FlowKind, FlowSpec};
+    let mut flows = Vec::new();
+    for (lineno, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("arrival") {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 5 {
+            return Err(format!("line {}: expected 5 fields, got {}", lineno + 1, fields.len()));
+        }
+        let arrival: f64 = fields[0]
+            .parse()
+            .map_err(|e| format!("line {}: bad arrival: {e}", lineno + 1))?;
+        let size: f64 = fields[1]
+            .parse()
+            .map_err(|e| format!("line {}: bad size: {e}", lineno + 1))?;
+        if size <= 0.0 {
+            return Err(format!("line {}: size must be positive", lineno + 1));
+        }
+        let kind = match fields[2].to_ascii_lowercase().as_str() {
+            "control" => FlowKind::Control,
+            "video" => FlowKind::Video,
+            "datacenter" => FlowKind::Datacenter,
+            "synthetic" => FlowKind::Synthetic,
+            "interactive" => FlowKind::Interactive,
+            other => return Err(format!("line {}: unknown kind {other:?}", lineno + 1)),
+        };
+        let direction = match fields[3].to_ascii_lowercase().as_str() {
+            "read" => FlowDirection::Read,
+            "write" => FlowDirection::Write,
+            other => return Err(format!("line {}: unknown direction {other:?}", lineno + 1)),
+        };
+        let client: usize = fields[4]
+            .parse()
+            .map_err(|e| format!("line {}: bad client: {e}", lineno + 1))?;
+        flows.push(FlowSpec { arrival, size_bytes: size, kind, direction, client });
+    }
+    Ok(Workload::new(flows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FlowDirection, FlowKind, FlowSpec};
+
+    #[test]
+    fn json_round_trip() {
+        let w = Workload::new(vec![FlowSpec {
+            arrival: 1.5,
+            size_bytes: 1234.0,
+            kind: FlowKind::Video,
+            direction: FlowDirection::Read,
+            client: 3,
+        }]);
+        let j = to_json(&w);
+        let back = from_json(&j).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.flows[0].size_bytes, 1234.0);
+        assert_eq!(back.flows[0].client, 3);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_on_load() {
+        let j = r#"{"flows":[
+            {"arrival":5.0,"size_bytes":1.0,"kind":"Control","direction":"Write","client":0},
+            {"arrival":2.0,"size_bytes":2.0,"kind":"Video","direction":"Read","client":1}
+        ]}"#;
+        let w = from_json(j).unwrap();
+        assert_eq!(w.flows[0].arrival, 2.0);
+    }
+
+    #[test]
+    fn garbage_is_an_error() {
+        assert!(from_json("not json").is_err());
+    }
+
+    #[test]
+    fn csv_round_trip_with_header_and_comments() {
+        let csv = "arrival,size,kind,direction,client\n\
+                   # a comment\n\
+                   1.5, 2048, video, read, 3\n\
+                   0.5, 300, control, write, 1\n";
+        let w = from_csv(csv).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.flows[0].arrival, 0.5, "sorted on load");
+        assert_eq!(w.flows[1].size_bytes, 2048.0);
+    }
+
+    #[test]
+    fn csv_errors_carry_line_numbers() {
+        let err = from_csv("1.0,100,video,read\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = from_csv("1.0,100,bogus,read,0\n").unwrap_err();
+        assert!(err.contains("unknown kind"), "{err}");
+        let err = from_csv("1.0,100,video,sideways,0\n").unwrap_err();
+        assert!(err.contains("unknown direction"), "{err}");
+        let err = from_csv("1.0,-5,video,read,0\n").unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+}

@@ -1,0 +1,53 @@
+//! §IX on a general (non-tree) fabric: SCDA's cross-layer max/min route
+//! selection + explicit rates versus ECMP hashing + TCP on a VL2-like
+//! Clos.
+//!
+//! ```text
+//! cargo run --release --example general_fabric
+//! ```
+
+use scda::experiments::{run_multipath, MultipathConfig, PathPolicy};
+
+fn main() {
+    let cfg = MultipathConfig::default();
+    println!(
+        "Clos fabric: {} racks x {} servers, {} aggs, {} cores, {} Mbps links",
+        cfg.racks,
+        cfg.servers_per_rack,
+        cfg.aggs,
+        cfg.cores,
+        cfg.link_bps / 1e6
+    );
+    println!(
+        "{} cross-rack flows of {:.1} MB over {:.0} s\n",
+        (cfg.arrival_rate * cfg.duration) as u64,
+        cfg.flow_bytes / 1e6,
+        cfg.duration
+    );
+
+    let mut rows = Vec::new();
+    for policy in [PathPolicy::EcmpHash, PathPolicy::MaxMinRoute] {
+        let r = run_multipath(&cfg, policy);
+        println!(
+            "{:>12?}: mean FCT {:.3} s, p95 {:.3} s, Jain {:.3}, hottest link {:.0}% busy, {}/{} done",
+            policy,
+            r.fct.mean_fct().unwrap_or(f64::NAN),
+            r.fct.quantile(0.95).unwrap_or(f64::NAN),
+            r.fairness.unwrap_or(f64::NAN),
+            100.0 * r.peak_link_utilization,
+            r.completed,
+            r.offered,
+        );
+        rows.push(r);
+    }
+
+    let gain = 1.0
+        - rows[1].fct.mean_fct().unwrap_or(f64::NAN)
+            / rows[0].fct.mean_fct().unwrap_or(f64::NAN);
+    println!(
+        "\nmax/min route selection + explicit rates completes flows {:.0}% faster than\n\
+         hashed ECMP + TCP — the §IX claim that SCDA generalizes beyond trees, with the\n\
+         paper's reference [7] supplying the path-selection rule.",
+        100.0 * gain
+    );
+}

@@ -1,0 +1,42 @@
+//! Video-CDN scenario (the paper's §X-A1): regenerate figures 7, 8 and 9
+//! from one pair of runs and print them as text tables.
+//!
+//! ```text
+//! cargo run --release --example video_cdn [-- paper]
+//! ```
+//!
+//! Pass `paper` to run at the 20-rack / 100-second paper scale instead of
+//! the quick scale.
+
+use scda::prelude::*;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "paper") {
+        Scale::Paper
+    } else {
+        Scale::Quick
+    };
+    println!("# video CDN evaluation (figures 7-9) at {scale:?} scale");
+    let pair = Group::VideoWithControl.run(scale, 1);
+    println!(
+        "# SCDA {}/{} completed, RandTCP {}/{}\n",
+        pair.scda.completed, pair.scda.requested, pair.randtcp.completed, pair.randtcp.requested
+    );
+
+    for fig in Group::VideoWithControl.figures() {
+        let report = build_figure(*fig, &pair);
+        println!("{}", report.to_table());
+    }
+
+    // The paper's two headline claims for this workload:
+    let thpt = build_figure(7, &pair);
+    println!(
+        "throughput: SCDA {:+.0}% over RandTCP (paper: up to +50..60%)",
+        100.0 * thpt.mean_gain().unwrap_or(f64::NAN)
+    );
+    let afct = build_figure(9, &pair);
+    println!(
+        "AFCT:       SCDA {:.0}% lower (paper: >50..60% lower)",
+        100.0 * afct.mean_reduction().unwrap_or(f64::NAN)
+    );
+}

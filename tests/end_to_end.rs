@@ -1,0 +1,145 @@
+//! End-to-end system comparisons: SCDA vs RandTCP on trimmed versions of
+//! the paper's workloads, asserting the qualitative results of §X — who
+//! wins, and by roughly the claimed direction — plus determinism and
+//! figure-plumbing invariants.
+
+use scda::prelude::*;
+
+/// A trimmed scenario: first `secs` seconds of arrivals, short horizon.
+fn trimmed(mut sc: Scenario, secs: f64, horizon: f64) -> Scenario {
+    sc.workload.flows.retain(|f| f.arrival < secs);
+    sc.duration = horizon;
+    sc
+}
+
+#[test]
+fn scda_beats_randtcp_on_video_traces() {
+    let sc = trimmed(Scenario::video(Scale::Quick, true, 7), 6.0, 20.0);
+    let pair = run_pair(&sc, &ScdaOptions::default());
+    let s = pair.scda.fct.mean_fct().expect("SCDA completions");
+    let r = pair.randtcp.fct.mean_fct().expect("RandTCP completions");
+    assert!(s < 0.7 * r, "paper: ~50% lower transfer time; got SCDA {s:.3} vs RandTCP {r:.3}");
+    // Throughput direction too (figure 7's claim).
+    assert!(pair.scda.throughput.mean_per_flow() > pair.randtcp.throughput.mean_per_flow());
+}
+
+#[test]
+fn scda_beats_randtcp_on_datacenter_traces_both_k() {
+    for k in [1.0, 3.0] {
+        let sc = trimmed(Scenario::datacenter(Scale::Quick, k, 3), 5.0, 15.0);
+        let pair = run_pair(&sc, &ScdaOptions::default());
+        let s = pair.scda.fct.quantile(0.5).expect("SCDA completions");
+        let r = pair.randtcp.fct.quantile(0.5).expect("RandTCP completions");
+        assert!(s < r, "K={k}: SCDA median {s:.3} must beat RandTCP {r:.3}");
+    }
+}
+
+#[test]
+fn scda_beats_randtcp_on_pareto_poisson() {
+    let sc = trimmed(Scenario::synthetic(Scale::Quick, 5), 4.0, 15.0);
+    let pair = run_pair(&sc, &ScdaOptions::default());
+    let s = pair.scda.fct.quantile(0.5).expect("SCDA completions");
+    let r = pair.randtcp.fct.quantile(0.5).expect("RandTCP completions");
+    assert!(s < r, "SCDA median {s:.3} must beat RandTCP {r:.3}");
+}
+
+#[test]
+fn scda_cdf_dominates_randtcp_cdf() {
+    // Figure 8/11/...-style stochastic dominance: the SCDA FCT CDF sits
+    // left of (above) RandTCP's at essentially every x.
+    let sc = trimmed(Scenario::video(Scale::Quick, false, 11), 5.0, 20.0);
+    let pair = run_pair(&sc, &ScdaOptions::default());
+    let s = pair.scda.fct.cdf(10.0, 41);
+    let r = pair.randtcp.fct.cdf(10.0, 41);
+    let mut dominated = 0;
+    for ((x, ps), (_, pr)) in s.iter().zip(&r) {
+        assert!(
+            ps + 1e-9 >= *pr || *x < 0.3,
+            "CDF crossover at x = {x}: SCDA {ps} < RandTCP {pr}"
+        );
+        if ps > pr {
+            dominated += 1;
+        }
+    }
+    assert!(dominated > 10, "SCDA must strictly dominate over a wide range");
+}
+
+#[test]
+fn afct_grows_with_file_size_for_both_systems() {
+    // Figure 9's x-axis sanity: bigger files take longer on average.
+    let sc = trimmed(Scenario::video(Scale::Quick, false, 13), 6.0, 25.0);
+    let pair = run_pair(&sc, &ScdaOptions::default());
+    for r in [&pair.scda, &pair.randtcp] {
+        let bins = r.fct.afct_by_size(30e6, 6);
+        assert!(bins.len() >= 3, "{} produced too few size bins", r.system);
+        let first = bins.first().expect("non-empty").afct;
+        let last = bins.last().expect("non-empty").afct;
+        assert!(last > first, "{}: AFCT must grow with size ({first} vs {last})", r.system);
+    }
+}
+
+#[test]
+fn figure_builders_produce_consistent_reports() {
+    let sc = trimmed(Scenario::video(Scale::Quick, true, 17), 4.0, 15.0);
+    let pair = run_pair(&sc, &ScdaOptions::default());
+    for fig in [7u32, 8, 9] {
+        let report = build_figure(fig, &pair);
+        assert_eq!(report.figure, fig);
+        assert!(!report.scda.points.is_empty(), "figure {fig} SCDA series empty");
+        assert!(!report.randtcp.points.is_empty());
+        let table = report.to_table();
+        assert!(table.contains(&format!("Figure {fig}")));
+        // JSON round-trip.
+        let back: scda::metrics::FigureReport =
+            serde_json::from_str(&report.to_json()).expect("valid JSON");
+        assert_eq!(back.figure, fig);
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_bit_identical_results() {
+    let sc = trimmed(Scenario::datacenter(Scale::Quick, 3.0, 23), 3.0, 10.0);
+    let a = run_pair(&sc, &ScdaOptions::default());
+    let b = run_pair(&sc, &ScdaOptions::default());
+    assert_eq!(a.scda.completed, b.scda.completed);
+    assert_eq!(a.scda.fct.mean_fct(), b.scda.fct.mean_fct());
+    assert_eq!(a.scda.sla_violations, b.scda.sla_violations);
+    assert_eq!(a.randtcp.fct.mean_fct(), b.randtcp.fct.mean_fct());
+}
+
+#[test]
+fn different_seeds_change_randtcp_but_not_direction() {
+    let s1 = trimmed(Scenario::video(Scale::Quick, false, 100), 4.0, 15.0);
+    let s2 = trimmed(Scenario::video(Scale::Quick, false, 200), 4.0, 15.0);
+    let p1 = run_pair(&s1, &ScdaOptions::default());
+    let p2 = run_pair(&s2, &ScdaOptions::default());
+    assert_ne!(p1.randtcp.fct.mean_fct(), p2.randtcp.fct.mean_fct());
+    for p in [&p1, &p2] {
+        assert!(p.scda.fct.mean_fct().unwrap() < p.randtcp.fct.mean_fct().unwrap());
+    }
+}
+
+#[test]
+fn mixed_workload_with_interactive_sessions_still_favors_scda() {
+    // Video, datacenter and chat traffic share the fabric; every content
+    // class takes its own §VII selection path, and SCDA still wins.
+    let sc = trimmed(Scenario::mixed(Scale::Quick, 29), 5.0, 18.0);
+    let pair = run_pair(&sc, &ScdaOptions::default());
+    assert!(pair.scda.completed as f64 >= 0.9 * pair.scda.requested as f64);
+    let s = pair.scda.fct.quantile(0.5).expect("completions");
+    let r = pair.randtcp.fct.quantile(0.5).expect("completions");
+    assert!(s < r, "mixed workload: SCDA median {s} vs RandTCP {r}");
+    // The chat messages are tiny; their FCT is dominated by setup + RTT
+    // and must sit in the sub-second CDF head for SCDA.
+    let small: Vec<f64> = pair
+        .scda
+        .fct
+        .records()
+        .iter()
+        .filter(|rec| rec.size_bytes < 20_000.0)
+        .map(|rec| rec.fct())
+        .collect();
+    assert!(!small.is_empty());
+    let mean_small = small.iter().sum::<f64>() / small.len() as f64;
+    assert!(mean_small < 1.0, "interactive messages must stay snappy: {mean_small}");
+}

@@ -1,0 +1,182 @@
+//! The paper's central fairness claim (§IV, §XI): the distributed SCDA
+//! rate iteration — each link running eq. 2 with the effective flow count
+//! of eq. 3 — converges to the *max-min fair* allocation, including
+//! redistributing bandwidth left unused by flows bottlenecked elsewhere.
+//!
+//! The test drives a [`ControlTree`] over the figure-6 topology with
+//! synthetic greedy/capped flows and compares the fixed point against the
+//! exact water-filling reference in `scda_simnet::fluid`.
+
+use scda::core::rate_metric::LinkSample;
+use scda::core::tree::{RateCaps, Telemetry};
+use scda::core::{ControlTree, Direction, MetricKind, Params};
+use scda::simnet::builders::{ThreeTierConfig, ThreeTierTree};
+use scda::simnet::{max_min_rates, FluidFlow, LinkId, NodeId};
+
+/// A synthetic flow: reads from `server` toward the clients (up) with an
+/// optional external cap.
+struct TestFlow {
+    rack: usize,
+    idx: usize,
+    cap: Option<f64>,
+}
+
+/// The uplink path of a read flow from a server to the cloud entry.
+fn up_path(tree: &ThreeTierTree, rack: usize, idx: usize) -> Vec<LinkId> {
+    vec![
+        tree.server_links[rack][idx].0,
+        tree.edge_links[rack].0,
+        tree.agg_links[tree.agg_of_rack[rack]].0,
+        tree.trunk.1, // core -> client gateway carries read traffic
+    ]
+}
+
+struct FlowTelemetry {
+    /// Per-link weighted rate sums for this round.
+    loads: Vec<f64>,
+}
+
+impl Telemetry for FlowTelemetry {
+    fn sample(&mut self, link: LinkId) -> LinkSample {
+        LinkSample { flow_rate_sum: self.loads[link.index()], ..Default::default() }
+    }
+    fn rate_caps(&mut self, _server: NodeId) -> RateCaps {
+        RateCaps::default()
+    }
+}
+
+fn run_convergence(flows: &[TestFlow]) -> (Vec<f64>, Vec<f64>) {
+    let cfg = ThreeTierConfig {
+        racks: 4,
+        servers_per_rack: 3,
+        racks_per_agg: 2,
+        clients: 2,
+        ..Default::default()
+    };
+    let tree = cfg.build();
+    // alpha = 1, beta = 0 so the fixed point is plain capacity sharing.
+    let params = Params { alpha: 1.0, beta: 0.0, min_rate: 1.0, ..Default::default() };
+    let mut ct = ControlTree::from_three_tier(&tree, params, MetricKind::Full);
+
+    let paths: Vec<Vec<LinkId>> = flows.iter().map(|f| up_path(&tree, f.rack, f.idx)).collect();
+    let n_links = tree.topo.link_count();
+
+    // Prime the tree so advertisements exist before the first query.
+    ct.control_round(0.0, &mut FlowTelemetry { loads: vec![0.0; n_links] });
+
+    let mut rates = vec![0.0_f64; flows.len()];
+    for _ in 0..200 {
+        // Each flow sends at the advertised path rate (greedy), clamped by
+        // its external cap.
+        for (j, f) in flows.iter().enumerate() {
+            let advert = ct
+                .client_rate(tree.servers[f.rack][f.idx], Direction::Up)
+                .expect("server exists");
+            rates[j] = match f.cap {
+                Some(c) => advert.min(c),
+                None => advert,
+            };
+        }
+        let mut loads = vec![0.0_f64; n_links];
+        for (j, p) in paths.iter().enumerate() {
+            for &l in p {
+                loads[l.index()] += rates[j];
+            }
+        }
+        ct.control_round(0.0, &mut FlowTelemetry { loads });
+    }
+
+    // Water-filling reference over the same links and caps.
+    let caps: Vec<f64> = tree
+        .topo
+        .links()
+        .iter()
+        .map(|l| l.capacity_bytes())
+        .collect();
+    let fluid: Vec<FluidFlow> = flows
+        .iter()
+        .zip(&paths)
+        .map(|(f, p)| FluidFlow { path: p.clone(), cap: f.cap })
+        .collect();
+    let reference = max_min_rates(&caps, &fluid);
+    (rates, reference)
+}
+
+fn assert_close(actual: &[f64], expected: &[f64], tol: f64) {
+    for (j, (a, e)) in actual.iter().zip(expected).enumerate() {
+        assert!(
+            (a - e).abs() <= tol * e.max(1.0),
+            "flow {j}: converged {a:.0} vs max-min reference {e:.0}"
+        );
+    }
+}
+
+#[test]
+fn equal_greedy_flows_share_their_bottleneck() {
+    // Three greedy readers on the same server uplink: each gets X/3.
+    let flows = [
+        TestFlow { rack: 0, idx: 0, cap: None },
+        TestFlow { rack: 0, idx: 0, cap: None },
+        TestFlow { rack: 0, idx: 0, cap: None },
+    ];
+    let (rates, reference) = run_convergence(&flows);
+    assert_close(&rates, &reference, 0.02);
+    // And the reference itself is X/3 per flow.
+    let x = 500e6 / 8.0;
+    for r in &reference {
+        assert!((r - x / 3.0).abs() < 1.0);
+    }
+}
+
+#[test]
+fn capped_flow_releases_unused_share() {
+    // Two flows on one server uplink; one capped at 10% of X. Max-min
+    // gives the greedy one 90% — the paper's eq. 3 redistribution.
+    let x = 500e6 / 8.0;
+    let flows = [
+        TestFlow { rack: 1, idx: 0, cap: Some(0.1 * x) },
+        TestFlow { rack: 1, idx: 0, cap: None },
+    ];
+    let (rates, reference) = run_convergence(&flows);
+    assert_close(&rates, &reference, 0.02);
+    assert!((reference[0] - 0.1 * x).abs() < 1.0);
+    assert!((reference[1] - 0.9 * x).abs() < 1.0);
+}
+
+#[test]
+fn cross_rack_contention_matches_water_filling() {
+    // Five flows over distinct servers in racks 0-1 (shared agg uplink of
+    // 3X) plus two flows in rack 2: a genuinely multi-link allocation.
+    let flows = [
+        TestFlow { rack: 0, idx: 0, cap: None },
+        TestFlow { rack: 0, idx: 1, cap: None },
+        TestFlow { rack: 0, idx: 2, cap: None },
+        TestFlow { rack: 1, idx: 0, cap: None },
+        TestFlow { rack: 1, idx: 1, cap: None },
+        TestFlow { rack: 2, idx: 0, cap: Some(1e6) },
+        TestFlow { rack: 2, idx: 1, cap: None },
+    ];
+    let (rates, reference) = run_convergence(&flows);
+    assert_close(&rates, &reference, 0.03);
+}
+
+#[test]
+fn full_fanout_binds_at_the_edge_uplinks() {
+    // Twelve greedy readers, three per rack: each rack's X edge uplink
+    // carries three flows and binds first (3 · X/3 = X per edge; the 3X
+    // agg links carry 2X ≤ 3X and the 6X trunk carries 4X ≤ 6X), so every
+    // flow gets X/3 — and the distributed iteration agrees with the
+    // water-filling reference.
+    let mut flows = Vec::new();
+    for rack in 0..4 {
+        for idx in 0..3 {
+            flows.push(TestFlow { rack, idx, cap: None });
+        }
+    }
+    let (rates, reference) = run_convergence(&flows);
+    assert_close(&rates, &reference, 0.03);
+    let x = 500e6 / 8.0;
+    for r in &reference {
+        assert!((r - x / 3.0).abs() < 1.0, "expected edge share X/3, got {r}");
+    }
+}

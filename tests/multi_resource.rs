@@ -1,0 +1,105 @@
+//! Multi-resource allocation (§IV, eq. 4) in full runs: when half the
+//! fleet has crippled disks, the RMs' `R_other` caps flow into every
+//! advertised rate and the class-aware selection routes around the slow
+//! servers — the "bottleneck resource can be other than the link
+//! bandwidth" claim of §XII.
+
+use scda::core::ResourceProfile;
+use scda::experiments::{run_scda, ScdaOptions, SelectionPolicy};
+use scda::prelude::*;
+
+fn scenario(seed: u64) -> Scenario {
+    let mut sc = Scenario::video(Scale::Quick, false, seed);
+    sc.workload.flows.retain(|f| f.arrival < 5.0);
+    sc.duration = 20.0;
+    sc
+}
+
+/// Every second server has a disk an order of magnitude slower than the
+/// network path.
+fn half_crippled() -> Vec<ResourceProfile> {
+    vec![
+        ResourceProfile::default(),
+        ResourceProfile { disk_read_bps: 4e6, disk_write_bps: 3e6, ..Default::default() },
+    ]
+}
+
+#[test]
+fn resource_aware_selection_routes_around_slow_disks() {
+    let sc = scenario(83);
+    let aware = run_scda(
+        &sc,
+        &ScdaOptions { resource_profiles: Some(half_crippled()), ..Default::default() },
+    );
+    let blind = run_scda(
+        &sc,
+        &ScdaOptions {
+            resource_profiles: Some(half_crippled()),
+            selection_policy: SelectionPolicy::Random,
+            ..Default::default()
+        },
+    );
+    let a = aware.fct.mean_fct().expect("completions");
+    let b = blind.fct.mean_fct().expect("completions");
+    assert!(
+        a < 0.8 * b,
+        "R_other-aware selection must dodge the slow half: aware {a} vs random {b}"
+    );
+}
+
+#[test]
+fn uniform_slow_disks_bound_every_flow() {
+    // With *every* disk slow, no selection can help: FCTs are bounded
+    // below by size/disk_rate, and the healthy-fleet run is strictly
+    // faster.
+    let sc = scenario(87);
+    let slow_everywhere = vec![ResourceProfile {
+        disk_read_bps: 5e6,
+        disk_write_bps: 5e6,
+        ..Default::default()
+    }];
+    let slow = run_scda(
+        &sc,
+        &ScdaOptions { resource_profiles: Some(slow_everywhere), ..Default::default() },
+    );
+    let healthy = run_scda(&sc, &ScdaOptions::default());
+    let s = slow.fct.mean_fct().expect("completions");
+    let h = healthy.fct.mean_fct().expect("completions");
+    assert!(h < s, "disk-bound fleet must be slower: healthy {h} vs slow {s}");
+    // Large transfers respect the disk ceiling (5 MB/s + slack for setup).
+    for rec in slow.fct.records() {
+        if rec.size_bytes > 5e6 {
+            let rate = rec.size_bytes / rec.fct();
+            assert!(
+                rate < 1.3 * 5e6,
+                "flow of {} B finished at {rate} B/s through a 5 MB/s disk",
+                rec.size_bytes
+            );
+        }
+    }
+}
+
+#[test]
+fn disk_contention_splits_bandwidth_between_concurrent_flows() {
+    // Many concurrent reads against few servers: per-flow disk share
+    // shrinks with concurrency (the ResourceBook divides the aggregate).
+    let mut sc = scenario(91);
+    sc.topo.racks = 2;
+    sc.topo.servers_per_rack = 2;
+    sc.topo.racks_per_agg = 2;
+    let profiles = vec![ResourceProfile {
+        disk_read_bps: 20e6,
+        disk_write_bps: 20e6,
+        ..Default::default()
+    }];
+    let r = run_scda(
+        &sc,
+        &ScdaOptions { resource_profiles: Some(profiles), ..Default::default() },
+    );
+    assert!(
+        r.completed as f64 >= 0.9 * r.requested as f64,
+        "disk sharing must not deadlock: {}/{}",
+        r.completed,
+        r.requested
+    );
+}
