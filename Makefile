@@ -19,10 +19,10 @@ bench:
 # Regenerate every paper figure (7-18) at the paper-like scale and archive
 # the series under results/.
 figures:
-	cargo run --release -p scda-experiments --bin figures -- --all --scale paper --out results/
+	cargo run --release --bin figures -- --all --scale paper --out results/
 
 ablations:
-	cargo run --release -p scda-experiments --bin ablations -- --scale quick
+	cargo run --release --bin ablations -- --scale quick
 
 docs:
 	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -3,9 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use scda_obs::Obs;
 use scda_simnet::builders::{clos, fat_tree, ThreeTierConfig};
-use scda_simnet::units::mbps;
-use scda_simnet::{EcmpRoutes, FlowId, Network, Scheduler};
+use scda_simnet::units::{mbps, SimTime};
+use scda_simnet::{
+    run_until, run_until_observed, EcmpRoutes, FlowId, Network, Scheduler, Simulation,
+};
 
 fn bench_scheduler(c: &mut Criterion) {
     c.bench_function("scheduler/push_pop_10k", |b| {
@@ -19,6 +22,53 @@ fn bench_scheduler(c: &mut Criterion) {
                 acc = acc.wrapping_add(v);
             }
             acc
+        })
+    });
+}
+
+/// A self-rescheduling ticker: every event schedules the next with a small
+/// computed delay (the arithmetic a real packet/timer event does), so the
+/// drain loop and scheduler dominate — the path any per-event
+/// instrumentation overhead would show up on.
+struct Ticker {
+    acc: u64,
+}
+enum Tick {
+    At(u64),
+}
+impl Simulation for Ticker {
+    type Event = Tick;
+    fn handle(&mut self, now: SimTime, ev: Tick, sched: &mut Scheduler<Tick>) {
+        let Tick::At(n) = ev;
+        self.acc = self.acc.wrapping_add(n);
+        let jitter = (n % 7) as f64 * 1e-6;
+        sched.at(now + 1e-4 + jitter, Tick::At(n + 1));
+    }
+}
+
+/// The observability acceptance gate: draining through
+/// `run_until_observed` with a *disabled* handle must track plain
+/// `run_until` (the instrumented path costs one branch per drain, nothing
+/// per event). Compare the two `engine/drain_10k*` lines; they should be
+/// within noise (<5%).
+fn bench_engine_drain(c: &mut Criterion) {
+    c.bench_function("engine/drain_10k", |b| {
+        b.iter(|| {
+            let mut sim = Ticker { acc: 0 };
+            let mut sched = Scheduler::new();
+            sched.at(0.0, Tick::At(0));
+            run_until(&mut sim, &mut sched, 10_000.0 * 1e-4);
+            sim.acc
+        })
+    });
+    c.bench_function("engine/drain_10k_observed_disabled", |b| {
+        let obs = Obs::disabled();
+        b.iter(|| {
+            let mut sim = Ticker { acc: 0 };
+            let mut sched = Scheduler::new();
+            sched.at(0.0, Tick::At(0));
+            run_until_observed(&mut sim, &mut sched, 10_000.0 * 1e-4, &obs);
+            sim.acc
         })
     });
 }
@@ -86,6 +136,6 @@ fn bench_ecmp(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_scheduler, bench_network_tick, bench_route_warmup, bench_ecmp
+    targets = bench_scheduler, bench_engine_drain, bench_network_tick, bench_route_warmup, bench_ecmp
 }
 criterion_main!(benches);

@@ -25,9 +25,7 @@ fn bench_group_runs(c: &mut Criterion) {
             let mut sc = group.scenario(Scale::Quick, 1);
             sc.workload.flows.retain(|f| f.arrival < 4.0);
             sc.duration = 12.0;
-            b.iter(|| {
-                scda_experiments::run_pair(&sc, &scda_experiments::ScdaOptions::default())
-            })
+            b.iter(|| scda_experiments::run_pair(&sc, &scda_experiments::ScdaOptions::default()))
         });
     }
     g.finish();
@@ -53,11 +51,19 @@ fn bench_content_lifecycle(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures/content_lifecycle");
     g.sample_size(10);
     g.bench_function("quick", |b| {
-        let cfg = ContentRunConfig { duration: 10.0, ..Default::default() };
+        let cfg = ContentRunConfig {
+            duration: 10.0,
+            ..Default::default()
+        };
         b.iter(|| run_content(&cfg))
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_group_runs, bench_figure_builds, bench_content_lifecycle);
+criterion_group!(
+    benches,
+    bench_group_runs,
+    bench_figure_builds,
+    bench_content_lifecycle
+);
 criterion_main!(benches);

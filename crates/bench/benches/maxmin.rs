@@ -19,7 +19,11 @@ fn bench_water_filling(c: &mut Criterion) {
                 .map(|j| {
                     let a = (j * 17) % 64;
                     let b = (j * 31 + 7) % 64;
-                    let cap = if j % 5 == 0 { Some(5e4 + j as f64) } else { None };
+                    let cap = if j % 5 == 0 {
+                        Some(5e4 + j as f64)
+                    } else {
+                        None
+                    };
                     FluidFlow {
                         path: vec![LinkId(a as u32), LinkId(b as u32)],
                         cap,
@@ -48,7 +52,11 @@ impl Telemetry for SyntheticLoad {
 
 fn bench_control_round(c: &mut Criterion) {
     let mut g = c.benchmark_group("maxmin/control_round");
-    for (label, racks, per_rack) in [("quick", 8usize, 5usize), ("paper", 20, 10), ("large", 80, 20)] {
+    for (label, racks, per_rack) in [
+        ("quick", 8usize, 5usize),
+        ("paper", 20, 10),
+        ("large", 80, 20),
+    ] {
         g.bench_function(label, |b| {
             let tree = ThreeTierConfig {
                 racks,

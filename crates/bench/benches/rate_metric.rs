@@ -11,7 +11,11 @@ use scda_simnet::NodeId;
 
 fn bench_allocator_update(c: &mut Criterion) {
     let params = Params::default();
-    let sample = LinkSample { queue_bytes: 5e4, flow_rate_sum: 4e7, arrival_rate: 4e7 };
+    let sample = LinkSample {
+        queue_bytes: 5e4,
+        flow_rate_sum: 4e7,
+        arrival_rate: 4e7,
+    };
     c.bench_function("rate_metric/update_full", |b| {
         let mut a = LinkAllocator::new(62.5e6, MetricKind::Full, &params);
         b.iter(|| a.update(&sample, &params))
@@ -24,7 +28,10 @@ fn bench_allocator_update(c: &mut Criterion) {
 
 fn bench_priority_weights(c: &mut Criterion) {
     c.bench_function("rate_metric/priority_weights_1k_flows", |b| {
-        let policy = PriorityPolicy::ShortestFirst { scale_bytes: 1e6, gamma: 0.7 };
+        let policy = PriorityPolicy::ShortestFirst {
+            scale_bytes: 1e6,
+            gamma: 0.7,
+        };
         b.iter(|| {
             let mut acc = 0.0;
             for j in 0..1000 {
@@ -49,7 +56,10 @@ fn bench_selector(c: &mut Criterion) {
             n_levels: 4,
         })
         .collect();
-    let cfg = SelectorConfig { r_scale: 5e7, power_aware: false };
+    let cfg = SelectorConfig {
+        r_scale: 5e7,
+        power_aware: false,
+    };
     c.bench_function("selection/write_target_200_servers", |b| {
         let sel = Selector::new(&metrics, None, &cfg);
         b.iter(|| sel.write_target(ContentClass::Interactive, &[]))

@@ -84,6 +84,87 @@ impl TreeSnapshot {
     }
 }
 
+/// A periodic stream of [`TreeSnapshot`]s — the §I diagnostics offload as
+/// a *time series* instead of a one-shot export.
+///
+/// Offer the stream every control round; it keeps one snapshot every
+/// `every` rounds (so the wire cadence is `every·τ` seconds) and exports
+/// the series as JSON Lines, one snapshot per line — the append-friendly
+/// format an external analysis server would ingest.
+#[derive(Debug, Clone)]
+pub struct SnapshotStream {
+    every: u64,
+    offered: u64,
+    snapshots: Vec<TreeSnapshot>,
+}
+
+impl SnapshotStream {
+    /// A stream keeping one snapshot every `every` control rounds
+    /// (min 1: every round).
+    pub fn new(every: u64) -> Self {
+        SnapshotStream {
+            every: every.max(1),
+            offered: 0,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// The configured cadence in rounds.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Offer one round; `make` builds the snapshot only when this round is
+    /// on the cadence. Returns true when a snapshot was recorded.
+    pub fn offer_with(&mut self, make: impl FnOnce() -> TreeSnapshot) -> bool {
+        let due = self.offered.is_multiple_of(self.every);
+        self.offered += 1;
+        if due {
+            self.snapshots.push(make());
+        }
+        due
+    }
+
+    /// Rounds offered so far.
+    pub fn rounds_offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// The recorded series, oldest first.
+    pub fn snapshots(&self) -> &[TreeSnapshot] {
+        &self.snapshots
+    }
+
+    /// The series as JSON Lines (one snapshot per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.snapshots {
+            out.push_str(&s.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a previously exported series (blank lines are skipped). The
+    /// result reports `every = 1` — cadence is not carried on the wire;
+    /// the snapshots' own `time` fields are.
+    pub fn from_jsonl(s: &str) -> Result<Self, serde_json::Error> {
+        let mut snapshots = Vec::new();
+        for line in s.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            snapshots.push(TreeSnapshot::from_json(line)?);
+        }
+        let offered = snapshots.len() as u64;
+        Ok(SnapshotStream {
+            every: 1,
+            offered,
+            snapshots,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +220,44 @@ mod tests {
         assert_eq!(back.time, 3.5);
         assert_eq!(back.nodes.len(), 2);
         assert_eq!(back.nodes[0].down.rate, 90.0);
+    }
+
+    #[test]
+    fn stream_keeps_every_kth_round() {
+        let mut stream = SnapshotStream::new(3);
+        let mut built = 0;
+        for i in 0..10 {
+            stream.offer_with(|| {
+                built += 1;
+                TreeSnapshot {
+                    time: i as f64,
+                    nodes: vec![],
+                }
+            });
+        }
+        // Rounds 0, 3, 6, 9 are on the cadence; the closure ran only then.
+        assert_eq!(stream.snapshots().len(), 4);
+        assert_eq!(built, 4, "off-cadence rounds must not build snapshots");
+        assert_eq!(stream.rounds_offered(), 10);
+        let times: Vec<f64> = stream.snapshots().iter().map(|s| s.time).collect();
+        assert_eq!(times, vec![0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn stream_jsonl_round_trips() {
+        let mut stream = SnapshotStream::new(1);
+        stream.offer_with(snap);
+        stream.offer_with(|| TreeSnapshot {
+            time: 4.0,
+            nodes: snap().nodes,
+        });
+        let wire = stream.to_jsonl();
+        assert_eq!(wire.lines().count(), 2);
+        let back = SnapshotStream::from_jsonl(&wire).unwrap();
+        assert_eq!(back.snapshots().len(), 2);
+        assert_eq!(back.snapshots()[0].time, 3.5);
+        assert_eq!(back.snapshots()[1].time, 4.0);
+        assert_eq!(back.snapshots()[0].nodes[0].down.rate, 90.0);
     }
 
     #[test]

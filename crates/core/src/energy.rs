@@ -115,12 +115,18 @@ impl EnergyBook {
 
     /// Whether `id` can serve traffic right now.
     pub fn is_active(&self, id: NodeId) -> bool {
-        matches!(self.servers.get(&id).map(|s| s.state), Some(PowerState::Active))
+        matches!(
+            self.servers.get(&id).map(|s| s.state),
+            Some(PowerState::Active)
+        )
     }
 
     /// Whether `id` is dormant (napping).
     pub fn is_dormant(&self, id: NodeId) -> bool {
-        matches!(self.servers.get(&id).map(|s| s.state), Some(PowerState::Dormant))
+        matches!(
+            self.servers.get(&id).map(|s| s.state),
+            Some(PowerState::Dormant)
+        )
     }
 
     /// Put a server into the low-power state (scale-down, §VII-C).
@@ -135,7 +141,9 @@ impl EnergyBook {
     pub fn wake(&mut self, id: NodeId, now: f64) {
         if let Some(s) = self.servers.get_mut(&id) {
             if s.state == PowerState::Dormant {
-                s.state = PowerState::Waking { until: now + self.cfg.wake_latency };
+                s.state = PowerState::Waking {
+                    until: now + self.cfg.wake_latency,
+                };
             }
         }
     }
@@ -169,7 +177,10 @@ impl EnergyBook {
 
     /// The smoothed power `P(t)` used by the `R̂/P` selection metric.
     pub fn power(&self, id: NodeId) -> f64 {
-        self.servers.get(&id).map(|s| s.p_avg).unwrap_or(f64::INFINITY)
+        self.servers
+            .get(&id)
+            .map(|s| s.p_avg)
+            .unwrap_or(f64::INFINITY)
     }
 
     /// The temperature reading a sensor would report over a control
@@ -199,11 +210,9 @@ mod tests {
     use super::*;
 
     fn book(n: u32) -> EnergyBook {
-        EnergyBook::new(
-            PowerModelConfig::default(),
-            (0..n).map(NodeId),
-            |i| 0.9 + 0.1 * (i % 3) as f64,
-        )
+        EnergyBook::new(PowerModelConfig::default(), (0..n).map(NodeId), |i| {
+            0.9 + 0.1 * (i % 3) as f64
+        })
     }
 
     #[test]
@@ -235,7 +244,10 @@ mod tests {
         b.tick(100.0, |_| 0.0);
         let dormant = b.server(NodeId(0)).unwrap().energy_j;
         let active = b.server(NodeId(1)).unwrap().energy_j;
-        assert!(dormant < active / 5.0, "dormant {dormant} vs active {active}");
+        assert!(
+            dormant < active / 5.0,
+            "dormant {dormant} vs active {active}"
+        );
     }
 
     #[test]
@@ -250,11 +262,13 @@ mod tests {
 
     #[test]
     fn heterogeneity_scales_power() {
-        let mut b = EnergyBook::new(
-            PowerModelConfig::default(),
-            [NodeId(0), NodeId(1)],
-            |i| if i == 0 { 1.0 } else { 1.3 },
-        );
+        let mut b = EnergyBook::new(PowerModelConfig::default(), [NodeId(0), NodeId(1)], |i| {
+            if i == 0 {
+                1.0
+            } else {
+                1.3
+            }
+        });
         for i in 1..50 {
             b.tick(i as f64, |_| 0.5);
         }

@@ -45,7 +45,7 @@ pub mod sla;
 pub mod tree;
 
 pub use content::{AccessStats, ClassifierConfig, ContentClass, ContentId};
-pub use diagnostics::TreeSnapshot;
+pub use diagnostics::{SnapshotStream, TreeSnapshot};
 pub use energy::{EnergyBook, PowerModelConfig, PowerState};
 pub use nodes::{BlockServer, ContentMeta, Fes, NameNode, NameService, ProtocolCosts};
 pub use openflow::OpenFlowSjf;

@@ -167,7 +167,10 @@ impl NameService {
     /// A service with `n_nns` name nodes (GFS/HDFS ≡ `n_nns = 1`, which the
     /// NNS-scaling ablation exercises).
     pub fn new(n_nns: usize) -> Self {
-        NameService { fes: Fes::new(n_nns), nns: (0..n_nns).map(|_| NameNode::new()).collect() }
+        NameService {
+            fes: Fes::new(n_nns),
+            nns: (0..n_nns).map(|_| NameNode::new()).collect(),
+        }
     }
 
     /// The FES.
@@ -216,11 +219,7 @@ impl NameService {
     /// request. Otherwise the NNS hashes the request and forwards it."
     /// Returns the metadata plus the number of NNS-to-NNS forwarding hops
     /// (0 when the first contact owned the metadata).
-    pub fn lookup_via(
-        &self,
-        first_contact: usize,
-        id: ContentId,
-    ) -> (usize, Option<&ContentMeta>) {
+    pub fn lookup_via(&self, first_contact: usize, id: ContentId) -> (usize, Option<&ContentMeta>) {
         assert!(first_contact < self.nns.len(), "no such NNS");
         let owner = self.fes.route_content(id);
         let hops = usize::from(owner != first_contact);
@@ -243,7 +242,12 @@ impl BlockServer {
     /// A BS at `node` with `disk_capacity` bytes of storage.
     pub fn new(node: NodeId, disk_capacity: f64) -> Self {
         assert!(disk_capacity > 0.0);
-        BlockServer { node, disk_capacity, disk_used: 0.0, stored: BTreeSet::new() }
+        BlockServer {
+            node,
+            disk_capacity,
+            disk_used: 0.0,
+            stored: BTreeSet::new(),
+        }
     }
 
     /// Try to store `content` of `size` bytes; `false` when the disk is
@@ -331,8 +335,7 @@ mod tests {
     #[test]
     fn fnv_is_deterministic_and_spreads() {
         assert_eq!(fnv1a(42), fnv1a(42));
-        let buckets: std::collections::BTreeSet<u64> =
-            (0..100u64).map(|x| fnv1a(x) % 7).collect();
+        let buckets: std::collections::BTreeSet<u64> = (0..100u64).map(|x| fnv1a(x) % 7).collect();
         assert!(buckets.len() > 3, "hash should hit most buckets");
     }
 
@@ -446,7 +449,10 @@ mod tests {
 
     #[test]
     fn protocol_costs_price_the_figures() {
-        let c = ProtocolCosts { control_hop: 0.01, client_wan: 0.05 };
+        let c = ProtocolCosts {
+            control_hop: 0.01,
+            client_wan: 0.05,
+        };
         assert!((c.external_write_setup() - (0.1 + 0.06)).abs() < 1e-12);
         assert!((c.external_read_setup() - (0.05 + 0.04)).abs() < 1e-12);
         assert!((c.internal_write_setup() - 0.05).abs() < 1e-12);

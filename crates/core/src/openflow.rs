@@ -24,7 +24,10 @@ pub struct OpenFlowSjf {
 
 impl Default for OpenFlowSjf {
     fn default() -> Self {
-        OpenFlowSjf { pivot_bytes: 1_000_000.0, gamma: 0.5 }
+        OpenFlowSjf {
+            pivot_bytes: 1_000_000.0,
+            gamma: 0.5,
+        }
     }
 }
 
@@ -41,7 +44,10 @@ impl OpenFlowSjf {
 
     /// Weights for a set of flows given their cumulative counts.
     pub fn weights(&self, counts: &[(FlowId, f64)]) -> Vec<(FlowId, f64)> {
-        counts.iter().map(|&(id, sent)| (id, self.weight(sent))).collect()
+        counts
+            .iter()
+            .map(|&(id, sent)| (id, self.weight(sent)))
+            .collect()
     }
 }
 
@@ -63,7 +69,10 @@ mod tests {
 
     #[test]
     fn weights_are_clamped() {
-        let s = OpenFlowSjf { pivot_bytes: 1e6, gamma: 4.0 };
+        let s = OpenFlowSjf {
+            pivot_bytes: 1e6,
+            gamma: 4.0,
+        };
         assert_eq!(s.weight(1.0), MAX_WEIGHT);
         assert_eq!(s.weight(1e15), MIN_WEIGHT);
     }

@@ -53,7 +53,11 @@ pub fn full_reporting(shape: &TreeShape) -> RoundOverhead {
     // Upward payload: S_d + S_u + N̂_d + N̂_u = 4 values; downward: up to
     // h_max (level, rate_d, rate_u) triples.
     let payload = upward * 4 * 8 + downward * (shape.hmax as usize) * 3 * 8;
-    RoundOverhead { upward_messages: upward, downward_messages: downward, payload_bytes: payload }
+    RoundOverhead {
+        upward_messages: upward,
+        downward_messages: downward,
+        payload_bytes: payload,
+    }
 }
 
 /// Overhead of **Δ-reporting**: only nodes whose values changed beyond the
@@ -83,7 +87,11 @@ mod tests {
 
     fn shape() -> TreeShape {
         // The default 20-rack tree: 200 RMs, 20+4+1 RAs, h_max = 3.
-        TreeShape { rms: 200, ras: 25, hmax: 3 }
+        TreeShape {
+            rms: 200,
+            ras: 25,
+            hmax: 3,
+        }
     }
 
     #[test]
@@ -121,7 +129,11 @@ mod tests {
 
     #[test]
     fn tiny_tree_edge_cases() {
-        let s = TreeShape { rms: 1, ras: 1, hmax: 1 };
+        let s = TreeShape {
+            rms: 1,
+            ras: 1,
+            hmax: 1,
+        };
         let o = full_reporting(&s);
         assert_eq!(o.upward_messages, 1, "single RM reports to its single RA");
         assert_eq!(delta_reporting(&s, 5).total_messages(), o.total_messages());

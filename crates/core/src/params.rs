@@ -76,7 +76,10 @@ impl Params {
             return Err(format!("tau must be positive, got {}", self.tau));
         }
         if self.drain_horizon <= 0.0 {
-            return Err(format!("drain_horizon must be positive, got {}", self.drain_horizon));
+            return Err(format!(
+                "drain_horizon must be positive, got {}",
+                self.drain_horizon
+            ));
         }
         if self.min_rate <= 0.0 {
             return Err(format!("min_rate must be positive, got {}", self.min_rate));
@@ -102,23 +105,58 @@ mod tests {
 
     #[test]
     fn capacity_term_subtracts_queue_drain() {
-        let p = Params { alpha: 1.0, beta: 1.0, drain_horizon: 2.0, ..Default::default() };
+        let p = Params {
+            alpha: 1.0,
+            beta: 1.0,
+            drain_horizon: 2.0,
+            ..Default::default()
+        };
         // 1000 B/s capacity, 500 B queue drained over 2 s → 250 B/s reserved.
         assert!((p.capacity_term(1000.0, 500.0) - 750.0).abs() < 1e-9);
     }
 
     #[test]
     fn capacity_term_floors_at_zero() {
-        let p = Params { alpha: 1.0, beta: 1.0, drain_horizon: 0.1, ..Default::default() };
+        let p = Params {
+            alpha: 1.0,
+            beta: 1.0,
+            drain_horizon: 0.1,
+            ..Default::default()
+        };
         assert_eq!(p.capacity_term(100.0, 1_000_000.0), 0.0);
     }
 
     #[test]
     fn bad_params_rejected() {
-        assert!(Params { alpha: 0.0, ..Default::default() }.validate().is_err());
-        assert!(Params { alpha: 1.5, ..Default::default() }.validate().is_err());
-        assert!(Params { beta: -1.0, ..Default::default() }.validate().is_err());
-        assert!(Params { tau: 0.0, ..Default::default() }.validate().is_err());
-        assert!(Params { min_rate: 0.0, ..Default::default() }.validate().is_err());
+        assert!(Params {
+            alpha: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Params {
+            alpha: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Params {
+            beta: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Params {
+            tau: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Params {
+            min_rate: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 }

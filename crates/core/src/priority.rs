@@ -54,13 +54,27 @@ impl PriorityPolicy {
                 (scale_bytes / remaining_bytes.max(1.0)).powf(*gamma)
             }
             PriorityPolicy::DeadlineDriven { deadline } => {
-                let time_left = (deadline - now).max(1e-3);
-                let target = remaining_bytes / time_left;
-                if current_rate > 0.0 {
-                    // ℘ = R*(t+τ)/R_j(t), the paper's adaptive rule.
-                    target / current_rate
+                if now >= *deadline {
+                    // Past the deadline the flow is a lost cause: shed it to
+                    // best-effort so it cannot starve flows that can still
+                    // make theirs (EDF's overload pathology otherwise).
+                    MIN_WEIGHT
                 } else {
-                    MAX_WEIGHT
+                    let target = remaining_bytes / (deadline - now);
+                    if current_rate > 0.0 {
+                        // ℘ = R*(t+τ)/R_j(t), the paper's adaptive rule —
+                        // but a flow whose required boost exceeds the weight
+                        // cap cannot meet the deadline even at full boost,
+                        // so it is shed rather than clamped.
+                        let w = target / current_rate;
+                        if w > MAX_WEIGHT {
+                            MIN_WEIGHT
+                        } else {
+                            w
+                        }
+                    } else {
+                        MAX_WEIGHT
+                    }
                 }
             }
         };
@@ -95,14 +109,20 @@ mod tests {
 
     #[test]
     fn fixed_is_clamped() {
-        assert_eq!(PriorityPolicy::Fixed(100.0).weight(1.0, 1.0, 0.0), MAX_WEIGHT);
+        assert_eq!(
+            PriorityPolicy::Fixed(100.0).weight(1.0, 1.0, 0.0),
+            MAX_WEIGHT
+        );
         assert_eq!(PriorityPolicy::Fixed(0.0).weight(1.0, 1.0, 0.0), MIN_WEIGHT);
         assert_eq!(PriorityPolicy::Fixed(3.0).weight(1.0, 1.0, 0.0), 3.0);
     }
 
     #[test]
     fn shortest_first_prefers_small_remainders() {
-        let p = PriorityPolicy::ShortestFirst { scale_bytes: 1e6, gamma: 1.0 };
+        let p = PriorityPolicy::ShortestFirst {
+            scale_bytes: 1e6,
+            gamma: 1.0,
+        };
         let short = p.weight(1e5, 0.0, 0.0);
         let long = p.weight(1e8, 0.0, 0.0);
         assert!(short > long);
@@ -120,9 +140,17 @@ mod tests {
     }
 
     #[test]
-    fn past_deadline_maxes_out() {
+    fn past_deadline_sheds_to_best_effort() {
         let p = PriorityPolicy::DeadlineDriven { deadline: 1.0 };
-        assert_eq!(p.weight(1e9, 1.0, 5.0), MAX_WEIGHT);
+        assert_eq!(p.weight(1e9, 1.0, 5.0), MIN_WEIGHT);
+    }
+
+    #[test]
+    fn infeasible_deadline_sheds_rather_than_clamps() {
+        // 1 GB left, 1 s to go, currently at 1 KB/s: even a MAX_WEIGHT
+        // boost cannot save this flow, so it must not steal capacity.
+        let p = PriorityPolicy::DeadlineDriven { deadline: 1.0 };
+        assert_eq!(p.weight(1e9, 1e3, 0.0), MIN_WEIGHT);
     }
 
     #[test]
@@ -144,7 +172,12 @@ mod tests {
         // twice the light flow's rate.
         use crate::params::Params;
         use crate::rate_metric::{LinkAllocator, LinkSample, MetricKind};
-        let p = Params { alpha: 1.0, beta: 0.0, min_rate: 1.0, ..Default::default() };
+        let p = Params {
+            alpha: 1.0,
+            beta: 0.0,
+            min_rate: 1.0,
+            ..Default::default()
+        };
         let mut a = LinkAllocator::new(900.0, MetricKind::Full, &p);
         let (mut r_heavy, mut r_light);
         for _ in 0..200 {
@@ -157,7 +190,13 @@ mod tests {
             // adv... The distributed realization: the heavy source takes
             // ℘ = 2 of the per-unit advertisement, so S = 2·adv + 1·adv.
             let _ = s;
-            a.update(&LinkSample { flow_rate_sum: 3.0 * adv, ..Default::default() }, &p);
+            a.update(
+                &LinkSample {
+                    flow_rate_sum: 3.0 * adv,
+                    ..Default::default()
+                },
+                &p,
+            );
         }
         // Advertised unit rate converges to 300 → heavy gets 600, light 300.
         assert!((a.rate() - 300.0).abs() < 1.0);

@@ -165,7 +165,12 @@ mod tests {
     use super::*;
 
     fn params() -> Params {
-        Params { alpha: 1.0, beta: 0.0, min_rate: 1.0, ..Default::default() }
+        Params {
+            alpha: 1.0,
+            beta: 0.0,
+            min_rate: 1.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -173,7 +178,13 @@ mod tests {
         let p = Params::default();
         let mut a = LinkAllocator::new(1e6, MetricKind::Full, &p);
         a.set_capacity(1.0); // failed port
-        let r = a.update(&LinkSample { flow_rate_sum: 1e9, ..Default::default() }, &p);
+        let r = a.update(
+            &LinkSample {
+                flow_rate_sum: 1e9,
+                ..Default::default()
+            },
+            &p,
+        );
         assert!(r <= 1.0 && r > 0.0);
     }
 
@@ -196,7 +207,13 @@ mod tests {
             let adv = a.rate();
             rates = [adv; 4]; // everyone sends at the advertisement
             let s: f64 = rates.iter().sum();
-            a.update(&LinkSample { flow_rate_sum: s, ..Default::default() }, &p);
+            a.update(
+                &LinkSample {
+                    flow_rate_sum: s,
+                    ..Default::default()
+                },
+                &p,
+            );
         }
         assert!((a.rate() - 250.0).abs() < 1.0, "rate = {}", a.rate());
         let _ = rates;
@@ -212,7 +229,13 @@ mod tests {
         for _ in 0..200 {
             let adv = a.rate();
             let s = adv + 100.0_f64.min(adv);
-            a.update(&LinkSample { flow_rate_sum: s, ..Default::default() }, &p);
+            a.update(
+                &LinkSample {
+                    flow_rate_sum: s,
+                    ..Default::default()
+                },
+                &p,
+            );
         }
         assert!(
             (a.rate() - 900.0).abs() < 5.0,
@@ -223,10 +246,20 @@ mod tests {
 
     #[test]
     fn queue_term_reduces_allocation() {
-        let p = Params { alpha: 1.0, beta: 1.0, drain_horizon: 1.0, min_rate: 1.0, ..Default::default() };
+        let p = Params {
+            alpha: 1.0,
+            beta: 1.0,
+            drain_horizon: 1.0,
+            min_rate: 1.0,
+            ..Default::default()
+        };
         let mut a = LinkAllocator::new(1000.0, MetricKind::Full, &p);
         let r = a.update(
-            &LinkSample { queue_bytes: 400.0, flow_rate_sum: 0.0, arrival_rate: 0.0 },
+            &LinkSample {
+                queue_bytes: 400.0,
+                flow_rate_sum: 0.0,
+                arrival_rate: 0.0,
+            },
             &p,
         );
         assert!((r - 600.0).abs() < 1e-9);
@@ -242,8 +275,20 @@ mod tests {
         for _ in 0..100 {
             let sf = 5.0 * full.rate();
             let ss = 5.0 * simp.rate();
-            full.update(&LinkSample { flow_rate_sum: sf, ..Default::default() }, &p);
-            simp.update(&LinkSample { arrival_rate: ss, ..Default::default() }, &p);
+            full.update(
+                &LinkSample {
+                    flow_rate_sum: sf,
+                    ..Default::default()
+                },
+                &p,
+            );
+            simp.update(
+                &LinkSample {
+                    arrival_rate: ss,
+                    ..Default::default()
+                },
+                &p,
+            );
         }
         assert!((full.rate() - simp.rate()).abs() < 1.0);
         assert!((full.rate() - 160.0).abs() < 1.0);
@@ -251,10 +296,21 @@ mod tests {
 
     #[test]
     fn rate_is_clamped_to_capacity_and_floor() {
-        let p = Params { alpha: 1.0, beta: 0.0, min_rate: 10.0, ..Default::default() };
+        let p = Params {
+            alpha: 1.0,
+            beta: 0.0,
+            min_rate: 10.0,
+            ..Default::default()
+        };
         let mut a = LinkAllocator::new(1000.0, MetricKind::Full, &p);
         // Massive overload drives the raw formula far below the floor.
-        a.update(&LinkSample { flow_rate_sum: 1e9, ..Default::default() }, &p);
+        a.update(
+            &LinkSample {
+                flow_rate_sum: 1e9,
+                ..Default::default()
+            },
+            &p,
+        );
         assert!(a.rate() >= 10.0);
         // Idle rounds drive it back up, capped at capacity.
         for _ in 0..10 {
@@ -272,7 +328,12 @@ mod tests {
 
     #[test]
     fn alpha_scales_offered_capacity() {
-        let p = Params { alpha: 0.5, beta: 0.0, min_rate: 1.0, ..Default::default() };
+        let p = Params {
+            alpha: 0.5,
+            beta: 0.0,
+            min_rate: 1.0,
+            ..Default::default()
+        };
         let mut a = LinkAllocator::new(1000.0, MetricKind::Full, &p);
         let r = a.update(&LinkSample::default(), &p);
         assert!((r - 500.0).abs() < 1e-9);

@@ -114,7 +114,10 @@ mod tests {
     fn admission_control_rejects_oversubscription() {
         let mut b = ReservationBook::new();
         assert!(b.reserve(FlowId(1), 600.0, 1000.0));
-        assert!(!b.reserve(FlowId(2), 600.0, 1000.0), "would exceed capacity");
+        assert!(
+            !b.reserve(FlowId(2), 600.0, 1000.0),
+            "would exceed capacity"
+        );
         assert_eq!(b.count(), 1);
         assert!(b.reserve(FlowId(2), 400.0, 1000.0));
     }
@@ -153,6 +156,10 @@ mod tests {
     fn shareable_capacity_floors_at_zero() {
         let mut b = ReservationBook::new();
         b.reserve(FlowId(1), 100.0, 100.0);
-        assert_eq!(b.shareable_capacity(50.0), 0.0, "shrunk link still non-negative");
+        assert_eq!(
+            b.shareable_capacity(50.0),
+            0.0,
+            "shrunk link still non-negative"
+        );
     }
 }

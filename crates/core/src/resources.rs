@@ -65,7 +65,12 @@ pub struct ServerResources {
 impl ServerResources {
     /// A server with the given profile and no load.
     pub fn new(profile: ResourceProfile) -> Self {
-        ServerResources { profile, background_cpu: 0.0, active_writes: 0, active_reads: 0 }
+        ServerResources {
+            profile,
+            background_cpu: 0.0,
+            active_writes: 0,
+            active_reads: 0,
+        }
     }
 
     /// Per-flow caps the RM reports this round (eq. 4's `R_other` pair):
@@ -73,10 +78,12 @@ impl ServerResources {
     /// shrinks with background load.
     pub fn rate_caps(&self) -> RateCaps {
         let cpu = self.profile.cpu_full_bps * (1.0 - self.background_cpu).max(0.0);
-        let write_share =
-            self.profile.disk_write_bps / self.active_writes.max(1) as f64;
+        let write_share = self.profile.disk_write_bps / self.active_writes.max(1) as f64;
         let read_share = self.profile.disk_read_bps / self.active_reads.max(1) as f64;
-        RateCaps { send: cpu.min(read_share), recv: cpu.min(write_share) }
+        RateCaps {
+            send: cpu.min(read_share),
+            recv: cpu.min(write_share),
+        }
     }
 }
 
@@ -136,7 +143,10 @@ impl ResourceBook {
     /// Per-flow caps for `id` (infinite for unregistered servers — the
     /// pure-network configuration).
     pub fn rate_caps(&self, id: NodeId) -> RateCaps {
-        self.servers.get(&id).map(ServerResources::rate_caps).unwrap_or_default()
+        self.servers
+            .get(&id)
+            .map(ServerResources::rate_caps)
+            .unwrap_or_default()
     }
 }
 

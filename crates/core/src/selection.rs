@@ -38,7 +38,10 @@ pub struct SelectorConfig {
 
 impl Default for SelectorConfig {
     fn default() -> Self {
-        SelectorConfig { r_scale: 40_000_000.0, power_aware: false }
+        SelectorConfig {
+            r_scale: 40_000_000.0,
+            power_aware: false,
+        }
     }
 }
 
@@ -69,7 +72,11 @@ impl<'a> Selector<'a> {
         energy: Option<&'a EnergyBook>,
         cfg: &'a SelectorConfig,
     ) -> Self {
-        Selector { metrics, energy, cfg }
+        Selector {
+            metrics,
+            energy,
+            cfg,
+        }
     }
 
     fn score(&self, m: &ServerMetrics, rank: Rank) -> f64 {
@@ -151,14 +158,15 @@ impl<'a> Selector<'a> {
                 .or_else(|| self.argmax(Rank::Up, &excl, |m| m.path_up >= self.cfg.r_scale))
                 .or_else(|| self.argmax(Rank::Up, &excl, |_| true))
             }
-            ContentClass::Interactive => {
-                self.argmax(Rank::MinBoth, &excl, |m| {
+            ContentClass::Interactive => self
+                .argmax(Rank::MinBoth, &excl, |m| {
                     !self.is_reserved_for_passive(m) && self.is_usable(m)
                 })
-                .or_else(|| self.argmax(Rank::MinBoth, &excl, |_| true))
-            }
+                .or_else(|| self.argmax(Rank::MinBoth, &excl, |_| true)),
             _ => self
-                .argmax(Rank::Up, &excl, |m| !self.is_reserved_for_passive(m) && self.is_usable(m))
+                .argmax(Rank::Up, &excl, |m| {
+                    !self.is_reserved_for_passive(m) && self.is_usable(m)
+                })
                 .or_else(|| self.argmax(Rank::Up, &excl, |_| true)),
         }
     }
@@ -212,7 +220,10 @@ mod tests {
     }
 
     fn cfg(r_scale: f64) -> SelectorConfig {
-        SelectorConfig { r_scale, power_aware: false }
+        SelectorConfig {
+            r_scale,
+            power_aware: false,
+        }
     }
 
     #[test]
@@ -220,7 +231,9 @@ mod tests {
         let metrics = [m(0, 10.0, 99.0), m(1, 50.0, 1.0), m(2, 30.0, 1.0)];
         let c = cfg(f64::INFINITY);
         let s = Selector::new(&metrics, None, &c);
-        let (bs, rate) = s.write_target(ContentClass::SemiInteractiveRead, &[]).unwrap();
+        let (bs, rate) = s
+            .write_target(ContentClass::SemiInteractiveRead, &[])
+            .unwrap();
         assert_eq!(bs, NodeId(1));
         assert_eq!(rate, 50.0);
     }
@@ -254,7 +267,11 @@ mod tests {
         let (bs, _) = s
             .replica_target(ContentClass::SemiInteractiveRead, NodeId(0), &[])
             .unwrap();
-        assert_eq!(bs, NodeId(1), "server 0 has the best uplink but is the primary");
+        assert_eq!(
+            bs,
+            NodeId(1),
+            "server 0 has the best uplink but is the primary"
+        );
     }
 
     #[test]
@@ -268,8 +285,14 @@ mod tests {
         book.scale_down(NodeId(1)); // dormant, uplink 80 ≥ 60
         let c = cfg(60.0);
         let s = Selector::new(&metrics, Some(&book), &c);
-        let (bs, _) = s.replica_target(ContentClass::Passive, NodeId(0), &[]).unwrap();
-        assert_eq!(bs, NodeId(1), "dormant server above R_scale wins over faster active one");
+        let (bs, _) = s
+            .replica_target(ContentClass::Passive, NodeId(0), &[])
+            .unwrap();
+        assert_eq!(
+            bs,
+            NodeId(1),
+            "dormant server above R_scale wins over faster active one"
+        );
     }
 
     #[test]
@@ -279,9 +302,15 @@ mod tests {
         let c = cfg(60.0);
         let s = Selector::new(&metrics, None, &c);
         let (bs, _) = s.write_target(ContentClass::Interactive, &[]).unwrap();
-        assert_eq!(bs, NodeId(1), "the near-idle server is kept for passive data");
+        assert_eq!(
+            bs,
+            NodeId(1),
+            "the near-idle server is kept for passive data"
+        );
         // But passive content goes right there.
-        let (bs, _) = s.replica_target(ContentClass::Passive, NodeId(0), &[]).unwrap();
+        let (bs, _) = s
+            .replica_target(ContentClass::Passive, NodeId(0), &[])
+            .unwrap();
         assert_eq!(bs, NodeId(2));
     }
 
@@ -313,24 +342,39 @@ mod tests {
         let c = cfg(f64::INFINITY);
         let s = Selector::new(&metrics, Some(&book), &c);
         let (bs, _) = s.read_source(&[NodeId(0), NodeId(1)]).unwrap();
-        assert_eq!(bs, NodeId(0), "active replica preferred over faster dormant one");
+        assert_eq!(
+            bs,
+            NodeId(0),
+            "active replica preferred over faster dormant one"
+        );
         let (only, _) = s.read_source(&[NodeId(1)]).unwrap();
-        assert_eq!(only, NodeId(1), "dormant replica used when it is the only copy");
+        assert_eq!(
+            only,
+            NodeId(1),
+            "dormant replica used when it is the only copy"
+        );
     }
 
     #[test]
     fn power_aware_ranking_divides_by_power() {
         let metrics = [m(0, 80.0, 80.0), m(1, 60.0, 60.0)];
         // Server 0 is a power hog (heterogeneity 2.0), server 1 nominal.
-        let mut book = EnergyBook::new(
-            PowerModelConfig::default(),
-            [NodeId(0), NodeId(1)],
-            |i| if i == 0 { 2.0 } else { 1.0 },
-        );
+        let mut book = EnergyBook::new(PowerModelConfig::default(), [NodeId(0), NodeId(1)], |i| {
+            if i == 0 {
+                2.0
+            } else {
+                1.0
+            }
+        });
         book.tick(1.0, |_| 0.5);
-        let c = SelectorConfig { r_scale: f64::INFINITY, power_aware: true };
+        let c = SelectorConfig {
+            r_scale: f64::INFINITY,
+            power_aware: true,
+        };
         let s = Selector::new(&metrics, Some(&book), &c);
-        let (bs, _) = s.write_target(ContentClass::SemiInteractiveWrite, &[]).unwrap();
+        let (bs, _) = s
+            .write_target(ContentClass::SemiInteractiveWrite, &[])
+            .unwrap();
         assert_eq!(bs, NodeId(1), "80/2P < 60/P: efficiency beats raw rate");
     }
 

@@ -79,7 +79,11 @@ pub struct SlaPolicy {
 
 impl Default for SlaPolicy {
     fn default() -> Self {
-        SlaPolicy { reserve_headroom: 0.25, episode_window: 1.0, escalate_after: 3 }
+        SlaPolicy {
+            reserve_headroom: 0.25,
+            episode_window: 1.0,
+            escalate_after: 3,
+        }
     }
 }
 
@@ -96,7 +100,11 @@ pub struct SlaMonitor {
 impl SlaMonitor {
     /// A monitor with the given policy.
     pub fn new(policy: SlaPolicy) -> Self {
-        SlaMonitor { policy, episodes: Vec::new(), log: Vec::new() }
+        SlaMonitor {
+            policy,
+            episodes: Vec::new(),
+            log: Vec::new(),
+        }
     }
 
     /// Ingest one violation; returns the chosen mitigation.
@@ -127,7 +135,9 @@ impl SlaMonitor {
         } else if count > 1 {
             Mitigation::ReassignServer
         } else {
-            Mitigation::AddBandwidth { extra: v.shortfall() * (1.0 + self.policy.reserve_headroom) }
+            Mitigation::AddBandwidth {
+                extra: v.shortfall() * (1.0 + self.policy.reserve_headroom),
+            }
         }
     }
 
@@ -177,7 +187,10 @@ mod tests {
 
     #[test]
     fn repeat_episodes_escalate() {
-        let mut m = SlaMonitor::new(SlaPolicy { escalate_after: 3, ..Default::default() });
+        let mut m = SlaMonitor::new(SlaPolicy {
+            escalate_after: 3,
+            ..Default::default()
+        });
         m.ingest(violation(0.0, 0, 150.0, 100.0));
         let second = m.ingest(violation(5.0, 0, 150.0, 100.0));
         assert_eq!(second, Mitigation::ReassignServer);
@@ -187,7 +200,10 @@ mod tests {
 
     #[test]
     fn violations_within_window_are_one_episode() {
-        let mut m = SlaMonitor::new(SlaPolicy { episode_window: 1.0, ..Default::default() });
+        let mut m = SlaMonitor::new(SlaPolicy {
+            episode_window: 1.0,
+            ..Default::default()
+        });
         m.ingest(violation(0.0, 0, 150.0, 100.0));
         // 0.5 s later: same episode, still first-line mitigation.
         match m.ingest(violation(0.5, 0, 150.0, 100.0)) {

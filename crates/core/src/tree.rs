@@ -57,7 +57,10 @@ pub struct RateCaps {
 
 impl Default for RateCaps {
     fn default() -> Self {
-        RateCaps { send: f64::INFINITY, recv: f64::INFINITY }
+        RateCaps {
+            send: f64::INFINITY,
+            recv: f64::INFINITY,
+        }
     }
 }
 
@@ -131,6 +134,10 @@ pub struct ControlTree {
     order: Vec<CtrlId>,
     hmax: u8,
     rm_by_server: BTreeMap<NodeId, CtrlId>,
+    /// Rounds executed so far (trace correlation id).
+    round: u64,
+    /// Observability sink (disabled by default).
+    obs: scda_obs::Obs,
 }
 
 /// Maximum tree depth the per-server level cache covers (the paper's
@@ -236,7 +243,24 @@ impl ControlTree {
         // lower-level than parents).
         let mut order: Vec<CtrlId> = (0..nodes.len()).map(CtrlId).collect();
         order.sort_by_key(|&id| nodes[id.0].level);
-        ControlTree { params, nodes, rms, root, order, hmax, rm_by_server }
+        ControlTree {
+            params,
+            nodes,
+            rms,
+            root,
+            order,
+            hmax,
+            rm_by_server,
+            round: 0,
+            obs: scda_obs::Obs::disabled(),
+        }
+    }
+
+    /// Attach an observability handle: every round traces begin/end,
+    /// per-level rate propagation and each SLA violation, and feeds the
+    /// `ctrl.*` metrics.
+    pub fn set_obs(&mut self, obs: scda_obs::Obs) {
+        self.obs = obs;
     }
 
     /// Build the canonical tree for the paper's figure-1/figure-6 topology:
@@ -323,23 +347,47 @@ impl ControlTree {
     /// `telemetry`. Returns detected SLA violations.
     pub fn control_round(&mut self, now: f64, telemetry: &mut impl Telemetry) -> Vec<SlaViolation> {
         let mut violations = Vec::new();
+        let round = self.round;
+        self.round += 1;
+        let observing = self.obs.is_enabled();
+        let t0 = observing.then(std::time::Instant::now);
+        if observing {
+            self.obs
+                .emit(scda_obs::TraceEvent::CtrlRoundBegin { now, round });
+        }
+        // Per-link (queue, utilization) samples, batched into the metrics
+        // registry at round end so the observed path locks once, not per
+        // link.
+        let mut link_obs: Vec<(f64, f64)> = Vec::new();
 
         // Pass 0: sample links, update allocators, detect violations.
         for id in 0..self.nodes.len() {
-            let (down_link, up_link, level) =
-                (self.nodes[id].down_link, self.nodes[id].up_link, self.nodes[id].level);
+            let (down_link, up_link, level) = (
+                self.nodes[id].down_link,
+                self.nodes[id].up_link,
+                self.nodes[id].level,
+            );
             for (dir, link) in [(Direction::Down, down_link), (Direction::Up, up_link)] {
                 let sample = telemetry.sample(link);
                 let state = match dir {
                     Direction::Down => &mut self.nodes[id].down,
                     Direction::Up => &mut self.nodes[id].up,
                 };
-                let cap_term = self.params.capacity_term(state.alloc.capacity(), sample.queue_bytes);
+                let cap = state.alloc.capacity();
+                let cap_term = self.params.capacity_term(cap, sample.queue_bytes);
                 let load = sample.flow_rate_sum.max(sample.arrival_rate);
+                if observing {
+                    link_obs.push((sample.queue_bytes, if cap > 0.0 { load / cap } else { 0.0 }));
+                }
                 if load > cap_term {
                     violations.push(SlaViolation {
                         time: now,
-                        site: ViolationSite { node: CtrlId(id), level, link, direction: dir },
+                        site: ViolationSite {
+                            node: CtrlId(id),
+                            level,
+                            link,
+                            direction: dir,
+                        },
                         demand: load,
                         capacity_term: cap_term,
                     });
@@ -405,8 +453,7 @@ impl ControlTree {
                         n.up.best_bs = None;
                     }
                 }
-                n.best_inter = best_inter
-                    .map(|(v, bs)| (v.min(n.down.r_own).min(n.up.r_own), bs));
+                n.best_inter = best_inter.map(|(v, bs)| (v.min(n.down.r_own).min(n.up.r_own), bs));
             }
         }
 
@@ -435,7 +482,86 @@ impl ControlTree {
             n.r_check_up = up;
         }
 
+        if let Some(t0) = t0 {
+            self.observe_round(now, round, &violations, link_obs, t0.elapsed());
+        }
         violations
+    }
+
+    /// Flush one observed round into the trace ring and metrics registry:
+    /// per-level propagation summaries, per-violation events, the round
+    /// envelope and the `ctrl.*` / `link.*` metrics.
+    fn observe_round(
+        &self,
+        now: f64,
+        round: u64,
+        violations: &[SlaViolation],
+        link_obs: Vec<(f64, f64)>,
+        elapsed: std::time::Duration,
+    ) {
+        use scda_obs::TraceEvent;
+        let changed_dirs = self.changed_nodes(0.05) as u32;
+        let duration_us = 1e6 * elapsed.as_secs_f64();
+        self.obs.with_core(|c| {
+            for v in violations {
+                c.tracer.push(TraceEvent::SlaViolationDetected {
+                    now,
+                    level: v.site.level,
+                    link: v.site.link.0,
+                    down: v.site.direction == Direction::Down,
+                    demand: v.demand,
+                    capacity_term: v.capacity_term,
+                });
+            }
+            // The figure-2 propagation per level: the best R̂ reaching each
+            // level of the upward fold and the worst cumulative Ř floor of
+            // the downward pass.
+            for h in 0..=self.hmax {
+                let mut hat_down = f64::NEG_INFINITY;
+                let mut hat_up = f64::NEG_INFINITY;
+                for n in self.nodes.iter().filter(|n| n.level == h) {
+                    hat_down = hat_down.max(n.down.r_hat);
+                    hat_up = hat_up.max(n.up.r_hat);
+                }
+                let mut check_down = f64::INFINITY;
+                let mut check_up = f64::INFINITY;
+                for &rm in &self.rms {
+                    let n = &self.nodes[rm.0];
+                    if let Some(&v) = n.r_check_down.get(h as usize) {
+                        check_down = check_down.min(v);
+                    }
+                    if let Some(&v) = n.r_check_up.get(h as usize) {
+                        check_up = check_up.min(v);
+                    }
+                }
+                c.tracer.push(TraceEvent::RatePropagation {
+                    now,
+                    round,
+                    level: h,
+                    r_hat_down_max: hat_down,
+                    r_hat_up_max: hat_up,
+                    r_check_down_min: check_down,
+                    r_check_up_min: check_up,
+                });
+            }
+            c.tracer.push(TraceEvent::CtrlRoundEnd {
+                now,
+                round,
+                violations: violations.len() as u32,
+                changed_dirs,
+                duration_us,
+            });
+            c.metrics.counter_add("ctrl.rounds", 1);
+            c.metrics
+                .counter_add("ctrl.violations", violations.len() as u64);
+            c.metrics
+                .counter_add("ctrl.changed_dirs", changed_dirs as u64);
+            c.metrics.observe("ctrl.round_duration_us", duration_us);
+            for (queue, util) in link_obs {
+                c.metrics.observe("link.queue_bytes", queue);
+                c.metrics.observe("link.utilization", util);
+            }
+        });
     }
 
     /// The RAs at a given tree level, in construction order (level 1 =
@@ -697,7 +823,11 @@ mod tests {
         let x = mbps(500.0) / 8.0;
         for sm in &m {
             // Own-link rates: α·X.
-            assert!((sm.r0_down - 0.95 * x).abs() < 1.0, "r0_down {}", sm.r0_down);
+            assert!(
+                (sm.r0_down - 0.95 * x).abs() < 1.0,
+                "r0_down {}",
+                sm.r0_down
+            );
             assert!((sm.r0_up - 0.95 * x).abs() < 1.0);
             // Whole path is bottlenecked by the X links too (trunk is 6X,
             // agg links 3X).
@@ -721,7 +851,10 @@ mod tests {
                 if l != self.favored_down && self.server_downs.contains(&l) {
                     // Heavy load: S = 10x the allocator's advertisement
                     // decays R.
-                    LinkSample { flow_rate_sum: 1e9, ..Default::default() }
+                    LinkSample {
+                        flow_rate_sum: 1e9,
+                        ..Default::default()
+                    }
                 } else {
                     LinkSample::default()
                 }
@@ -737,7 +870,10 @@ mod tests {
             .flatten()
             .map(|&(_, down)| down)
             .collect();
-        let mut tel = Loaded { favored_down, server_downs };
+        let mut tel = Loaded {
+            favored_down,
+            server_downs,
+        };
         for _ in 0..5 {
             ct.control_round(0.0, &mut tel);
         }
@@ -758,7 +894,10 @@ mod tests {
             }
             fn rate_caps(&mut self, s: NodeId) -> RateCaps {
                 if s == self.slow {
-                    RateCaps { send: 1000.0, recv: 500.0 }
+                    RateCaps {
+                        send: 1000.0,
+                        recv: 500.0,
+                    }
                 } else {
                     RateCaps::default()
                 }
@@ -788,7 +927,10 @@ mod tests {
         impl Telemetry for Skewed {
             fn sample(&mut self, l: LinkId) -> LinkSample {
                 if l == self.a_up {
-                    LinkSample { flow_rate_sum: 1e10, ..Default::default() }
+                    LinkSample {
+                        flow_rate_sum: 1e10,
+                        ..Default::default()
+                    }
                 } else {
                     LinkSample::default()
                 }
@@ -798,7 +940,9 @@ mod tests {
             }
         }
         let a = tree.servers[0][0];
-        let mut tel = Skewed { a_up: tree.server_links[0][0].0 };
+        let mut tel = Skewed {
+            a_up: tree.server_links[0][0].0,
+        };
         for _ in 0..5 {
             ct.control_round(0.0, &mut tel);
         }
@@ -816,7 +960,10 @@ mod tests {
         assert_eq!(same_agg, Some(2));
         let cross_agg = ct.shared_level(tree.servers[0][0], tree.servers[3][0]);
         assert_eq!(cross_agg, Some(3));
-        assert_eq!(ct.shared_level(tree.servers[0][0], tree.servers[0][0]), Some(0));
+        assert_eq!(
+            ct.shared_level(tree.servers[0][0], tree.servers[0][0]),
+            Some(0)
+        );
     }
 
     #[test]
@@ -827,7 +974,10 @@ mod tests {
             .transfer_rate(tree.servers[0][0], tree.servers[0][1])
             .unwrap();
         let x = mbps(500.0) / 8.0;
-        assert!((r - 0.95 * x).abs() < 1.0, "same-rack transfer sees only X links");
+        assert!(
+            (r - 0.95 * x).abs() < 1.0,
+            "same-rack transfer sees only X links"
+        );
     }
 
     #[test]
@@ -850,7 +1000,10 @@ mod tests {
         impl Telemetry for Overloaded {
             fn sample(&mut self, _l: LinkId) -> LinkSample {
                 // Demand far above any link's capacity term.
-                LinkSample { flow_rate_sum: 1e12, ..Default::default() }
+                LinkSample {
+                    flow_rate_sum: 1e12,
+                    ..Default::default()
+                }
             }
             fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
                 RateCaps::default()
@@ -904,7 +1057,9 @@ mod tests {
         let racks = ct.ras_at(1);
         assert_eq!(racks.len(), 4, "one level-1 RA per rack");
         for (r, &ra) in racks.iter().enumerate() {
-            let (bs, rate) = ct.best_server_at(ra, Direction::Down).expect("rack has servers");
+            let (bs, rate) = ct
+                .best_server_at(ra, Direction::Down)
+                .expect("rack has servers");
             assert!(tree.servers[r].contains(&bs), "rack {r} returned {bs}");
             assert!(rate > 0.0);
             let (ibs, _) = ct.best_server_interactive_at(ra).expect("rack has servers");
@@ -923,22 +1078,95 @@ mod tests {
         struct Slam;
         impl Telemetry for Slam {
             fn sample(&mut self, _l: LinkId) -> LinkSample {
-                LinkSample { flow_rate_sum: 1e10, ..Default::default() }
+                LinkSample {
+                    flow_rate_sum: 1e10,
+                    ..Default::default()
+                }
             }
             fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
                 RateCaps::default()
             }
         }
         ct.control_round(0.0, &mut Slam);
-        assert!(ct.changed_nodes(0.05) > 0, "a load slam must move allocations");
+        assert!(
+            ct.changed_nodes(0.05) > 0,
+            "a load slam must move allocations"
+        );
+    }
+
+    #[test]
+    fn observed_round_traces_propagation_and_violations() {
+        let (_tree, mut ct) = small_tree();
+        let obs = scda_obs::Obs::enabled();
+        ct.set_obs(obs.clone());
+        ct.control_round(0.0, &mut Idle);
+        struct Overloaded;
+        impl Telemetry for Overloaded {
+            fn sample(&mut self, _l: LinkId) -> LinkSample {
+                LinkSample {
+                    flow_rate_sum: 1e12,
+                    ..Default::default()
+                }
+            }
+            fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
+                RateCaps::default()
+            }
+        }
+        let v = ct.control_round(0.05, &mut Overloaded);
+        assert!(!v.is_empty());
+
+        let m = obs.metrics_snapshot().unwrap();
+        assert_eq!(m.counter("ctrl.rounds"), 2);
+        assert_eq!(m.counter("ctrl.violations"), v.len() as u64);
+        assert_eq!(m.histogram("ctrl.round_duration_us").unwrap().count(), 2);
+        // 19 nodes x 2 directions x 2 rounds of link samples.
+        assert_eq!(m.histogram("link.utilization").unwrap().count(), 2 * 2 * 19);
+
+        let jsonl = obs.trace_jsonl().unwrap();
+        assert!(jsonl.contains("\"event\":\"ctrl_round_begin\""));
+        assert!(jsonl.contains("\"event\":\"ctrl_round_end\""));
+        assert!(jsonl.contains("\"event\":\"sla_violation\""));
+        // One rate_propagation line per level per round.
+        let props = jsonl.matches("\"event\":\"rate_propagation\"").count();
+        assert_eq!(props, 2 * (ct.hmax() as usize + 1));
+    }
+
+    #[test]
+    fn unobserved_round_is_unchanged_by_instrumented_twin() {
+        // The observed and plain trees must compute identical allocations.
+        let (_tree, mut plain) = small_tree();
+        let (_tree2, mut observed) = small_tree();
+        observed.set_obs(scda_obs::Obs::enabled());
+        for i in 0..4 {
+            plain.control_round(i as f64 * 0.05, &mut Idle);
+            observed.control_round(i as f64 * 0.05, &mut Idle);
+        }
+        let a = plain.server_metrics();
+        let b = observed.server_metrics();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.r0_down, y.r0_down);
+            assert_eq!(x.path_up, y.path_up);
+        }
     }
 
     #[test]
     #[should_panic(expected = "parents must precede")]
     fn bad_spec_order_rejected() {
         let specs = [
-            NodeSpec { level: 0, parent: Some(1), server: Some(NodeId(0)), down_link: LinkId(0), up_link: LinkId(1) },
-            NodeSpec { level: 1, parent: None, server: None, down_link: LinkId(2), up_link: LinkId(3) },
+            NodeSpec {
+                level: 0,
+                parent: Some(1),
+                server: Some(NodeId(0)),
+                down_link: LinkId(0),
+                up_link: LinkId(1),
+            },
+            NodeSpec {
+                level: 1,
+                parent: None,
+                server: None,
+                down_link: LinkId(2),
+                up_link: LinkId(3),
+            },
         ];
         ControlTree::new(Params::default(), MetricKind::Full, &specs, |_| 1000.0);
     }

@@ -6,7 +6,7 @@
 //! cargo run --release -p scda-experiments --example calibrate
 //! ```
 
-use scda_experiments::{run_pair, Scale, Scenario, ScdaOptions};
+use scda_experiments::{run_pair, Scale, ScdaOptions, Scenario};
 
 fn main() {
     println!("video traces (paper scale), sweeping the arrival rate:");

@@ -115,7 +115,13 @@ pub fn metric_comparison(sc: &Scenario) -> Vec<AblationCell> {
     [MetricKind::Full, MetricKind::Simplified]
         .into_iter()
         .map(|m| {
-            let r = run_scda(sc, &ScdaOptions { metric: m, ..Default::default() });
+            let r = run_scda(
+                sc,
+                &ScdaOptions {
+                    metric: m,
+                    ..Default::default()
+                },
+            );
             AblationCell::from_run(format!("metric={m:?}"), &r)
         })
         .collect()
@@ -139,7 +145,10 @@ pub fn priority_study(sc: &Scenario) -> Vec<AblationCell> {
     let sjf = run_scda(
         sc,
         &ScdaOptions {
-            priority: Some(PriorityPolicy::ShortestFirst { scale_bytes: 500_000.0, gamma: 0.7 }),
+            priority: Some(PriorityPolicy::ShortestFirst {
+                scale_bytes: 500_000.0,
+                gamma: 0.7,
+            }),
             ..Default::default()
         },
     );
@@ -152,19 +161,31 @@ pub fn priority_study(sc: &Scenario) -> Vec<AblationCell> {
 /// Dormancy on vs off vs no energy accounting, with `r_scale` set so
 /// near-idle servers qualify.
 pub fn energy_study(sc: &Scenario, r_scale: f64) -> Vec<AblationCell> {
-    let selector = SelectorConfig { r_scale, power_aware: false };
-    let base = ScdaOptions { selector: selector.clone(), ..Default::default() };
+    let selector = SelectorConfig {
+        r_scale,
+        power_aware: false,
+    };
+    let base = ScdaOptions {
+        selector: selector.clone(),
+        ..Default::default()
+    };
     let always_on = run_scda(
         sc,
         &ScdaOptions {
-            energy: Some(EnergyOptions { dormancy: false, ..Default::default() }),
+            energy: Some(EnergyOptions {
+                dormancy: false,
+                ..Default::default()
+            }),
             ..base.clone()
         },
     );
     let dormancy = run_scda(
         sc,
         &ScdaOptions {
-            energy: Some(EnergyOptions { dormancy: true, ..Default::default() }),
+            energy: Some(EnergyOptions {
+                dormancy: true,
+                ..Default::default()
+            }),
             ..base
         },
     );
@@ -267,10 +288,12 @@ mod tests {
         // (Selection matters more as hotspots appear — see the bin/ablations
         // output at heavier load.)
         let fct = |i: usize| cells[i].mean_fct;
-        assert!(fct(0).max(fct(2)) < fct(1).min(fct(3)),
+        assert!(
+            fct(0).max(fct(2)) < fct(1).min(fct(3)),
             "explicit-rate cells {:?} must beat tcp cells {:?}",
             (fct(0), fct(2)),
-            (fct(1), fct(3)));
+            (fct(1), fct(3))
+        );
     }
 
     #[test]
@@ -289,8 +312,14 @@ mod tests {
         assert_eq!(cells.len(), 3);
         // A 4x coarser control loop must not collapse the system.
         let worst = cells.iter().map(|c| c.mean_fct).fold(0.0, f64::max);
-        let best = cells.iter().map(|c| c.mean_fct).fold(f64::INFINITY, f64::min);
-        assert!(worst < 4.0 * best, "tau sensitivity too extreme: {best} vs {worst}");
+        let best = cells
+            .iter()
+            .map(|c| c.mean_fct)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            worst < 4.0 * best,
+            "tau sensitivity too extreme: {best} vs {worst}"
+        );
     }
 
     #[test]

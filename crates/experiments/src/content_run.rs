@@ -162,7 +162,11 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
         .collect();
     let rack_members: Vec<Vec<NodeId>> = tree.servers.clone();
     let clients = tree.clients.clone();
-    let params = Params { tau: cfg.tau, drain_horizon: cfg.tau, ..Default::default() };
+    let params = Params {
+        tau: cfg.tau,
+        drain_horizon: cfg.tau,
+        ..Default::default()
+    };
     let mut ct = ControlTree::from_three_tier(&tree, params.clone(), MetricKind::Full);
     let costs = ProtocolCosts {
         control_hop: params.control_hop_delay,
@@ -177,8 +181,15 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
         .iter()
         .map(|&s| (s, BlockServer::new(s, cfg.disk_capacity)))
         .collect();
-    let selector_cfg = SelectorConfig { r_scale: f64::INFINITY, power_aware: false };
-    let classifier = ClassifierConfig { high_write_rate: 0.02, high_read_rate: 0.05, ..Default::default() };
+    let selector_cfg = SelectorConfig {
+        r_scale: f64::INFINITY,
+        power_aware: false,
+    };
+    let classifier = ClassifierConfig {
+        high_write_rate: 0.02,
+        high_read_rate: 0.05,
+        ..Default::default()
+    };
 
     // Written catalog in write order (read popularity ranks by recency-
     // independent Zipf over this list).
@@ -199,7 +210,11 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
     let mut link_loads = vec![0.0_f64; n_links];
     {
         let loads = link_loads.clone();
-        let mut tel = Tel { net: driver.net_mut(), loads: &loads, tau: cfg.tau };
+        let mut tel = Tel {
+            net: driver.net_mut(),
+            loads: &loads,
+            tau: cfg.tau,
+        };
         ct.control_round(0.0, &mut tel);
     }
 
@@ -242,7 +257,10 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
             // smaller than any real rate differential.
             let mut metrics = ct.server_metrics();
             for m in &mut metrics {
-                let k = stores.get(&m.server).map(BlockServer::object_count).unwrap_or(0);
+                let k = stores
+                    .get(&m.server)
+                    .map(BlockServer::object_count)
+                    .unwrap_or(0);
                 let tie_break = 1.0 + 0.05 * k as f64;
                 m.path_down /= tie_break;
                 m.r0_down /= tie_break;
@@ -266,7 +284,10 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
                 replicas: vec![],
                 stats,
             });
-            stores.get_mut(&primary).expect("known server").store(content, size);
+            stores
+                .get_mut(&primary)
+                .expect("known server")
+                .store(content, size);
             catalog.push((content, size));
 
             let rate = ct
@@ -312,9 +333,7 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
             }
             let sel = Selector::new(&metrics, None, &selector_cfg);
             let holder = match cfg.selection {
-                SelectionPolicy::BestRate => {
-                    sel.read_source(&holders).expect("holders exist").0
-                }
+                SelectionPolicy::BestRate => sel.read_source(&holders).expect("holders exist").0,
                 SelectionPolicy::Random => holders[rng.random_range(0..holders.len())],
             };
             *outstanding_reads.entry(holder).or_insert(0) += 1;
@@ -323,7 +342,9 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
             } else {
                 reads_from_replica += 1;
             }
-            let rate = ct.client_rate(holder, Direction::Up).unwrap_or(params.min_rate);
+            let rate = ct
+                .client_rate(holder, Direction::Up)
+                .unwrap_or(params.min_rate);
             let rtt = driver
                 .net_mut()
                 .base_rtt_between(holder, client)
@@ -368,7 +389,11 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
             }
             {
                 let loads = std::mem::take(&mut link_loads);
-                let mut tel = Tel { net: driver.net_mut(), loads: &loads, tau: cfg.tau };
+                let mut tel = Tel {
+                    net: driver.net_mut(),
+                    loads: &loads,
+                    tau: cfg.tau,
+                };
                 ct.control_round(now, &mut tel);
                 link_loads = loads;
             }
@@ -383,9 +408,7 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
                         let meta = ns.lookup(*content).expect("registered");
                         ct.client_rate(meta.primary, Direction::Down)
                     }
-                    Purpose::ClientRead { holder, .. } => {
-                        ct.client_rate(*holder, Direction::Up)
-                    }
+                    Purpose::ClientRead { holder, .. } => ct.client_rate(*holder, Direction::Up),
                     Purpose::Replication { content, replica } => {
                         let meta = ns.lookup(*content).expect("registered");
                         ct.transfer_rate(meta.primary, *replica)
@@ -430,17 +453,18 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
                         SelectionPolicy::BestRate => sel
                             .replica_target(meta.class, meta.primary, &out_of_scope)
                             .map(|(r, _)| r),
-                        SelectionPolicy::Random => loop {
+                        SelectionPolicy::Random => {
                             let candidates: Vec<NodeId> = servers
                                 .iter()
                                 .copied()
                                 .filter(|s| *s != meta.primary && !out_of_scope.contains(s))
                                 .collect();
                             if candidates.is_empty() {
-                                break None;
+                                None
+                            } else {
+                                Some(candidates[rng.random_range(0..candidates.len())])
                             }
-                            break Some(candidates[rng.random_range(0..candidates.len())]);
-                        },
+                        }
                     };
                     if let Some(replica) = replica {
                         let rate = ct
@@ -515,17 +539,33 @@ mod tests {
     use super::*;
 
     fn quick(selection: SelectionPolicy, seed: u64) -> ContentRunConfig {
-        ContentRunConfig { duration: 25.0, selection, seed, ..Default::default() }
+        ContentRunConfig {
+            duration: 25.0,
+            selection,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn lifecycle_completes_writes_reads_and_replications() {
         let r = run_content(&quick(SelectionPolicy::BestRate, 3));
-        assert!(r.write_fct.len() > 10, "writes completed: {}", r.write_fct.len());
-        assert!(r.read_fct.len() > 50, "reads completed: {}", r.read_fct.len());
+        assert!(
+            r.write_fct.len() > 10,
+            "writes completed: {}",
+            r.write_fct.len()
+        );
+        assert!(
+            r.read_fct.len() > 50,
+            "reads completed: {}",
+            r.read_fct.len()
+        );
         assert!(r.replications > 5, "replications: {}", r.replications);
         // Every replication stored a second copy.
-        assert_eq!(r.stored_objects, r.write_fct.len() + r.replications + pending_primaries(&r));
+        assert_eq!(
+            r.stored_objects,
+            r.write_fct.len() + r.replications + pending_primaries(&r)
+        );
     }
 
     /// Primaries whose client write finished counting toward storage but
@@ -556,7 +596,11 @@ mod tests {
         let r = run_content(&quick(SelectionPolicy::BestRate, 7));
         // With Zipf reads, at least the head of the catalog turns
         // read-hot; the tail stays passive.
-        let semi = r.learned_classes.get("SemiInteractiveRead").copied().unwrap_or(0);
+        let semi = r
+            .learned_classes
+            .get("SemiInteractiveRead")
+            .copied()
+            .unwrap_or(0);
         let passive = r.learned_classes.get("Passive").copied().unwrap_or(0);
         assert!(semi > 0, "classes: {:?}", r.learned_classes);
         assert!(passive > 0, "classes: {:?}", r.learned_classes);
@@ -564,13 +608,19 @@ mod tests {
 
     #[test]
     fn best_rate_reads_beat_random_reads() {
-        let best = run_content(&quick(SelectionPolicy::BestRate, 11));
-        let random = run_content(&quick(SelectionPolicy::Random, 11));
-        let b = best.read_fct.mean_fct().expect("reads completed");
-        let r = random.read_fct.mean_fct().expect("reads completed");
+        // The quick content scenario is lightly loaded, so per-seed noise
+        // dominates the holder-choice effect; average a few seeds before
+        // comparing.
+        let (mut b_sum, mut r_sum) = (0.0, 0.0);
+        for seed in [11, 12, 13] {
+            let best = run_content(&quick(SelectionPolicy::BestRate, seed));
+            let random = run_content(&quick(SelectionPolicy::Random, seed));
+            b_sum += best.read_fct.mean_fct().expect("reads completed");
+            r_sum += random.read_fct.mean_fct().expect("reads completed");
+        }
         assert!(
-            b <= r * 1.05,
-            "rate-aware holder choice should not lose: {b} vs {r}"
+            b_sum <= r_sum * 1.05,
+            "rate-aware holder choice should not lose: {b_sum} vs {r_sum}"
         );
     }
 

@@ -67,7 +67,13 @@ impl Group {
 
     /// Run the group (both systems).
     pub fn run(self, scale: Scale, seed: u64) -> ExperimentPair {
-        run_pair(&self.scenario(scale, seed), &ScdaOptions::default())
+        self.run_with(scale, seed, &ScdaOptions::default())
+    }
+
+    /// Run the group with explicit SCDA options — the entry point the CLI
+    /// bins use to thread an observability handle through the run.
+    pub fn run_with(self, scale: Scale, seed: u64, opts: &ScdaOptions) -> ExperimentPair {
+        run_pair(&self.scenario(scale, seed), opts)
     }
 
     /// The figures this group regenerates.
@@ -134,48 +140,53 @@ fn afct_series(r: &RunResult, size_max: f64, bins: usize, x_unit: f64) -> Vec<(f
 /// (the caller pairs them via [`Group::for_figure`]).
 pub fn build_figure(fig: u32, pair: &ExperimentPair) -> FigureReport {
     /// (title, x label, y label, scda series, randtcp series)
-    type FigureParts = (String, &'static str, &'static str, Vec<(f64, f64)>, Vec<(f64, f64)>);
-    let (title, x_label, y_label, scda, randtcp): FigureParts =
-        match fig {
-            7 | 10 | 17 => (
-                format!("Instantaneous average throughput — {}", pair.scenario),
-                "time (s)",
-                "Avg. Inst. Thpt (KB/s)",
-                throughput_series(&pair.scda),
-                throughput_series(&pair.randtcp),
-            ),
-            8 | 11 | 14 | 16 | 18 => {
-                let x_max = match fig {
-                    8 => 12.0,
-                    11 => 35.0,
-                    14 => 12.0,
-                    16 => 10.0,
-                    _ => 120.0,
-                };
-                (
-                    format!("FCT CDF — {}", pair.scenario),
-                    "FCT (s)",
-                    "CDF",
-                    cdf_series(&pair.scda, x_max),
-                    cdf_series(&pair.randtcp, x_max),
-                )
-            }
-            9 | 12 => (
-                format!("AFCT by file size — {}", pair.scenario),
-                "file size (MB)",
-                "AFCT (s)",
-                afct_series(&pair.scda, 90e6, 18, 1e6),
-                afct_series(&pair.randtcp, 90e6, 18, 1e6),
-            ),
-            13 | 15 => (
-                format!("AFCT by file size — {}", pair.scenario),
-                "file size (KB)",
-                "AFCT (s)",
-                afct_series(&pair.scda, 7e6, 14, 1e3),
-                afct_series(&pair.randtcp, 7e6, 14, 1e3),
-            ),
-            _ => panic!("figure {fig} is not part of the paper's evaluation"),
-        };
+    type FigureParts = (
+        String,
+        &'static str,
+        &'static str,
+        Vec<(f64, f64)>,
+        Vec<(f64, f64)>,
+    );
+    let (title, x_label, y_label, scda, randtcp): FigureParts = match fig {
+        7 | 10 | 17 => (
+            format!("Instantaneous average throughput — {}", pair.scenario),
+            "time (s)",
+            "Avg. Inst. Thpt (KB/s)",
+            throughput_series(&pair.scda),
+            throughput_series(&pair.randtcp),
+        ),
+        8 | 11 | 14 | 16 | 18 => {
+            let x_max = match fig {
+                8 => 12.0,
+                11 => 35.0,
+                14 => 12.0,
+                16 => 10.0,
+                _ => 120.0,
+            };
+            (
+                format!("FCT CDF — {}", pair.scenario),
+                "FCT (s)",
+                "CDF",
+                cdf_series(&pair.scda, x_max),
+                cdf_series(&pair.randtcp, x_max),
+            )
+        }
+        9 | 12 => (
+            format!("AFCT by file size — {}", pair.scenario),
+            "file size (MB)",
+            "AFCT (s)",
+            afct_series(&pair.scda, 90e6, 18, 1e6),
+            afct_series(&pair.randtcp, 90e6, 18, 1e6),
+        ),
+        13 | 15 => (
+            format!("AFCT by file size — {}", pair.scenario),
+            "file size (KB)",
+            "AFCT (s)",
+            afct_series(&pair.scda, 7e6, 14, 1e3),
+            afct_series(&pair.randtcp, 7e6, 14, 1e3),
+        ),
+        _ => panic!("figure {fig} is not part of the paper's evaluation"),
+    };
     FigureReport {
         figure: fig,
         title,
@@ -239,6 +250,8 @@ mod tests {
                 replications_completed: 0,
                 control_rounds: 0,
                 changed_dirs_total: 0,
+                profile: None,
+                snapshots: None,
             },
             randtcp: crate::runner::RunResult {
                 system: "RandTCP".into(),
@@ -253,6 +266,8 @@ mod tests {
                 replications_completed: 0,
                 control_rounds: 0,
                 changed_dirs_total: 0,
+                profile: None,
+                snapshots: None,
             },
         };
         build_figure(3, &pair);

@@ -12,7 +12,7 @@
 //! * [`figures`] — the figure index: five simulation groups → figures
 //!   7-18 as [`scda_metrics::FigureReport`]s.
 //!
-//! The `figures` binary (`cargo run -p scda-experiments --bin figures`)
+//! The `figures` binary (`cargo run --release --bin figures`)
 //! regenerates any or all figures from the command line.
 
 #![warn(missing_docs)]
@@ -27,10 +27,10 @@ pub mod scenario;
 
 pub use content_run::{run_content, ContentRunConfig, ContentRunResult, ReplicaScope};
 pub use figures::{build_figure, run_pair, ExperimentPair, Group};
+pub use multipath::{run_multipath, MultipathConfig, MultipathResult, PathPolicy};
+pub use replication::{aggregate, run_seeds, Aggregate, SeedSummary};
 pub use runner::{
     run_randtcp, run_scda, DataTransport, EnergyOptions, ReservationPlan, RunResult, ScdaOptions,
     SelectionPolicy,
 };
-pub use multipath::{run_multipath, MultipathConfig, MultipathResult, PathPolicy};
-pub use replication::{aggregate, run_seeds, Aggregate, SeedSummary};
 pub use scenario::{Scale, Scenario};

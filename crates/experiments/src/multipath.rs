@@ -19,7 +19,7 @@ use serde::Serialize;
 
 use scda_metrics::{jain_index, FctStats, FlowRecord, Utilization};
 use scda_simnet::builders::clos;
-use scda_simnet::{max_min_rates, EcmpRoutes, FluidFlow, FlowId, LinkId, Network};
+use scda_simnet::{max_min_rates, EcmpRoutes, FlowId, FluidFlow, LinkId, Network};
 use scda_transport::{AnyTransport, FlowDriver, Reno, RenoConfig, ScdaWindow, Transport};
 
 /// How paths and rates are chosen on the Clos.
@@ -209,9 +209,13 @@ pub fn run_multipath(cfg: &MultipathConfig, policy: PathPolicy) -> MultipathResu
                     best_path(&committed_for(&fd))
                 }
             };
-            let base_rtt: f64 =
-                2.0 * path.iter().map(|&l| fd.net().topo().link(l).delay_s).sum::<f64>();
-            fd.net_mut().insert_flow_with_path(id, src, dst, path.clone());
+            let base_rtt: f64 = 2.0
+                * path
+                    .iter()
+                    .map(|&l| fd.net().topo().link(l).delay_s)
+                    .sum::<f64>();
+            fd.net_mut()
+                .insert_flow_with_path(id, src, dst, path.clone());
             let transport = match policy {
                 PathPolicy::EcmpHash | PathPolicy::HederaLike { .. } => {
                     AnyTransport::Tcp(Reno::new(RenoConfig {
@@ -237,8 +241,11 @@ pub fn run_multipath(cfg: &MultipathConfig, policy: PathPolicy) -> MultipathResu
                 .filter(|id| fd.progress(**id).is_some())
                 .map(|id| FluidFlow::new(placed[id].path.clone()))
                 .collect();
-            let live: Vec<FlowId> =
-                ids.iter().copied().filter(|id| fd.progress(*id).is_some()).collect();
+            let live: Vec<FlowId> = ids
+                .iter()
+                .copied()
+                .filter(|id| fd.progress(*id).is_some())
+                .collect();
             let rates = max_min_rates(&link_caps, &flows);
             for (id, rate) in live.iter().zip(rates) {
                 if let Some(AnyTransport::Scda(w)) = fd.transport_mut(*id) {
@@ -263,7 +270,11 @@ pub fn run_multipath(cfg: &MultipathConfig, policy: PathPolicy) -> MultipathResu
         let summary = fd.tick(now, cfg.dt);
         for c in &summary.completed {
             placed.remove(&c.id);
-            fct.push(FlowRecord { size_bytes: c.size_bytes, start: c.start, finish: c.finish });
+            fct.push(FlowRecord {
+                size_bytes: c.size_bytes,
+                start: c.start,
+                finish: c.finish,
+            });
             per_flow_rate.push((c.size_bytes, c.fct()));
         }
     }
@@ -283,7 +294,11 @@ mod tests {
     use super::*;
 
     fn cfg(seed: u64) -> MultipathConfig {
-        MultipathConfig { duration: 8.0, seed, ..Default::default() }
+        MultipathConfig {
+            duration: 8.0,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -331,8 +346,17 @@ mod tests {
         // below the elephant threshold, Hedera degenerates to ECMP.
         let c = cfg(9);
         let ecmp = run_multipath(&c, PathPolicy::EcmpHash);
-        let hedera = run_multipath(&c, PathPolicy::HederaLike { elephant_bytes: 100e6 });
-        assert_eq!(ecmp.fct.mean_fct(), hedera.fct.mean_fct(), "identical placement");
+        let hedera = run_multipath(
+            &c,
+            PathPolicy::HederaLike {
+                elephant_bytes: 100e6,
+            },
+        );
+        assert_eq!(
+            ecmp.fct.mean_fct(),
+            hedera.fct.mean_fct(),
+            "identical placement"
+        );
     }
 
     #[test]
@@ -342,14 +366,22 @@ mod tests {
         // rates.
         let c = cfg(11);
         let ecmp = run_multipath(&c, PathPolicy::EcmpHash);
-        let hedera = run_multipath(&c, PathPolicy::HederaLike { elephant_bytes: 0.0 });
+        let hedera = run_multipath(
+            &c,
+            PathPolicy::HederaLike {
+                elephant_bytes: 0.0,
+            },
+        );
         let scda = run_multipath(&c, PathPolicy::MaxMinRoute);
         let (e, h, s) = (
             ecmp.fct.mean_fct().expect("completions"),
             hedera.fct.mean_fct().expect("completions"),
             scda.fct.mean_fct().expect("completions"),
         );
-        assert!(h <= e * 1.02, "load-aware elephants should not lose: {h} vs {e}");
+        assert!(
+            h <= e * 1.02,
+            "load-aware elephants should not lose: {h} vs {e}"
+        );
         assert!(s < h, "explicit rates still win: {s} vs {h}");
     }
 

@@ -131,7 +131,10 @@ mod tests {
         }
         let agg = aggregate(&summaries);
         assert_eq!(agg.n, 3);
-        assert!(agg.mean_fct_reduction > 0.2, "aggregate reduction too small");
+        assert!(
+            agg.mean_fct_reduction > 0.2,
+            "aggregate reduction too small"
+        );
         assert!(agg.std_fct_reduction.is_finite());
     }
 

@@ -18,15 +18,19 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::{BTreeMap, HashMap};
 
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use scda_core::{
     ContentClass, ControlTree, Direction, EnergyBook, LinkAllocator, LinkSample, MetricKind,
     Mitigation, OpenFlowSjf, Params, PowerModelConfig, PriorityPolicy, ProtocolCosts, RateCaps,
-    ResourceBook, ResourceProfile, Selector, SelectorConfig, SlaMonitor, SlaPolicy, Telemetry,
+    ResourceBook, ResourceProfile, Selector, SelectorConfig, SlaMonitor, SlaPolicy, SnapshotStream,
+    Telemetry,
 };
 use scda_metrics::{FctStats, FlowRecord, ThroughputSeries};
+use scda_obs::{Candidate, Obs, ProfileReport, TraceEvent, MAX_CANDIDATES};
 use scda_simnet::{FlowId, LinkId, Network, NodeId};
 use scda_transport::{AnyTransport, FlowDriver, Reno, RenoConfig, ScdaWindow, Transport};
 
@@ -78,7 +82,11 @@ pub struct EnergyOptions {
 
 impl Default for EnergyOptions {
     fn default() -> Self {
-        EnergyOptions { model: PowerModelConfig::default(), hetero_spread: 0.4, dormancy: true }
+        EnergyOptions {
+            model: PowerModelConfig::default(),
+            hetero_spread: 0.4,
+            dormancy: true,
+        }
     }
 }
 use scda_workloads::{FlowDirection, FlowKind};
@@ -115,6 +123,12 @@ pub struct RunResult {
     /// Sum over rounds of node-directions whose allocation moved > 5%
     /// (the Δ-reporting overhead driver; see `scda_core::overhead`).
     pub changed_dirs_total: usize,
+    /// Per-phase wall-clock profile of the run loop (populated when the
+    /// run carried an enabled [`Obs`] handle).
+    pub profile: Option<ProfileReport>,
+    /// Periodic control-tree snapshots (populated when
+    /// [`ScdaOptions::snapshot_every`] is set).
+    pub snapshots: Option<SnapshotStream>,
 }
 
 /// SCDA-side knobs.
@@ -154,6 +168,12 @@ pub struct ScdaOptions {
     /// set, the RMs report finite `R_other` caps (eq. 4) and flows open
     /// against the servers' disks.
     pub resource_profiles: Option<Vec<ResourceProfile>>,
+    /// Observability handle threaded through the engine, transport driver
+    /// and control tree (disabled by default: near-zero overhead).
+    pub obs: Obs,
+    /// Record a [`SnapshotStream`] entry every k control rounds (the §I
+    /// diagnostics offload as a `k·τ` time series).
+    pub snapshot_every: Option<u64>,
 }
 
 impl Default for ScdaOptions {
@@ -161,7 +181,10 @@ impl Default for ScdaOptions {
         ScdaOptions {
             params: Params::default(),
             metric: MetricKind::Full,
-            selector: SelectorConfig { r_scale: f64::INFINITY, power_aware: false },
+            selector: SelectorConfig {
+                r_scale: f64::INFINITY,
+                power_aware: false,
+            },
             priority: None,
             selection_policy: SelectionPolicy::BestRate,
             transport_kind: DataTransport::ExplicitRate,
@@ -172,6 +195,8 @@ impl Default for ScdaOptions {
             replicate_writes: false,
             reservations: None,
             resource_profiles: None,
+            obs: Obs::disabled(),
+            snapshot_every: None,
         }
     }
 }
@@ -296,7 +321,11 @@ pub fn run_randtcp(sc: &Scenario) -> RunResult {
         thpt.record(now, summary.delivered_bytes, driver.active_count());
         for c in &summary.completed {
             let (arrival, size) = arrivals.remove(&c.id).expect("completed flow was started");
-            fct.push(FlowRecord { size_bytes: size, start: arrival, finish: c.finish });
+            fct.push(FlowRecord {
+                size_bytes: size,
+                start: arrival,
+                finish: c.finish,
+            });
         }
     }
 
@@ -313,6 +342,8 @@ pub fn run_randtcp(sc: &Scenario) -> RunResult {
         replications_completed: 0,
         control_rounds: 0,
         changed_dirs_total: 0,
+        profile: None,
+        snapshots: None,
     }
 }
 
@@ -359,7 +390,11 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
     }
     let n_racks = tree.servers.len();
     let n_aggs = tree.aggs.len();
-    let params = Params { tau: sc.tau, drain_horizon: sc.tau, ..opts.params.clone() };
+    let params = Params {
+        tau: sc.tau,
+        drain_horizon: sc.tau,
+        ..opts.params.clone()
+    };
     let mut ct = ControlTree::from_three_tier(&tree, params.clone(), opts.metric);
     let costs = ProtocolCosts {
         control_hop: params.control_hop_delay,
@@ -367,6 +402,14 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
     };
     let link_count = tree.topo.link_count();
     let mut driver = FlowDriver::new(Network::new(tree.topo));
+
+    // Observability: thread one handle through the control tree and the
+    // transport driver; a disabled handle costs a single branch per call.
+    let obs = &opts.obs;
+    let observing = obs.is_enabled();
+    ct.set_obs(obs.clone());
+    driver.set_obs(obs.clone());
+    let mut snap_stream = opts.snapshot_every.map(SnapshotStream::new);
 
     // Client-side RMs: allocators for the WAN links the RA tree does not
     // cover ("FES agents associated with the UCL clients").
@@ -386,7 +429,10 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
     /// completion bookkeeping.
     enum CtlKind {
         /// Client-facing transfer (figures 3/5).
-        External { dir: FlowDirection, client_idx: usize },
+        External {
+            dir: FlowDirection,
+            client_idx: usize,
+        },
         /// Server-to-server replication (figure 4).
         Internal { receiver: NodeId },
     }
@@ -425,8 +471,13 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
     // the hot path allocation-free at the 16k-server scale).
     let mut metrics_buf: Vec<scda_core::ServerMetrics> = Vec::new();
     let mut resources = opts.resource_profiles.as_ref().map(|profiles| {
-        assert!(!profiles.is_empty(), "resource profile list cannot be empty");
-        ResourceBook::new(servers.iter().copied(), |i| profiles[i % profiles.len()].clone())
+        assert!(
+            !profiles.is_empty(),
+            "resource profile list cannot be empty"
+        );
+        ResourceBook::new(servers.iter().copied(), |i| {
+            profiles[i % profiles.len()].clone()
+        })
     });
     // Original capacities of links that received reserve bandwidth, to
     // bound how far mitigation may grow them.
@@ -472,6 +523,7 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
         let now = step as f64 * sc.dt;
 
         // Admit new requests: classify, select a server, price the setup.
+        let t_admit = observing.then(Instant::now);
         while next_flow < sc.workload.flows.len() && sc.workload.flows[next_flow].arrival <= now {
             let f = sc.workload.flows[next_flow];
             next_flow += 1;
@@ -486,12 +538,7 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
             // The per-level rates come from the ServerMetrics level cache,
             // keeping this hot path free of tree walks and allocations.
             let x = sc.topo.base_bw_bps / 8.0;
-            let level_caps = [
-                x,
-                x,
-                sc.topo.k_factor * x,
-                sc.topo.trunk_mult * x,
-            ];
+            let level_caps = [x, x, sc.topo.k_factor * x, sc.topo.trunk_mult * x];
             ct.server_metrics_into(&mut metrics_buf);
             for m in metrics_buf.iter_mut() {
                 let &(rack, agg) = server_coord.get(&m.server).expect("server has coords");
@@ -527,7 +574,30 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
                     Some((s, 0.0))
                 }
             };
-            let (server, _rate) = picked.expect("at least one server exists");
+            let (server, sel_rate) = picked.expect("at least one server exists");
+            obs.emit_with(|| {
+                // The NNS's decision, with the top of the candidate set it
+                // chose from (discounted per-direction path rates).
+                let mut candidates: Vec<Candidate> = metrics_buf
+                    .iter()
+                    .map(|m| Candidate {
+                        server: m.server.0,
+                        rate: match f.direction {
+                            FlowDirection::Write => m.path_down,
+                            FlowDirection::Read => m.path_up,
+                        },
+                    })
+                    .collect();
+                candidates.sort_by(|a, b| b.rate.total_cmp(&a.rate));
+                candidates.truncate(MAX_CANDIDATES);
+                TraceEvent::ServerSelected {
+                    now,
+                    flow: next_id,
+                    server: server.0,
+                    rate: sel_rate,
+                    candidates,
+                }
+            });
             *outstanding.entry(server).or_insert(0) += 1;
             {
                 let &(rack, agg) = server_coord.get(&server).expect("server has coords");
@@ -542,17 +612,23 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
             if let Some(book) = energy.as_mut() {
                 if book.is_dormant(server) {
                     book.wake(server, now);
-                    wake_delay = opts.energy.as_ref().expect("energy enabled").model.wake_latency;
+                    wake_delay = opts
+                        .energy
+                        .as_ref()
+                        .expect("energy enabled")
+                        .model
+                        .wake_latency;
                 }
             }
 
             let (src, dst, setup, tree_dir) = match f.direction {
-                FlowDirection::Write => {
-                    (client, server, costs.external_write_setup(), Direction::Down)
-                }
-                FlowDirection::Read => {
-                    (server, client, costs.external_read_setup(), Direction::Up)
-                }
+                FlowDirection::Write => (
+                    client,
+                    server,
+                    costs.external_write_setup(),
+                    Direction::Down,
+                ),
+                FlowDirection::Read => (server, client, costs.external_read_setup(), Direction::Up),
             };
             let base_rtt = driver
                 .net_mut()
@@ -599,8 +675,12 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
             }));
             pending.push(Reverse((StartKey(start, id.0), idx)));
         }
+        if let Some(t) = t_admit {
+            obs.phase_add("runner.admission", t.elapsed());
+        }
 
         // Open connections whose setup completed.
+        let t_open = observing.then(Instant::now);
         while let Some(Reverse((StartKey(t, _), idx))) = pending.peek() {
             if *t > now {
                 break;
@@ -627,15 +707,22 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
                     kind: if p.internal {
                         CtlKind::Internal { receiver: p.dst }
                     } else {
-                        CtlKind::External { dir: p.dir, client_idx: p.client_idx }
+                        CtlKind::External {
+                            dir: p.dir,
+                            client_idx: p.client_idx,
+                        }
                     },
                 },
             );
             driver.start_flow(p.id, p.src, p.dst, p.size, p.transport, now);
         }
+        if let Some(t) = t_open {
+            obs.phase_add("runner.open", t.elapsed());
+        }
 
         // Control round every τ: measure, allocate, re-window (§VIII-D).
         if now + 1e-12 >= next_ctrl {
+            let t_ctrl = observing.then(Instant::now);
             next_ctrl += sc.tau;
             let round_violations;
             // Current offered rates, per link (the S sums of eq. 4/6 —
@@ -705,8 +792,7 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
                 for (id, ctl) in &flow_ctl {
                     if let Some(t) = driver.transport(*id) {
                         let rtt = driver.net().rtt(*id);
-                        *per_server.entry(ctl.server).or_insert(0.0) +=
-                            t.offered_rate(rtt);
+                        *per_server.entry(ctl.server).or_insert(0.0) += t.offered_rate(rtt);
                     }
                 }
                 book.tick(now, |srv| {
@@ -717,8 +803,7 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
                     // until demand wakes them.
                     for m in ct.server_metrics() {
                         let busy = per_server.get(&m.server).copied().unwrap_or(0.0) > 0.0;
-                        if !busy && m.path_up >= opts.selector.r_scale && book.is_active(m.server)
-                        {
+                        if !busy && m.path_up >= opts.selector.r_scale && book.is_active(m.server) {
                             book.scale_down(m.server);
                         }
                     }
@@ -741,8 +826,9 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
                             FlowDirection::Write => Direction::Down,
                             FlowDirection::Read => Direction::Up,
                         };
-                        let tree_rate =
-                            ct.client_rate(ctl.server, tree_dir).unwrap_or(params.min_rate);
+                        let tree_rate = ct
+                            .client_rate(ctl.server, tree_dir)
+                            .unwrap_or(params.min_rate);
                         let wan_rate = match dir {
                             FlowDirection::Write => client_alloc[*client_idx].0.rate(),
                             FlowDirection::Read => client_alloc[*client_idx].1.rate(),
@@ -762,10 +848,23 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
                 }
                 if let Some(AnyTransport::Scda(win)) = driver.transport_mut(id) {
                     win.set_rates(rate, rate);
+                    obs.emit_with(|| TraceEvent::FlowRewindowed {
+                        now,
+                        flow: id.0,
+                        rate,
+                    });
                 }
+            }
+            obs.gauge_set("flows.active", driver.active_count() as f64);
+            if let Some(stream) = snap_stream.as_mut() {
+                stream.offer_with(|| ct.snapshot(now));
+            }
+            if let Some(t) = t_ctrl {
+                obs.phase_add("runner.control", t.elapsed());
             }
         }
 
+        let t_tick = observing.then(Instant::now);
         let summary = driver.tick(now, sc.dt);
         thpt.record(now, summary.delivered_bytes, driver.active_count());
         for c in &summary.completed {
@@ -784,15 +883,17 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
             );
             let was_write = matches!(
                 ctl.as_ref().map(|x| &x.kind),
-                Some(CtlKind::External { dir: FlowDirection::Write, .. })
+                Some(CtlKind::External {
+                    dir: FlowDirection::Write,
+                    ..
+                })
             );
             if let Some(ctl) = &ctl {
                 if !is_internal {
                     if let Some(k) = outstanding.get_mut(&ctl.server) {
                         *k = k.saturating_sub(1);
                     }
-                    let &(rack, agg) =
-                        server_coord.get(&ctl.server).expect("server has coords");
+                    let &(rack, agg) = server_coord.get(&ctl.server).expect("server has coords");
                     outstanding_rack[rack] = outstanding_rack[rack].saturating_sub(1);
                     outstanding_agg[agg] = outstanding_agg[agg].saturating_sub(1);
                     outstanding_total = outstanding_total.saturating_sub(1);
@@ -803,7 +904,11 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
                 continue;
             }
             let (arrival, size) = arrivals.remove(&c.id).expect("completed flow was started");
-            fct.push(FlowRecord { size_bytes: size, start: arrival, finish: c.finish });
+            fct.push(FlowRecord {
+                size_bytes: size,
+                start: arrival,
+                finish: c.finish,
+            });
 
             // Internal write (§VIII-B, figure 4): replicate the freshly
             // written content to the best-uplink server so future reads
@@ -843,6 +948,34 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
                 }
             }
         }
+        if let Some(t) = t_tick {
+            obs.phase_add("runner.tick", t.elapsed());
+        }
+    }
+
+    // Flows the horizon cut off: still-active transfers plus setups that
+    // never opened.
+    if observing {
+        let end = sc.duration;
+        let mut timed_out = 0u64;
+        for (id, _, _) in driver.active_flows() {
+            let remaining = driver.progress(id).map(|p| p.remaining()).unwrap_or(0.0);
+            obs.emit(TraceEvent::FlowTimedOut {
+                now: end,
+                flow: id.0,
+                remaining_bytes: remaining,
+            });
+            timed_out += 1;
+        }
+        for p in starts.iter().flatten() {
+            obs.emit(TraceEvent::FlowTimedOut {
+                now: end,
+                flow: p.id.0,
+                remaining_bytes: p.size,
+            });
+            timed_out += 1;
+        }
+        obs.counter_add("flow.timed_out", timed_out);
     }
 
     RunResult {
@@ -858,6 +991,8 @@ pub fn run_scda(sc: &Scenario, opts: &ScdaOptions) -> RunResult {
         replications_completed,
         control_rounds,
         changed_dirs_total,
+        profile: opts.obs.profile_report(),
+        snapshots: snap_stream,
     }
 }
 
@@ -907,10 +1042,7 @@ mod tests {
         let r = run_randtcp(&sc);
         let sf = s.fct.mean_fct().unwrap();
         let rf = r.fct.mean_fct().unwrap();
-        assert!(
-            sf < rf,
-            "SCDA mean FCT {sf} must beat RandTCP {rf}"
-        );
+        assert!(sf < rf, "SCDA mean FCT {sf} must beat RandTCP {rf}");
     }
 
     #[test]
@@ -928,8 +1060,85 @@ mod tests {
     #[test]
     fn simplified_metric_also_works() {
         let sc = tiny_video(false);
-        let opts = ScdaOptions { metric: MetricKind::Simplified, ..Default::default() };
+        let opts = ScdaOptions {
+            metric: MetricKind::Simplified,
+            ..Default::default()
+        };
         let r = run_scda(&sc, &opts);
         assert!(r.completed as f64 >= 0.7 * r.requested as f64);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_reports_everything() {
+        let sc = tiny_video(false);
+        let plain = run_scda(&sc, &ScdaOptions::default());
+
+        let obs = Obs::enabled();
+        let opts = ScdaOptions {
+            obs: obs.clone(),
+            snapshot_every: Some(2),
+            ..Default::default()
+        };
+        let observed = run_scda(&sc, &opts);
+
+        // Observation must not perturb the simulation.
+        assert_eq!(observed.completed, plain.completed);
+        assert_eq!(observed.fct.mean_fct(), plain.fct.mean_fct());
+        assert_eq!(observed.control_rounds, plain.control_rounds);
+
+        // Profile: every run-loop phase showed up.
+        let profile = observed
+            .profile
+            .as_ref()
+            .expect("observed run has a profile");
+        for phase in [
+            "runner.admission",
+            "runner.open",
+            "runner.control",
+            "runner.tick",
+        ] {
+            assert!(profile.phase(phase).is_some(), "missing phase {phase}");
+        }
+        assert!(plain.profile.is_none(), "unobserved run must not profile");
+
+        // Snapshot stream: one entry every 2 control rounds.
+        let stream = observed
+            .snapshots
+            .as_ref()
+            .expect("snapshot stream requested");
+        assert_eq!(stream.rounds_offered() as usize, observed.control_rounds);
+        assert_eq!(
+            stream.snapshots().len(),
+            observed.control_rounds.div_ceil(2)
+        );
+        let back = SnapshotStream::from_jsonl(&stream.to_jsonl()).unwrap();
+        assert_eq!(back.snapshots().len(), stream.snapshots().len());
+
+        // Metrics: lifecycle counters line up with the run result.
+        let reg = obs.metrics_snapshot().expect("enabled handle has metrics");
+        assert_eq!(reg.counter("flow.completed"), observed.completed as u64);
+        assert_eq!(
+            reg.counter("ctrl.rounds"),
+            observed.control_rounds as u64 + 1
+        ); // + priming
+        assert_eq!(
+            reg.counter("flow.started") - reg.counter("flow.completed"),
+            reg.counter("flow.timed_out"),
+            "started = completed + timed out"
+        );
+
+        // Trace: the acceptance-criteria event families are all present.
+        let jsonl = obs.trace_jsonl().expect("enabled handle has a trace");
+        for tag in [
+            "\"event\":\"flow_started\"",
+            "\"event\":\"flow_completed\"",
+            "\"event\":\"flow_rewindowed\"",
+            "\"event\":\"ctrl_round_begin\"",
+            "\"event\":\"ctrl_round_end\"",
+            "\"event\":\"rate_propagation\"",
+            "\"event\":\"server_selected\"",
+        ] {
+            assert!(jsonl.contains(tag), "trace missing {tag}");
+        }
     }
 }

@@ -267,8 +267,12 @@ mod tests {
     #[test]
     fn mixed_scenario_contains_all_kinds() {
         let s = Scenario::mixed(Scale::Quick, 1);
-        let kinds: std::collections::BTreeSet<_> =
-            s.workload.flows.iter().map(|f| format!("{:?}", f.kind)).collect();
+        let kinds: std::collections::BTreeSet<_> = s
+            .workload
+            .flows
+            .iter()
+            .map(|f| format!("{:?}", f.kind))
+            .collect();
         assert!(kinds.contains("Video"));
         assert!(kinds.contains("Datacenter"));
         assert!(kinds.contains("Interactive"));

@@ -143,7 +143,11 @@ mod tests {
     use super::*;
 
     fn rec(size: f64, fct: f64) -> FlowRecord {
-        FlowRecord { size_bytes: size, start: 10.0, finish: 10.0 + fct }
+        FlowRecord {
+            size_bytes: size,
+            start: 10.0,
+            finish: 10.0 + fct,
+        }
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct Series {
 impl Series {
     /// A series from a name and points.
     pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { name: name.into(), points }
+        Series {
+            name: name.into(),
+            points,
+        }
     }
 
     /// Mean of the y values (`None` when empty).
@@ -76,7 +79,11 @@ impl FigureReport {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "# Figure {}: {}", self.figure, self.title);
-        let _ = writeln!(out, "# {:>14}  {:>14}  {:>14}", self.x_label, self.randtcp.name, self.scda.name);
+        let _ = writeln!(
+            out,
+            "# {:>14}  {:>14}  {:>14}",
+            self.x_label, self.randtcp.name, self.scda.name
+        );
         // Union of x values from both series, in order.
         let mut xs: Vec<f64> = self
             .scda

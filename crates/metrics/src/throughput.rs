@@ -43,7 +43,12 @@ impl ThroughputSeries {
     /// Panics if `interval` is not strictly positive.
     pub fn new(interval: f64) -> Self {
         assert!(interval > 0.0);
-        ThroughputSeries { interval, bytes: Vec::new(), active_sum: Vec::new(), samples: Vec::new() }
+        ThroughputSeries {
+            interval,
+            bytes: Vec::new(),
+            active_sum: Vec::new(),
+            samples: Vec::new(),
+        }
     }
 
     fn bucket(&mut self, t: f64) -> usize {
@@ -79,7 +84,11 @@ impl ThroughputSeries {
                     time: (b as f64 + 0.5) * self.interval,
                     aggregate,
                     active_flows: active,
-                    per_flow: if active > 0.0 { aggregate / active } else { 0.0 },
+                    per_flow: if active > 0.0 {
+                        aggregate / active
+                    } else {
+                        0.0
+                    },
                 }
             })
             .collect()

@@ -1,0 +1,244 @@
+//! # scda-obs — run-time observability for the SCDA reproduction
+//!
+//! §I of the paper: "All the aggregated and monitored traffic metrics can
+//! be offloaded to an external server for off-line diagnosis, analysis and
+//! data mining of the distributed system." This crate is that offload
+//! path for the *reproduction itself*: every layer — simulation engine,
+//! transport driver, RM/RA control tree, experiment runner — carries a
+//! cheap cloneable [`Obs`] handle and reports into three sinks:
+//!
+//! * a bounded-ring [`Tracer`] of typed [`TraceEvent`]s with JSON Lines
+//!   export (flow lifecycle, control rounds, rate propagation, server
+//!   selection decisions, SLA violations);
+//! * a [`Registry`] of counters, gauges and log-bucketed [`Histogram`]s
+//!   that merge across runs (counts add exactly, in any merge order);
+//! * a [`Profiler`] of per-phase wall-clock timers surfaced as a
+//!   run-report table ([`ProfileReport`]).
+//!
+//! The default handle is **disabled**: it holds no allocation and every
+//! call is a branch on an `Option`, so instrumented hot paths cost nothing
+//! measurable when observability is off (use [`Obs::emit_with`] so even
+//! the event construction is skipped). The crate has zero dependencies and
+//! sits below everything else in the workspace graph.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use metrics::{Histogram, Metric, Registry};
+pub use profile::{PhaseStat, ProfileReport, Profiler};
+pub use trace::{Candidate, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY, MAX_CANDIDATES};
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// The three sinks behind an enabled [`Obs`] handle.
+#[derive(Debug, Default)]
+pub struct ObsCore {
+    /// The bounded trace ring.
+    pub tracer: Tracer,
+    /// Counters / gauges / histograms.
+    pub metrics: Registry,
+    /// Per-phase wall-clock accumulator.
+    pub profiler: Profiler,
+}
+
+/// A cloneable observability handle.
+///
+/// Clones share one [`ObsCore`]: hand the same handle to the driver, the
+/// control tree and the runner, then read all three sinks from any clone
+/// after the run. A disabled handle (the [`Default`]) makes every method a
+/// no-op behind a single `Option` check.
+#[derive(Clone, Default)]
+pub struct Obs {
+    core: Option<Arc<Mutex<ObsCore>>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Deliberately does not lock: `Obs` may be Debug-printed (e.g. as
+        // part of ScdaOptions) while a clone holds the core.
+        f.write_str(if self.core.is_some() {
+            "Obs(enabled)"
+        } else {
+            "Obs(disabled)"
+        })
+    }
+}
+
+impl Obs {
+    /// A no-op handle (same as `Obs::default()`).
+    pub fn disabled() -> Self {
+        Obs { core: None }
+    }
+
+    /// A live handle with the default trace capacity.
+    pub fn enabled() -> Self {
+        Obs::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A live handle whose trace ring holds at most `capacity` events.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        let core = ObsCore {
+            tracer: Tracer::new(capacity),
+            ..Default::default()
+        };
+        Obs {
+            core: Some(Arc::new(Mutex::new(core))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    fn lock(&self) -> Option<MutexGuard<'_, ObsCore>> {
+        // Instrumentation must never take a run down: survive poisoning.
+        self.core
+            .as_ref()
+            .map(|c| c.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Record a trace event.
+    #[inline]
+    pub fn emit(&self, ev: TraceEvent) {
+        if let Some(mut c) = self.lock() {
+            c.tracer.push(ev);
+        }
+    }
+
+    /// Record a trace event built lazily — on hot paths the closure (and
+    /// any allocation inside it) runs only when the handle is enabled.
+    #[inline]
+    pub fn emit_with(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(mut c) = self.lock() {
+            let ev = f();
+            c.tracer.push(ev);
+        }
+    }
+
+    /// Add to a counter.
+    #[inline]
+    pub fn counter_add(&self, name: &str, n: u64) {
+        if let Some(mut c) = self.lock() {
+            c.metrics.counter_add(name, n);
+        }
+    }
+
+    /// Set a gauge.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if let Some(mut c) = self.lock() {
+            c.metrics.gauge_set(name, v);
+        }
+    }
+
+    /// Observe into a histogram.
+    #[inline]
+    pub fn observe(&self, name: &str, v: f64) {
+        if let Some(mut c) = self.lock() {
+            c.metrics.observe(name, v);
+        }
+    }
+
+    /// Charge wall-clock time to a named phase.
+    #[inline]
+    pub fn phase_add(&self, phase: &str, elapsed: Duration) {
+        if let Some(mut c) = self.lock() {
+            c.profiler.add(phase, elapsed);
+        }
+    }
+
+    /// Run `f`, charging its wall-clock cost to `phase` when enabled
+    /// (disabled handles don't even read the clock).
+    #[inline]
+    pub fn time_phase<R>(&self, phase: &str, f: impl FnOnce() -> R) -> R {
+        if self.core.is_none() {
+            return f();
+        }
+        let t0 = Instant::now();
+        let r = f();
+        self.phase_add(phase, t0.elapsed());
+        r
+    }
+
+    /// Run a closure against the shared core (None when disabled) — the
+    /// escape hatch for bulk reads like post-run export.
+    pub fn with_core<R>(&self, f: impl FnOnce(&mut ObsCore) -> R) -> Option<R> {
+        self.lock().map(|mut c| f(&mut c))
+    }
+
+    /// The whole trace as JSON Lines (None when disabled).
+    pub fn trace_jsonl(&self) -> Option<String> {
+        self.with_core(|c| c.tracer.to_jsonl())
+    }
+
+    /// Write the trace as JSON Lines to a file path (no-op when disabled).
+    pub fn write_trace_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(c) = self.lock() {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+            c.tracer.write_jsonl(&mut f)?;
+        }
+        Ok(())
+    }
+
+    /// A snapshot of the metrics registry (None when disabled).
+    pub fn metrics_snapshot(&self) -> Option<Registry> {
+        self.with_core(|c| c.metrics.clone())
+    }
+
+    /// The profile report (None when disabled or nothing timed).
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.with_core(|c| (!c.profiler.is_empty()).then(|| c.profiler.report()))
+            .flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let o = Obs::disabled();
+        assert!(!o.is_enabled());
+        o.emit(TraceEvent::CtrlRoundBegin { now: 0.0, round: 0 });
+        o.counter_add("x", 1);
+        o.observe("h", 1.0);
+        let mut built = false;
+        o.emit_with(|| {
+            built = true;
+            TraceEvent::CtrlRoundBegin { now: 0.0, round: 0 }
+        });
+        assert!(!built, "emit_with must not build events when disabled");
+        assert!(o.trace_jsonl().is_none());
+        assert!(o.metrics_snapshot().is_none());
+        assert!(o.profile_report().is_none());
+    }
+
+    #[test]
+    fn clones_share_one_core() {
+        let a = Obs::enabled();
+        let b = a.clone();
+        a.counter_add("n", 1);
+        b.counter_add("n", 2);
+        b.emit(TraceEvent::CtrlRoundBegin { now: 1.0, round: 7 });
+        let m = a.metrics_snapshot().unwrap();
+        assert_eq!(m.counter("n"), 3);
+        assert_eq!(a.with_core(|c| c.tracer.len()), Some(1));
+    }
+
+    #[test]
+    fn time_phase_records_only_when_enabled() {
+        let o = Obs::enabled();
+        let v = o.time_phase("work", || 41 + 1);
+        assert_eq!(v, 42);
+        let r = o.profile_report().unwrap();
+        assert_eq!(r.phase("work").unwrap().calls, 1);
+        assert_eq!(Obs::disabled().time_phase("work", || 5), 5);
+    }
+}

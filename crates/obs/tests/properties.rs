@@ -1,0 +1,100 @@
+//! Property tests for the observability sinks: the histogram merge must be
+//! a true monoid (so per-run registries can fold in any order), and the
+//! trace ring must keep exactly the most recent events however it wraps.
+
+use proptest::prelude::*;
+
+use scda_obs::{Histogram, Registry, TraceEvent, Tracer};
+
+fn hist_of(values: &[f64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge(a, merge(b, c)) == merge(merge(a, b), c), bucket for bucket.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(-1e3f64..1e12, 0..40),
+        b in proptest::collection::vec(-1e3f64..1e12, 0..40),
+        c in proptest::collection::vec(-1e3f64..1e12, 0..40),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.buckets(), right.buckets());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        prop_assert!((left.sum() - right.sum()).abs() <= 1e-6 * left.sum().abs().max(1.0));
+    }
+
+    /// A merged histogram holds every observation exactly once: counts add,
+    /// and the total across buckets equals the total count.
+    #[test]
+    fn histogram_merge_preserves_counts(
+        a in proptest::collection::vec(-1e3f64..1e12, 0..60),
+        b in proptest::collection::vec(-1e3f64..1e12, 0..60),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        let bucket_total: u64 = merged.buckets().values().sum();
+        prop_assert_eq!(bucket_total, merged.count());
+
+        // Merging through a Registry behaves identically.
+        let mut ra = Registry::default();
+        for &v in &a {
+            ra.observe("h", v);
+        }
+        let mut rb = Registry::default();
+        for &v in &b {
+            rb.observe("h", v);
+        }
+        ra.merge(&rb);
+        match (a.is_empty() && b.is_empty(), ra.histogram("h")) {
+            (true, got) => prop_assert!(got.is_none()),
+            (false, got) => {
+                prop_assert_eq!(got.expect("histogram exists").count(), merged.count())
+            }
+        }
+    }
+
+    /// Whatever the capacity and volume, the ring retains exactly the last
+    /// `min(n, capacity)` events, in order, and accounts for the rest.
+    #[test]
+    fn tracer_ring_keeps_most_recent(cap in 1usize..64, n in 0usize..300) {
+        let mut t = Tracer::new(cap);
+        for i in 0..n {
+            t.push(TraceEvent::CtrlRoundBegin { now: i as f64, round: i as u64 });
+        }
+        let kept = n.min(cap);
+        prop_assert_eq!(t.len(), kept);
+        prop_assert_eq!(t.total(), n as u64);
+        prop_assert_eq!(t.dropped(), (n - kept) as u64);
+        let rounds: Vec<u64> = t
+            .iter()
+            .map(|e| match e {
+                TraceEvent::CtrlRoundBegin { round, .. } => *round,
+                _ => unreachable!("only round-begin events were pushed"),
+            })
+            .collect();
+        let expect: Vec<u64> = ((n - kept) as u64..n as u64).collect();
+        prop_assert_eq!(rounds, expect);
+    }
+}

@@ -112,9 +112,7 @@ impl ThreeTierTree {
 
     /// The rack index of `server`, or `None` if it is not a server.
     pub fn rack_of(&self, server: NodeId) -> Option<usize> {
-        self.servers
-            .iter()
-            .position(|rack| rack.contains(&server))
+        self.servers.iter().position(|rack| rack.contains(&server))
     }
 }
 
@@ -134,8 +132,10 @@ impl ThreeTierConfig {
         let core = topo.add_node(NodeKind::Switch { level: 3 }, "core");
         let client_gw = topo.add_node(NodeKind::Switch { level: 4 }, "client-gw");
         // Trunk: 6X both ways (figure 6 labels it "6X Gbps").
-        let gw_to_core = topo.add_link(client_gw, core, self.trunk_mult * x, self.switch_delay_s, q);
-        let core_to_gw = topo.add_link(core, client_gw, self.trunk_mult * x, self.switch_delay_s, q);
+        let gw_to_core =
+            topo.add_link(client_gw, core, self.trunk_mult * x, self.switch_delay_s, q);
+        let core_to_gw =
+            topo.add_link(core, client_gw, self.trunk_mult * x, self.switch_delay_s, q);
 
         let n_aggs = self.racks.div_ceil(self.racks_per_agg);
         let mut aggs = Vec::with_capacity(n_aggs);
@@ -223,8 +223,20 @@ pub fn dumbbell(
     for i in 0..n {
         let s = topo.add_node(NodeKind::Server, format!("snd{i}"));
         let r = topo.add_node(NodeKind::Server, format!("rcv{i}"));
-        topo.add_duplex(s, left, 10.0 * bottleneck_bps, delay_s / 10.0, queue_cap_bytes);
-        topo.add_duplex(right, r, 10.0 * bottleneck_bps, delay_s / 10.0, queue_cap_bytes);
+        topo.add_duplex(
+            s,
+            left,
+            10.0 * bottleneck_bps,
+            delay_s / 10.0,
+            queue_cap_bytes,
+        );
+        topo.add_duplex(
+            right,
+            r,
+            10.0 * bottleneck_bps,
+            delay_s / 10.0,
+            queue_cap_bytes,
+        );
         senders.push(s);
         receivers.push(r);
     }
@@ -285,7 +297,10 @@ pub fn fat_tree(
     delay_s: f64,
     queue_cap_bytes: f64,
 ) -> (Topology, Vec<Vec<NodeId>>) {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree requires even k >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree requires even k >= 2"
+    );
     let half = k / 2;
     let mut topo = Topology::new();
     let cores: Vec<NodeId> = (0..half * half)
@@ -299,7 +314,13 @@ pub fn fat_tree(
         // Agg j connects to cores j*half .. (j+1)*half.
         for (j, &agg) in aggs.iter().enumerate() {
             for c in 0..half {
-                topo.add_duplex(agg, cores[j * half + c], base_bw_bps, delay_s, queue_cap_bytes);
+                topo.add_duplex(
+                    agg,
+                    cores[j * half + c],
+                    base_bw_bps,
+                    delay_s,
+                    queue_cap_bytes,
+                );
             }
         }
         let mut pod_servers = Vec::with_capacity(half * half);
@@ -309,8 +330,7 @@ pub fn fat_tree(
                 topo.add_duplex(edge, agg, base_bw_bps, delay_s, queue_cap_bytes);
             }
             for s in 0..half {
-                let srv =
-                    topo.add_node(NodeKind::Server, format!("pod{p}/edge{e}/srv{s}"));
+                let srv = topo.add_node(NodeKind::Server, format!("pod{p}/edge{e}/srv{s}"));
                 topo.add_duplex(srv, edge, base_bw_bps, delay_s, queue_cap_bytes);
                 pod_servers.push(srv);
             }
@@ -370,7 +390,10 @@ mod tests {
 
     #[test]
     fn k_factor_scales_agg_core_links() {
-        let cfg = ThreeTierConfig { k_factor: 3.0, ..Default::default() };
+        let cfg = ThreeTierConfig {
+            k_factor: 3.0,
+            ..Default::default()
+        };
         let tree = cfg.build();
         for &(up, down) in &tree.agg_links {
             assert_eq!(tree.topo.link(up).capacity_bps, 3.0 * cfg.base_bw_bps);
@@ -385,7 +408,10 @@ mod tests {
     fn trunk_is_six_x() {
         let cfg = ThreeTierConfig::default();
         let tree = cfg.build();
-        assert_eq!(tree.topo.link(tree.trunk.0).capacity_bps, 6.0 * cfg.base_bw_bps);
+        assert_eq!(
+            tree.topo.link(tree.trunk.0).capacity_bps,
+            6.0 * cfg.base_bw_bps
+        );
     }
 
     #[test]
@@ -468,7 +494,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_racks_rejected() {
-        let cfg = ThreeTierConfig { racks: 0, ..Default::default() };
+        let cfg = ThreeTierConfig {
+            racks: 0,
+            ..Default::default()
+        };
         cfg.build();
     }
 }

@@ -26,7 +26,9 @@ pub struct EcmpRoutes {
 impl EcmpRoutes {
     /// Empty table for `topo`.
     pub fn new(topo: &Topology) -> Self {
-        EcmpRoutes { preds: vec![None; topo.node_count()] }
+        EcmpRoutes {
+            preds: vec![None; topo.node_count()],
+        }
     }
 
     /// All equal-cost predecessor links toward `dst` from `src`'s
@@ -262,8 +264,12 @@ mod tests {
     fn same_flow_same_path() {
         let (topo, servers) = clos(2, 1, 4, 2, mbps(100.0), 0.001, 1e6);
         let mut ecmp = EcmpRoutes::new(&topo);
-        let p1 = ecmp.path(&topo, servers[0][0], servers[1][0], FlowId(9)).unwrap();
-        let p2 = ecmp.path(&topo, servers[0][0], servers[1][0], FlowId(9)).unwrap();
+        let p1 = ecmp
+            .path(&topo, servers[0][0], servers[1][0], FlowId(9))
+            .unwrap();
+        let p2 = ecmp
+            .path(&topo, servers[0][0], servers[1][0], FlowId(9))
+            .unwrap();
         assert_eq!(p1, p2, "ECMP is per-flow deterministic");
     }
 
@@ -303,7 +309,9 @@ mod tests {
         let mut ecmp = EcmpRoutes::new(&topo);
         let mut counts: std::collections::BTreeMap<Vec<LinkId>, usize> = Default::default();
         for f in 0..256u64 {
-            let p = ecmp.path(&topo, servers[0][0], servers[1][0], FlowId(f)).unwrap();
+            let p = ecmp
+                .path(&topo, servers[0][0], servers[1][0], FlowId(f))
+                .unwrap();
             *counts.entry(p).or_insert(0) += 1;
         }
         for c in counts.values() {

@@ -72,7 +72,11 @@ impl<E> Default for Scheduler<E> {
 impl<E> Scheduler<E> {
     /// An empty scheduler positioned at time zero.
     pub fn new() -> Self {
-        Scheduler { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+        Scheduler {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
     }
 
     /// Current simulation time: the timestamp of the most recently popped
@@ -109,7 +113,11 @@ impl<E> Scheduler<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { time: t, seq, event }));
+        self.heap.push(Reverse(Entry {
+            time: t,
+            seq,
+            event,
+        }));
     }
 
     /// Schedule `event` `dt` seconds from now (`dt >= 0`).

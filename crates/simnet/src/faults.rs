@@ -71,7 +71,10 @@ impl Network {
     /// Restore a previously failed link to its original capacity.
     /// Returns `false` if the link was not failed.
     pub fn restore_link(&mut self, l: LinkId) -> bool {
-        let pos = self.failed_links_internal().iter().position(|&(fl, ..)| fl == l);
+        let pos = self
+            .failed_links_internal()
+            .iter()
+            .position(|&(fl, ..)| fl == l);
         match pos {
             Some(i) => {
                 let (_, prev_cap, prev_delay) = self.failed_links_internal().remove(i);
@@ -136,7 +139,10 @@ mod tests {
             let rep = net.advance(0.05, &[(FlowId(1), 1e6)]);
             last_loss = rep.flows[0].loss_frac;
         }
-        assert!(last_loss > 0.95, "failed link must drop traffic, loss = {last_loss}");
+        assert!(
+            last_loss > 0.95,
+            "failed link must drop traffic, loss = {last_loss}"
+        );
     }
 
     #[test]
@@ -177,6 +183,9 @@ mod tests {
         net.fail_link(path1[1]);
         net.insert_flow(FlowId(2), servers[0][0], servers[1][0]);
         let path2 = net.flow(FlowId(2)).path.clone();
-        assert!(!path2.contains(&path1[1]), "rerouted path still uses failed link");
+        assert!(
+            !path2.contains(&path1[1]),
+            "rerouted path still uses failed link"
+        );
     }
 }

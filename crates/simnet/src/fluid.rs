@@ -31,7 +31,10 @@ impl FluidFlow {
 
     /// A flow over `path` additionally limited to `cap`.
     pub fn capped(path: Vec<LinkId>, cap: f64) -> Self {
-        FluidFlow { path, cap: Some(cap) }
+        FluidFlow {
+            path,
+            cap: Some(cap),
+        }
     }
 }
 
@@ -191,10 +194,7 @@ mod tests {
         // Classic example: link0 cap 100 shared by f0,f1; link1 cap 40
         // crossed by f1 only. f1 gets 40, f0 gets 60.
         let caps = [100.0, 40.0];
-        let flows = vec![
-            FluidFlow::new(vec![l(0)]),
-            FluidFlow::new(vec![l(0), l(1)]),
-        ];
+        let flows = vec![FluidFlow::new(vec![l(0)]), FluidFlow::new(vec![l(0), l(1)])];
         let r = max_min_rates(&caps, &flows);
         assert!((r[1] - 40.0).abs() < 1e-6);
         assert!((r[0] - 60.0).abs() < 1e-6);
@@ -261,7 +261,11 @@ mod tests {
             }
         }
         for (l, &ld) in load.iter().enumerate() {
-            assert!(ld <= caps[l] + EPS, "link {l} over capacity: {ld} > {}", caps[l]);
+            assert!(
+                ld <= caps[l] + EPS,
+                "link {l} over capacity: {ld} > {}",
+                caps[l]
+            );
         }
         // 2. Every flow is at its cap or has a saturated link where its
         //    rate is maximal among the link's flows.
@@ -319,7 +323,10 @@ mod tests {
                         .map(|(mut path, cap)| {
                             path.sort_unstable();
                             path.dedup();
-                            FluidFlow { path: path.into_iter().map(LinkId).collect(), cap }
+                            FluidFlow {
+                                path: path.into_iter().map(LinkId).collect(),
+                                cap,
+                            }
                         })
                         .collect();
                     (caps, flows)

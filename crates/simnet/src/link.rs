@@ -161,6 +161,9 @@ mod tests {
         }
         let balance =
             l.total_arrived_bytes - l.total_serviced_bytes - l.total_dropped_bytes - l.queue_bytes;
-        assert!(balance.abs() < 1e-6, "byte conservation violated: {balance}");
+        assert!(
+            balance.abs() < 1e-6,
+            "byte conservation violated: {balance}"
+        );
     }
 }

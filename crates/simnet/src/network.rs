@@ -130,9 +130,15 @@ impl Network {
             .path(&self.topo, src, dst)
             .unwrap_or_else(|| panic!("no route {src} -> {dst}"));
         let base_rtt: f64 = 2.0 * path.iter().map(|&l| self.topo.link(l).delay_s).sum::<f64>();
-        let prev = self
-            .flows
-            .insert(id, NetFlow { src, dst, path, base_rtt });
+        let prev = self.flows.insert(
+            id,
+            NetFlow {
+                src,
+                dst,
+                path,
+                base_rtt,
+            },
+        );
         assert!(prev.is_none(), "flow id {id} already active");
         &self.flows[&id]
     }
@@ -167,7 +173,15 @@ impl Network {
             );
         }
         let base_rtt: f64 = 2.0 * path.iter().map(|&l| self.topo.link(l).delay_s).sum::<f64>();
-        let prev = self.flows.insert(id, NetFlow { src, dst, path, base_rtt });
+        let prev = self.flows.insert(
+            id,
+            NetFlow {
+                src,
+                dst,
+                path,
+                base_rtt,
+            },
+        );
         assert!(prev.is_none(), "flow id {id} already active");
         &self.flows[&id]
     }
@@ -178,7 +192,9 @@ impl Network {
     ///
     /// Panics if the flow is not active (double-removal is a harness bug).
     pub fn remove_flow(&mut self, id: FlowId) -> NetFlow {
-        self.flows.remove(&id).unwrap_or_else(|| panic!("flow {id} not active"))
+        self.flows
+            .remove(&id)
+            .unwrap_or_else(|| panic!("flow {id} not active"))
     }
 
     /// The active flow behind `id`.
@@ -260,7 +276,9 @@ impl Network {
             );
         }
 
-        let mut report = TickReport { flows: Vec::with_capacity(offered.len()) };
+        let mut report = TickReport {
+            flows: Vec::with_capacity(offered.len()),
+        };
         for &(id, rate) in offered {
             let f = &self.flows[&id];
             // Delivery is limited by each link's service share: a FIFO link

@@ -162,8 +162,12 @@ impl Simulation for PacketSim {
                 let seq = f.injected;
                 f.injected += 1;
                 f.in_flight += 1;
-                let pkt =
-                    Packet { flow, hop: 0, bytes: MSS, last: seq + 1 == f.total_packets };
+                let pkt = Packet {
+                    flow,
+                    hop: 0,
+                    bytes: MSS,
+                    last: seq + 1 == f.total_packets,
+                };
                 sched.after(0.0, Ev::Arrive { pkt });
                 match f.source {
                     SourceModel::Paced { rate } => {
@@ -207,7 +211,10 @@ impl Simulation for PacketSim {
             Ev::Depart { link } => {
                 let lq = &mut self.links[link];
                 lq.busy = false;
-                let mut pkt = lq.queue.pop_front().expect("departing link has a head packet");
+                let mut pkt = lq
+                    .queue
+                    .pop_front()
+                    .expect("departing link has a head packet");
                 lq.queued_bytes -= pkt.bytes;
                 let delay = lq.delay_s;
                 pkt.hop += 1;
@@ -217,8 +224,7 @@ impl Simulation for PacketSim {
             Ev::Acked { flow } => {
                 let f = &mut self.flows[flow];
                 f.in_flight = f.in_flight.saturating_sub(1);
-                if matches!(f.source, SourceModel::Window { .. }) && f.injected < f.total_packets
-                {
+                if matches!(f.source, SourceModel::Window { .. }) && f.injected < f.total_packets {
                     sched.after(0.0, Ev::Inject { flow });
                 }
             }
@@ -263,7 +269,10 @@ pub fn simulate_packets(topo: &Topology, flows: &[PacketFlow], horizon: f64) -> 
             peak_bytes: 0.0,
         })
         .collect();
-    let mut sim = PacketSim { links, flows: states };
+    let mut sim = PacketSim {
+        links,
+        flows: states,
+    };
     for (i, f) in flows.iter().enumerate() {
         sched.at(f.start, Ev::Inject { flow: i });
     }

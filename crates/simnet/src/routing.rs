@@ -26,7 +26,9 @@ pub struct Routes {
 impl Routes {
     /// Empty cache for a topology with `node_count` nodes.
     pub fn new(topo: &Topology) -> Self {
-        Routes { prev: vec![None; topo.node_count()] }
+        Routes {
+            prev: vec![None; topo.node_count()],
+        }
     }
 
     /// The shortest path from `src` to `dst` as a sequence of directed
@@ -106,8 +108,8 @@ impl Routes {
                 let v = link.dst;
                 let nd = d + link.delay_s;
                 let nh = h + 1;
-                let better = nd < dist[v.index()]
-                    || (nd == dist[v.index()] && nh < hops[v.index()]);
+                let better =
+                    nd < dist[v.index()] || (nd == dist[v.index()] && nh < hops[v.index()]);
                 if better {
                     dist[v.index()] = nd;
                     hops[v.index()] = nh;

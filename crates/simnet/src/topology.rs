@@ -81,7 +81,11 @@ impl Topology {
     /// Add a node; returns its id.
     pub fn add_node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { id, kind, name: name.into() });
+        self.nodes.push(Node {
+            id,
+            kind,
+            name: name.into(),
+        });
         self.out_adj.push(Vec::new());
         id
     }
@@ -102,12 +106,22 @@ impl Topology {
     ) -> LinkId {
         assert!(capacity_bps > 0.0, "link capacity must be positive");
         assert!(delay_s >= 0.0, "link delay must be non-negative");
-        assert!(queue_cap_bytes >= 0.0, "queue capacity must be non-negative");
+        assert!(
+            queue_cap_bytes >= 0.0,
+            "queue capacity must be non-negative"
+        );
         assert!(src.index() < self.nodes.len(), "src node out of range");
         assert!(dst.index() < self.nodes.len(), "dst node out of range");
         assert_ne!(src, dst, "self-loop links are not allowed");
         let id = LinkId(self.links.len() as u32);
-        self.links.push(Link { id, src, dst, capacity_bps, delay_s, queue_cap_bytes });
+        self.links.push(Link {
+            id,
+            src,
+            dst,
+            capacity_bps,
+            delay_s,
+            queue_cap_bytes,
+        });
         self.out_adj[src.index()].push(id);
         id
     }

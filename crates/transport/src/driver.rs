@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 
+use scda_obs::{Obs, TraceEvent};
 use scda_simnet::{FlowId, Network, NodeId};
 
 use crate::flow::FlowProgress;
@@ -60,12 +61,25 @@ pub struct FlowDriver {
     active: BTreeMap<FlowId, ActiveFlow>,
     /// Scratch buffer of (flow, offered rate) pairs reused across ticks.
     offered: Vec<(FlowId, f64)>,
+    /// Observability sink (disabled by default: every emit is one branch).
+    obs: Obs,
 }
 
 impl FlowDriver {
     /// A driver over `net` with no active flows.
     pub fn new(net: Network) -> Self {
-        FlowDriver { net, active: BTreeMap::new(), offered: Vec::new() }
+        FlowDriver {
+            net,
+            active: BTreeMap::new(),
+            offered: Vec::new(),
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attach an observability handle: flow starts and completions are
+    /// traced and FCTs land in the `flow.fct_s` histogram.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The underlying network (queue state, RTTs, topology).
@@ -104,9 +118,22 @@ impl FlowDriver {
         self.net.insert_flow(id, src, dst);
         let prev = self.active.insert(
             id,
-            ActiveFlow { progress: FlowProgress::new(id, size_bytes, now), transport, src, dst },
+            ActiveFlow {
+                progress: FlowProgress::new(id, size_bytes, now),
+                transport,
+                src,
+                dst,
+            },
         );
         assert!(prev.is_none(), "flow id {id} already driven");
+        self.obs.emit_with(|| TraceEvent::FlowStarted {
+            now,
+            flow: id.0,
+            src: src.0,
+            dst: dst.0,
+            size_bytes,
+        });
+        self.obs.counter_add("flow.started", 1);
     }
 
     /// Begin driving a transfer whose network flow was already inserted
@@ -124,14 +151,22 @@ impl FlowDriver {
         transport: AnyTransport,
         now: f64,
     ) {
-        assert!(self.net.contains_flow(id), "network flow {id} must be inserted first");
+        assert!(
+            self.net.contains_flow(id),
+            "network flow {id} must be inserted first"
+        );
         let (src, dst) = {
             let f = self.net.flow(id);
             (f.src, f.dst)
         };
         let prev = self.active.insert(
             id,
-            ActiveFlow { progress: FlowProgress::new(id, size_bytes, now), transport, src, dst },
+            ActiveFlow {
+                progress: FlowProgress::new(id, size_bytes, now),
+                transport,
+                src,
+                dst,
+            },
         );
         assert!(prev.is_none(), "flow id {id} already driven");
     }
@@ -179,7 +214,10 @@ impl FlowDriver {
         self.offered.clear();
         for (&id, f) in &self.active {
             let rtt = self.net.rtt(id);
-            let rate = f.transport.offered_rate(rtt).min(f.progress.remaining() / dt);
+            let rate = f
+                .transport
+                .offered_rate(rtt)
+                .min(f.progress.remaining() / dt);
             self.offered.push((id, rate));
         }
 
@@ -188,8 +226,12 @@ impl FlowDriver {
         let tick_end = now + dt;
         let mut summary = TickSummary::default();
         for (ft, &(_, rate)) in report.flows.iter().zip(&self.offered) {
-            let f = self.active.get_mut(&ft.flow).expect("reported flow is active");
-            f.transport.on_tick(now, ft.goodput_bytes, rate * dt, ft.loss_frac, ft.rtt);
+            let f = self
+                .active
+                .get_mut(&ft.flow)
+                .expect("reported flow is active");
+            f.transport
+                .on_tick(now, ft.goodput_bytes, rate * dt, ft.loss_frac, ft.rtt);
             summary.delivered_bytes += ft.goodput_bytes;
             if f.progress.on_delivered(ft.goodput_bytes, tick_end) {
                 // The fluid model streams bytes with zero transit time; the
@@ -210,6 +252,19 @@ impl FlowDriver {
         for c in &summary.completed {
             self.active.remove(&c.id);
             self.net.remove_flow(c.id);
+        }
+        if self.obs.is_enabled() && !summary.completed.is_empty() {
+            for c in &summary.completed {
+                self.obs.emit(TraceEvent::FlowCompleted {
+                    now: c.finish,
+                    flow: c.id.0,
+                    size_bytes: c.size_bytes,
+                    fct: c.fct(),
+                });
+                self.obs.observe("flow.fct_s", c.fct());
+            }
+            self.obs
+                .counter_add("flow.completed", summary.completed.len() as u64);
         }
         summary
     }
@@ -241,7 +296,14 @@ mod tests {
     #[test]
     fn single_tcp_flow_completes() {
         let (mut d, s, r) = driver(1);
-        d.start_flow(FlowId(1), s[0], r[0], 500_000.0, AnyTransport::Tcp(Reno::default()), 0.0);
+        d.start_flow(
+            FlowId(1),
+            s[0],
+            r[0],
+            500_000.0,
+            AnyTransport::Tcp(Reno::default()),
+            0.0,
+        );
         let done = run(&mut d, 0.0, 20.0, 0.001);
         assert_eq!(done.len(), 1);
         assert_eq!(d.active_count(), 0);
@@ -285,7 +347,14 @@ mod tests {
             (FlowDriver::new(Network::new(topo)), s, r)
         };
         let (mut d1, s, r) = wan(1);
-        d1.start_flow(FlowId(1), s[0], r[0], 200_000.0, AnyTransport::Tcp(Reno::default()), 0.0);
+        d1.start_flow(
+            FlowId(1),
+            s[0],
+            r[0],
+            200_000.0,
+            AnyTransport::Tcp(Reno::default()),
+            0.0,
+        );
         let tcp_fct = run(&mut d1, 0.0, 20.0, 0.001)[0].fct();
 
         let (mut d2, s, r) = wan(1);
@@ -309,20 +378,44 @@ mod tests {
     fn two_tcp_flows_share_bottleneck_roughly_fairly() {
         let (mut d, s, r) = driver(2);
         let size = 8_000_000.0;
-        d.start_flow(FlowId(1), s[0], r[0], size, AnyTransport::Tcp(Reno::default()), 0.0);
-        d.start_flow(FlowId(2), s[1], r[1], size, AnyTransport::Tcp(Reno::default()), 0.0);
+        d.start_flow(
+            FlowId(1),
+            s[0],
+            r[0],
+            size,
+            AnyTransport::Tcp(Reno::default()),
+            0.0,
+        );
+        d.start_flow(
+            FlowId(2),
+            s[1],
+            r[1],
+            size,
+            AnyTransport::Tcp(Reno::default()),
+            0.0,
+        );
         let done = run(&mut d, 0.0, 60.0, 0.001);
         assert_eq!(done.len(), 2);
         let f1 = done.iter().find(|c| c.id == FlowId(1)).unwrap().fct();
         let f2 = done.iter().find(|c| c.id == FlowId(2)).unwrap().fct();
         let ratio = f1.max(f2) / f1.min(f2);
-        assert!(ratio < 1.5, "equal flows should finish within 50%: {f1} vs {f2}");
+        assert!(
+            ratio < 1.5,
+            "equal flows should finish within 50%: {f1} vs {f2}"
+        );
     }
 
     #[test]
     fn abort_removes_flow() {
         let (mut d, s, r) = driver(1);
-        d.start_flow(FlowId(1), s[0], r[0], 1e6, AnyTransport::Tcp(Reno::default()), 0.0);
+        d.start_flow(
+            FlowId(1),
+            s[0],
+            r[0],
+            1e6,
+            AnyTransport::Tcp(Reno::default()),
+            0.0,
+        );
         d.tick(0.0, 0.001);
         let p = d.abort_flow(FlowId(1)).unwrap();
         assert!(p.acked_bytes < 1e6);
@@ -369,10 +462,45 @@ mod tests {
     }
 
     #[test]
+    fn observed_driver_traces_flow_lifecycle() {
+        let obs = scda_obs::Obs::enabled();
+        let (mut d, s, r) = driver(1);
+        d.set_obs(obs.clone());
+        let rate = mbps(80.0) / 8.0;
+        d.start_flow(
+            FlowId(7),
+            s[0],
+            r[0],
+            100_000.0,
+            AnyTransport::Scda(ScdaWindow::new(rate, rate, 0.0024)),
+            0.0,
+        );
+        let done = run(&mut d, 0.0, 5.0, 0.001);
+        assert_eq!(done.len(), 1);
+        let m = obs.metrics_snapshot().unwrap();
+        assert_eq!(m.counter("flow.started"), 1);
+        assert_eq!(m.counter("flow.completed"), 1);
+        assert_eq!(m.histogram("flow.fct_s").unwrap().count(), 1);
+        let jsonl = obs.trace_jsonl().unwrap();
+        assert!(jsonl.contains("\"event\":\"flow_started\""));
+        assert!(jsonl.contains("\"event\":\"flow_completed\""));
+    }
+
+    #[test]
     fn tcp_config_with_small_receiver_window_limits_rate() {
         let (mut d, s, r) = driver(1);
-        let cfg = RenoConfig { max_cwnd: 5_000.0, ..Default::default() };
-        d.start_flow(FlowId(1), s[0], r[0], 1_000_000.0, AnyTransport::Tcp(Reno::new(cfg)), 0.0);
+        let cfg = RenoConfig {
+            max_cwnd: 5_000.0,
+            ..Default::default()
+        };
+        d.start_flow(
+            FlowId(1),
+            s[0],
+            r[0],
+            1_000_000.0,
+            AnyTransport::Tcp(Reno::new(cfg)),
+            0.0,
+        );
         // max rate = 5 KB / 2.4 ms ≈ 2.08 MB/s → 1 MB takes ≥ ~0.48 s.
         let done = run(&mut d, 0.0, 30.0, 0.001);
         assert_eq!(done.len(), 1);

@@ -29,7 +29,13 @@ impl FlowProgress {
     /// transfers have no defined completion time.
     pub fn new(id: FlowId, size_bytes: f64, start: f64) -> Self {
         assert!(size_bytes > 0.0, "flow size must be positive");
-        FlowProgress { id, size_bytes, acked_bytes: 0.0, start, finish: None }
+        FlowProgress {
+            id,
+            size_bytes,
+            acked_bytes: 0.0,
+            start,
+            finish: None,
+        }
     }
 
     /// Bytes still to deliver.

@@ -47,7 +47,10 @@ impl ScdaWindow {
     /// Panics on non-positive RTT or negative rates.
     pub fn new(rate_up: f64, rate_down: f64, initial_rtt: f64) -> Self {
         assert!(initial_rtt > 0.0, "initial RTT must be positive");
-        assert!(rate_up >= 0.0 && rate_down >= 0.0, "rates must be non-negative");
+        assert!(
+            rate_up >= 0.0 && rate_down >= 0.0,
+            "rates must be non-negative"
+        );
         let mut w = ScdaWindow {
             rate_up,
             rate_down,
@@ -111,7 +114,14 @@ impl Transport for ScdaWindow {
         self.send_window() / rtt
     }
 
-    fn on_tick(&mut self, _now: f64, _acked_bytes: f64, _offered_bytes: f64, _loss_frac: f64, rtt: f64) {
+    fn on_tick(
+        &mut self,
+        _now: f64,
+        _acked_bytes: f64,
+        _offered_bytes: f64,
+        _loss_frac: f64,
+        rtt: f64,
+    ) {
         // EWMA RTT update (standard α = 1/8), then re-derive windows so the
         // window/RTT quotient tracks the allocated rate.
         self.rtt_estimate = 0.875 * self.rtt_estimate + 0.125 * rtt;

@@ -74,7 +74,13 @@ impl Reno {
     pub fn new(cfg: RenoConfig) -> Self {
         let cwnd = cfg.initial_cwnd;
         let ssthresh = cfg.initial_ssthresh;
-        Reno { cfg, cwnd, ssthresh, recovery_until: f64::NEG_INFINITY, lost_segments: 0.0 }
+        Reno {
+            cfg,
+            cwnd,
+            ssthresh,
+            recovery_until: f64::NEG_INFINITY,
+            lost_segments: 0.0,
+        }
     }
 
     /// Current congestion window in bytes.
@@ -108,7 +114,14 @@ impl Transport for Reno {
         self.cwnd / rtt
     }
 
-    fn on_tick(&mut self, now: f64, acked_bytes: f64, offered_bytes: f64, loss_frac: f64, rtt: f64) {
+    fn on_tick(
+        &mut self,
+        now: f64,
+        acked_bytes: f64,
+        offered_bytes: f64,
+        loss_frac: f64,
+        rtt: f64,
+    ) {
         // Convert the fluid loss fraction into whole lost segments so that
         // congestion events stay proportional to the flow's own sending
         // rate (see module docs).
@@ -200,7 +213,10 @@ mod tests {
 
     #[test]
     fn window_never_exceeds_receiver_cap() {
-        let mut t = Reno::new(RenoConfig { max_cwnd: 10.0 * MSS, ..Default::default() });
+        let mut t = Reno::new(RenoConfig {
+            max_cwnd: 10.0 * MSS,
+            ..Default::default()
+        });
         for i in 0..100 {
             let w = t.cwnd();
             t.on_tick(i as f64 * 0.1, w, w, 0.0, 0.1);
@@ -219,7 +235,10 @@ mod tests {
 
     #[test]
     fn offered_rate_is_window_over_rtt() {
-        let t = Reno::new(RenoConfig { initial_cwnd: 1000.0, ..Default::default() });
+        let t = Reno::new(RenoConfig {
+            initial_cwnd: 1000.0,
+            ..Default::default()
+        });
         assert!((t.offered_rate(0.1) - 10_000.0).abs() < 1e-9);
     }
 
@@ -246,6 +265,9 @@ mod tests {
         // Peaks settle into a narrow band (pure sawtooth).
         let last = peaks[peaks.len() - 1];
         let prev = peaks[peaks.len() - 2];
-        assert!((last - prev).abs() < MSS, "peaks {peaks:?} should stabilize");
+        assert!(
+            (last - prev).abs() < MSS,
+            "peaks {peaks:?} should stabilize"
+        );
     }
 }

@@ -110,7 +110,10 @@ mod tests {
 
     #[test]
     fn mice_dominate_counts_elephants_dominate_bytes() {
-        let cfg = DatacenterConfig { duration: 400.0, ..Default::default() };
+        let cfg = DatacenterConfig {
+            duration: 400.0,
+            ..Default::default()
+        };
         let w = cfg.generate();
         let mice = w.flows.iter().filter(|f| f.size_bytes < 50_001.0).count();
         assert!(
@@ -133,7 +136,12 @@ mod tests {
 
     #[test]
     fn arrival_rate_approximately_matches() {
-        let cfg = DatacenterConfig { duration: 500.0, arrival_rate: 60.0, seed: 5, ..Default::default() };
+        let cfg = DatacenterConfig {
+            duration: 500.0,
+            arrival_rate: 60.0,
+            seed: 5,
+            ..Default::default()
+        };
         let w = cfg.generate();
         let rate = w.len() as f64 / 500.0;
         // Log-normal gaps have high variance; 25% tolerance.
@@ -150,21 +158,48 @@ mod tests {
 
     #[test]
     fn burstiness_creates_gap_variance() {
-        let bursty = DatacenterConfig { burst_sigma: 2.0, duration: 300.0, ..Default::default() }.generate();
-        let smooth = DatacenterConfig { burst_sigma: 0.2, duration: 300.0, ..Default::default() }.generate();
+        let bursty = DatacenterConfig {
+            burst_sigma: 2.0,
+            duration: 300.0,
+            ..Default::default()
+        }
+        .generate();
+        let smooth = DatacenterConfig {
+            burst_sigma: 0.2,
+            duration: 300.0,
+            ..Default::default()
+        }
+        .generate();
         let cv = |w: &Workload| {
-            let gaps: Vec<f64> = w.flows.windows(2).map(|p| p[1].arrival - p[0].arrival).collect();
+            let gaps: Vec<f64> = w
+                .flows
+                .windows(2)
+                .map(|p| p[1].arrival - p[0].arrival)
+                .collect();
             let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
             let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
             var.sqrt() / mean
         };
-        assert!(cv(&bursty) > 2.0 * cv(&smooth), "bursty CV {} vs smooth {}", cv(&bursty), cv(&smooth));
+        assert!(
+            cv(&bursty) > 2.0 * cv(&smooth),
+            "bursty CV {} vs smooth {}",
+            cv(&bursty),
+            cv(&smooth)
+        );
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let a = DatacenterConfig { seed: 2, ..Default::default() }.generate();
-        let b = DatacenterConfig { seed: 2, ..Default::default() }.generate();
+        let a = DatacenterConfig {
+            seed: 2,
+            ..Default::default()
+        }
+        .generate();
+        let b = DatacenterConfig {
+            seed: 2,
+            ..Default::default()
+        }
+        .generate();
         assert_eq!(a.len(), b.len());
         assert_eq!(a.total_bytes(), b.total_bytes());
     }

@@ -31,7 +31,11 @@ impl BoundedPareto {
     pub fn from_mean(mean: f64, shape: f64) -> Self {
         assert!(shape > 1.0, "Pareto mean requires shape > 1");
         assert!(mean > 0.0);
-        BoundedPareto { x_m: mean * (shape - 1.0) / shape, shape, bound: f64::INFINITY }
+        BoundedPareto {
+            x_m: mean * (shape - 1.0) / shape,
+            shape,
+            bound: f64::INFINITY,
+        }
     }
 
     /// Truncate samples at `bound` (resampling the CDF, not clipping, so
@@ -73,7 +77,9 @@ impl PoissonProcess {
     ///
     /// Panics if `rate` is not strictly positive.
     pub fn new(rate: f64) -> Self {
-        PoissonProcess { exp: Exp::new(rate).expect("rate must be positive") }
+        PoissonProcess {
+            exp: Exp::new(rate).expect("rate must be positive"),
+        }
     }
 
     /// Next inter-arrival gap in seconds.
@@ -104,7 +110,9 @@ impl LogNormalByMedian {
     /// `median > 0`, `sigma > 0`.
     pub fn new(median: f64, sigma: f64) -> Self {
         assert!(median > 0.0 && sigma > 0.0);
-        LogNormalByMedian { inner: LogNormal::new(median.ln(), sigma).expect("valid lognormal") }
+        LogNormalByMedian {
+            inner: LogNormal::new(median.ln(), sigma).expect("valid lognormal"),
+        }
     }
 
     /// Draw one sample.
@@ -135,7 +143,10 @@ impl EmpiricalCdf {
             assert!(p >= prev, "cumulative probabilities must be non-decreasing");
             prev = p;
         }
-        assert!((prev - 1.0).abs() < 1e-9, "CDF must end at 1.0, ends at {prev}");
+        assert!(
+            (prev - 1.0).abs() < 1e-9,
+            "CDF must end at 1.0, ends at {prev}"
+        );
         EmpiricalCdf { points }
     }
 

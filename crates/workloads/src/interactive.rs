@@ -103,8 +103,16 @@ mod tests {
     #[test]
     fn writes_and_reads_pair_up() {
         let w = InteractiveConfig::default().generate();
-        let writes = w.flows.iter().filter(|f| f.direction == FlowDirection::Write).count();
-        let reads = w.flows.iter().filter(|f| f.direction == FlowDirection::Read).count();
+        let writes = w
+            .flows
+            .iter()
+            .filter(|f| f.direction == FlowDirection::Write)
+            .count();
+        let reads = w
+            .flows
+            .iter()
+            .filter(|f| f.direction == FlowDirection::Read)
+            .count();
         assert_eq!(writes, reads, "every message is echoed");
         assert!(writes > 0);
     }
@@ -136,20 +144,36 @@ mod tests {
     #[test]
     #[should_panic(expected = "interactivity interval")]
     fn sluggish_sessions_rejected() {
-        InteractiveConfig { message_gap: 6.0, ..Default::default() }.generate();
+        InteractiveConfig {
+            message_gap: 6.0,
+            ..Default::default()
+        }
+        .generate();
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let a = InteractiveConfig { seed: 5, ..Default::default() }.generate();
-        let b = InteractiveConfig { seed: 5, ..Default::default() }.generate();
+        let a = InteractiveConfig {
+            seed: 5,
+            ..Default::default()
+        }
+        .generate();
+        let b = InteractiveConfig {
+            seed: 5,
+            ..Default::default()
+        }
+        .generate();
         assert_eq!(a.len(), b.len());
         assert_eq!(a.total_bytes(), b.total_bytes());
     }
 
     #[test]
     fn reader_differs_from_writer() {
-        let w = InteractiveConfig { clients: 3, ..Default::default() }.generate();
+        let w = InteractiveConfig {
+            clients: 3,
+            ..Default::default()
+        }
+        .generate();
         // Writes and their echoes come from different clients (the paper's
         // chat scenario: two parties).
         let mut writers = std::collections::BTreeSet::new();

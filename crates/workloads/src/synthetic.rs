@@ -77,10 +77,17 @@ mod tests {
 
     #[test]
     fn paper_parameters_produce_heavy_tail() {
-        let cfg = SyntheticConfig { duration: 50.0, ..Default::default() };
+        let cfg = SyntheticConfig {
+            duration: 50.0,
+            ..Default::default()
+        };
         let w = cfg.generate();
         // ~200 flows/s for 50 s.
-        assert!((w.len() as f64 - 10_000.0).abs() < 600.0, "{} flows", w.len());
+        assert!(
+            (w.len() as f64 - 10_000.0).abs() < 600.0,
+            "{} flows",
+            w.len()
+        );
         let mean = w.total_bytes() / w.len() as f64;
         // Truncation and sampling noise allowed: within 40% of 500 KB.
         assert!((mean - 500_000.0).abs() < 200_000.0, "mean {mean}");
@@ -91,22 +98,40 @@ mod tests {
 
     #[test]
     fn sizes_bounded_by_cap() {
-        let cfg = SyntheticConfig { size_cap: 1_000_000.0, duration: 20.0, ..Default::default() };
+        let cfg = SyntheticConfig {
+            size_cap: 1_000_000.0,
+            duration: 20.0,
+            ..Default::default()
+        };
         let w = cfg.generate();
         assert!(w.flows.iter().all(|f| f.size_bytes <= 1_000_000.0));
     }
 
     #[test]
     fn write_fraction_respected() {
-        let cfg = SyntheticConfig { write_fraction: 1.0, duration: 5.0, ..Default::default() };
+        let cfg = SyntheticConfig {
+            write_fraction: 1.0,
+            duration: 5.0,
+            ..Default::default()
+        };
         let w = cfg.generate();
         assert!(w.flows.iter().all(|f| f.direction == FlowDirection::Write));
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let a = SyntheticConfig { seed: 11, duration: 10.0, ..Default::default() }.generate();
-        let b = SyntheticConfig { seed: 11, duration: 10.0, ..Default::default() }.generate();
+        let a = SyntheticConfig {
+            seed: 11,
+            duration: 10.0,
+            ..Default::default()
+        }
+        .generate();
+        let b = SyntheticConfig {
+            seed: 11,
+            duration: 10.0,
+            ..Default::default()
+        }
+        .generate();
         assert_eq!(a.total_bytes(), b.total_bytes());
     }
 }

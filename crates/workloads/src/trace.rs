@@ -43,7 +43,11 @@ pub fn from_csv(s: &str) -> Result<Workload, String> {
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() != 5 {
-            return Err(format!("line {}: expected 5 fields, got {}", lineno + 1, fields.len()));
+            return Err(format!(
+                "line {}: expected 5 fields, got {}",
+                lineno + 1,
+                fields.len()
+            ));
         }
         let arrival: f64 = fields[0]
             .parse()
@@ -70,7 +74,13 @@ pub fn from_csv(s: &str) -> Result<Workload, String> {
         let client: usize = fields[4]
             .parse()
             .map_err(|e| format!("line {}: bad client: {e}", lineno + 1))?;
-        flows.push(FlowSpec { arrival, size_bytes: size, kind, direction, client });
+        flows.push(FlowSpec {
+            arrival,
+            size_bytes: size,
+            kind,
+            direction,
+            client,
+        });
     }
     Ok(Workload::new(flows))
 }

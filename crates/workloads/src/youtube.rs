@@ -138,7 +138,13 @@ impl YouTubeConfig {
                     }
                 }
             };
-            flows.push(FlowSpec { arrival: t, size_bytes: size, kind: FlowKind::Video, direction, client });
+            flows.push(FlowSpec {
+                arrival: t,
+                size_bytes: size,
+                kind: FlowKind::Video,
+                direction,
+                client,
+            });
         }
         Workload::new(flows)
     }
@@ -162,16 +168,26 @@ mod tests {
 
     #[test]
     fn control_to_video_ratio_matches_config() {
-        let cfg = YouTubeConfig { control_per_video: 3, ..Default::default() };
+        let cfg = YouTubeConfig {
+            control_per_video: 3,
+            ..Default::default()
+        };
         let w = cfg.generate();
-        let control = w.flows.iter().filter(|f| f.kind == FlowKind::Control).count();
+        let control = w
+            .flows
+            .iter()
+            .filter(|f| f.kind == FlowKind::Control)
+            .count();
         let video = w.flows.iter().filter(|f| f.kind == FlowKind::Video).count();
         assert_eq!(control, 3 * video);
     }
 
     #[test]
     fn exclude_control_produces_only_videos() {
-        let cfg = YouTubeConfig { include_control: false, ..Default::default() };
+        let cfg = YouTubeConfig {
+            include_control: false,
+            ..Default::default()
+        };
         let w = cfg.generate();
         assert!(w.flows.iter().all(|f| f.kind == FlowKind::Video));
         assert!(!w.is_empty());
@@ -179,7 +195,11 @@ mod tests {
 
     #[test]
     fn most_videos_under_cap_few_above() {
-        let cfg = YouTubeConfig { duration: 500.0, seed: 3, ..Default::default() };
+        let cfg = YouTubeConfig {
+            duration: 500.0,
+            seed: 3,
+            ..Default::default()
+        };
         let w = cfg.generate();
         let videos: Vec<f64> = w
             .flows
@@ -195,7 +215,12 @@ mod tests {
 
     #[test]
     fn arrival_rate_scales() {
-        let cfg = YouTubeConfig { video_rate: 20.0, duration: 200.0, include_control: false, ..Default::default() };
+        let cfg = YouTubeConfig {
+            video_rate: 20.0,
+            duration: 200.0,
+            include_control: false,
+            ..Default::default()
+        };
         let w = cfg.generate();
         let rate = w.len() as f64 / 200.0;
         assert!((rate - 20.0).abs() < 2.0, "rate {rate}");
@@ -203,17 +228,32 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = YouTubeConfig { seed: 9, ..Default::default() }.generate();
-        let b = YouTubeConfig { seed: 9, ..Default::default() }.generate();
+        let a = YouTubeConfig {
+            seed: 9,
+            ..Default::default()
+        }
+        .generate();
+        let b = YouTubeConfig {
+            seed: 9,
+            ..Default::default()
+        }
+        .generate();
         assert_eq!(a.len(), b.len());
         assert_eq!(a.total_bytes(), b.total_bytes());
-        let c = YouTubeConfig { seed: 10, ..Default::default() }.generate();
+        let c = YouTubeConfig {
+            seed: 10,
+            ..Default::default()
+        }
+        .generate();
         assert_ne!(a.total_bytes(), c.total_bytes());
     }
 
     #[test]
     fn clients_in_range() {
-        let cfg = YouTubeConfig { clients: 4, ..Default::default() };
+        let cfg = YouTubeConfig {
+            clients: 4,
+            ..Default::default()
+        };
         let w = cfg.generate();
         assert!(w.flows.iter().all(|f| f.client < 4));
     }
@@ -229,11 +269,14 @@ mod tests {
         };
         let w = cfg.generate();
         let sizes: Vec<f64> = w.flows.iter().map(|f| f.size_bytes).collect();
-        let frac_under = |x: f64| {
-            sizes.iter().filter(|&&s| s <= x).count() as f64 / sizes.len() as f64
-        };
+        let frac_under =
+            |x: f64| sizes.iter().filter(|&&s| s <= x).count() as f64 / sizes.len() as f64;
         // Published buckets (±4% sampling tolerance).
-        assert!((frac_under(6.0e6) - 0.50).abs() < 0.04, "median {}", frac_under(6.0e6));
+        assert!(
+            (frac_under(6.0e6) - 0.50).abs() < 0.04,
+            "median {}",
+            frac_under(6.0e6)
+        );
         assert!((frac_under(20.0e6) - 0.92).abs() < 0.04);
         assert!((frac_under(30.0e6) - 0.98).abs() < 0.02);
         assert!(sizes.iter().all(|&s| s <= 90.0e6));
@@ -245,6 +288,9 @@ mod tests {
         for pair in w.flows.windows(2) {
             assert!(pair[0].arrival <= pair[1].arrival);
         }
-        assert!(w.flows.iter().all(|f| f.arrival >= 0.0 && f.arrival < 100.0));
+        assert!(w
+            .flows
+            .iter()
+            .all(|f| f.arrival >= 0.0 && f.arrival < 100.0));
     }
 }

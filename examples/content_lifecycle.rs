@@ -12,10 +12,17 @@ use scda::experiments::SelectionPolicy;
 
 fn main() {
     for (label, selection) in [
-        ("SCDA (rate-aware placement + holder choice)", SelectionPolicy::BestRate),
+        (
+            "SCDA (rate-aware placement + holder choice)",
+            SelectionPolicy::BestRate,
+        ),
         ("random placement + random holder", SelectionPolicy::Random),
     ] {
-        let r = run_content(&ContentRunConfig { selection, seed: 2, ..Default::default() });
+        let r = run_content(&ContentRunConfig {
+            selection,
+            seed: 2,
+            ..Default::default()
+        });
         println!("== {label} ==");
         println!(
             "  writes: {} completed, mean FCT {:.3} s",

@@ -2,10 +2,13 @@
 //! detection and the mitigation ladder (§IV of the paper).
 //!
 //! Uses the control-plane API directly — no full simulation — to show how
-//! the pieces a cloud operator would script against fit together.
+//! the pieces a cloud operator would script against fit together. The whole
+//! walkthrough runs under an enabled observability handle: pass a path to
+//! dump the control-plane trace as JSONL, and the end of the run prints the
+//! per-phase profile and metrics the handle gathered.
 //!
 //! ```text
-//! cargo run --release --example datacenter_sla
+//! cargo run --release --example datacenter_sla [TRACE.jsonl]
 //! ```
 
 use scda::core::rate_metric::LinkSample;
@@ -13,6 +16,7 @@ use scda::core::reservation::ReservationBook;
 use scda::core::sla::{Mitigation, SlaPolicy};
 use scda::core::tree::{RateCaps, Telemetry};
 use scda::core::{ControlTree, MetricKind, Params, PriorityPolicy, SlaMonitor};
+use scda::obs::Obs;
 use scda::prelude::*;
 use scda::simnet::{FlowId, LinkId};
 
@@ -20,7 +24,10 @@ use scda::simnet::{FlowId, LinkId};
 struct Load(f64);
 impl Telemetry for Load {
     fn sample(&mut self, _l: LinkId) -> LinkSample {
-        LinkSample { flow_rate_sum: self.0, ..Default::default() }
+        LinkSample {
+            flow_rate_sum: self.0,
+            ..Default::default()
+        }
     }
     fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
         RateCaps::default()
@@ -38,6 +45,12 @@ fn main() {
     .build();
     let x_bytes = tree.topo.link(tree.server_links[0][0].0).capacity_bytes();
     let mut ct = ControlTree::from_three_tier(&tree, Params::default(), MetricKind::Full);
+
+    // Observe the whole walkthrough: every control round below lands in the
+    // trace ring and the metrics registry.
+    let obs = Obs::enabled();
+    ct.set_obs(obs.clone());
+    let trace_path: Option<String> = std::env::args().nth(1);
 
     // --- 1. Priorities (§IV-A): a gold flow asks for 2x its current rate.
     println!("== prioritized allocation ==");
@@ -95,11 +108,41 @@ fn main() {
     // --- 4. After load clears, advertised rates recover.
     println!("\n== recovery ==");
     for _ in 0..8 {
-        ct.control_round(10.0, &mut Load(0.0));
+        obs.time_phase("example.recovery_round", || {
+            ct.control_round(10.0, &mut Load(0.0))
+        });
     }
-    let (bs, rate) = ct.best_server_global(Direction::Down).expect("tree has servers");
+    let (bs, rate) = ct
+        .best_server_global(Direction::Down)
+        .expect("tree has servers");
     println!(
         "idle again: best write target {bs} at {:.1}% of X",
         100.0 * rate / x_bytes
     );
+
+    // --- 5. What the observability handle saw (§I: metrics offloaded to
+    //        an external server for off-line diagnosis).
+    println!("\n== observability ==");
+    if let Some(reg) = obs.metrics_snapshot() {
+        println!("{}", reg.to_table());
+    }
+    if let Some(report) = obs.profile_report() {
+        println!("{}", report.to_table());
+    }
+    let jsonl = obs.trace_jsonl().expect("handle is enabled");
+    println!(
+        "trace: {} events; first SLA violation on the wire:",
+        jsonl.lines().count()
+    );
+    if let Some(line) = jsonl
+        .lines()
+        .find(|l| l.contains("\"event\":\"sla_violation\""))
+    {
+        println!("  {line}");
+    }
+    if let Some(path) = trace_path {
+        obs.write_trace_jsonl(std::path::Path::new(&path))
+            .expect("write trace");
+        println!("trace written to {path}");
+    }
 }

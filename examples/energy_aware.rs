@@ -20,7 +20,10 @@ struct PartialLoad {
 impl Telemetry for PartialLoad {
     fn sample(&mut self, l: LinkId) -> LinkSample {
         if self.busy_links.contains(&l) {
-            LinkSample { flow_rate_sum: self.load, ..Default::default() }
+            LinkSample {
+                flow_rate_sum: self.load,
+                ..Default::default()
+            }
         } else {
             LinkSample::default()
         }
@@ -43,24 +46,31 @@ fn main() {
     let x = tree.topo.link(tree.server_links[0][0].0).capacity_bytes();
 
     // Heterogeneous fleet: every third server is an older, hotter machine.
-    let mut energy = EnergyBook::new(
-        PowerModelConfig::default(),
-        servers.iter().copied(),
-        |i| if i % 3 == 2 { 1.4 } else { 1.0 },
-    );
+    let mut energy = EnergyBook::new(PowerModelConfig::default(), servers.iter().copied(), |i| {
+        if i % 3 == 2 {
+            1.4
+        } else {
+            1.0
+        }
+    });
 
     // Load the uplinks of the first four servers; the rest stay near idle.
-    let mut ct = ControlTree::from_three_tier(
-        &tree,
-        Params::default(),
-        MetricKind::Full,
-    );
+    let mut ct = ControlTree::from_three_tier(&tree, Params::default(), MetricKind::Full);
     let busy_links: Vec<LinkId> = tree.server_links[0].iter().map(|&(up, _)| up).collect();
-    let mut tel = PartialLoad { busy_links, load: 2.0 * x };
+    let mut tel = PartialLoad {
+        busy_links,
+        load: 2.0 * x,
+    };
     for _ in 0..10 {
         ct.control_round(0.0, &mut tel);
     }
-    energy.tick(1.0, |id| if tree.rack_of(id) == Some(0) { 0.8 } else { 0.02 });
+    energy.tick(1.0, |id| {
+        if tree.rack_of(id) == Some(0) {
+            0.8
+        } else {
+            0.02
+        }
+    });
 
     let metrics = ct.server_metrics();
     println!("per-server available uplink (fraction of X):");
@@ -76,7 +86,10 @@ fn main() {
 
     // Scale down the near-idle servers whose uplink headroom exceeds
     // R_scale — they will serve passive content only.
-    let cfg = SelectorConfig { r_scale: 0.8 * x, power_aware: false };
+    let cfg = SelectorConfig {
+        r_scale: 0.8 * x,
+        power_aware: false,
+    };
     for m in &metrics {
         if m.path_up >= cfg.r_scale {
             energy.scale_down(m.server);
@@ -106,18 +119,25 @@ fn main() {
     assert_ne!(passive_replica, interactive);
 
     // Power-aware ranking flips ties toward cooler machines (§VII-D).
-    let cfg_power = SelectorConfig { r_scale: f64::INFINITY, power_aware: true };
+    let cfg_power = SelectorConfig {
+        r_scale: f64::INFINITY,
+        power_aware: true,
+    };
     let sel_power = Selector::new(&metrics, Some(&energy), &cfg_power);
     let (efficient, score) = sel_power
         .write_target(ContentClass::SemiInteractiveWrite, &[])
         .expect("fleet is non-empty");
-    println!(
-        "\npower-aware write target: {efficient} (best R̂/P = {score:.0} bytes/joule)",
-    );
+    println!("\npower-aware write target: {efficient} (best R̂/P = {score:.0} bytes/joule)",);
 
     // Energy accounting over an hour of this regime.
     for t in 2..=3600 {
-        energy.tick(t as f64, |id| if tree.rack_of(id) == Some(0) { 0.8 } else { 0.02 });
+        energy.tick(t as f64, |id| {
+            if tree.rack_of(id) == Some(0) {
+                0.8
+            } else {
+                0.02
+            }
+        });
     }
     println!(
         "fleet energy over an hour: {:.2} kWh ({} dormant servers saved ~{:.2} kWh)",

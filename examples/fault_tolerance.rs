@@ -44,7 +44,11 @@ fn main() {
     .build();
     let tau = 0.05;
     let dt = 0.005;
-    let params = scda::core::Params { tau, drain_horizon: tau, ..Default::default() };
+    let params = scda::core::Params {
+        tau,
+        drain_horizon: tau,
+        ..Default::default()
+    };
     let mut ct = ControlTree::from_three_tier(&tree, params, MetricKind::Full);
     let mut monitor = SlaMonitor::new(SlaPolicy::default());
     let (rack0_up, _) = tree.edge_links[0];
@@ -91,7 +95,11 @@ fn main() {
                 }
             }
             let violations = {
-                let mut tel = Live { net: driver.net_mut(), loads: &loads, tau };
+                let mut tel = Live {
+                    net: driver.net_mut(),
+                    loads: &loads,
+                    tau,
+                };
                 ct.control_round(now, &mut tel)
             };
             for v in &violations {
@@ -129,7 +137,10 @@ fn main() {
     // NNS reassignment: the selector now sends reads for rack-0 content to
     // the replica in rack 1.
     let metrics = ct.server_metrics();
-    let cfg = SelectorConfig { r_scale: f64::INFINITY, power_aware: false };
+    let cfg = SelectorConfig {
+        r_scale: f64::INFINITY,
+        power_aware: false,
+    };
     let sel = Selector::new(&metrics, None, &cfg);
     let replicas = [victim_server, tree.servers[1][0]];
     let (source, rate) = sel.read_source(&replicas).expect("replicas exist");
@@ -146,7 +157,11 @@ fn main() {
     ct.set_link_capacity(rack0_up, x);
     for i in 0..10 {
         loads.iter_mut().for_each(|l| *l = 0.0);
-        let mut tel = Live { net: driver.net_mut(), loads: &loads, tau };
+        let mut tel = Live {
+            net: driver.net_mut(),
+            loads: &loads,
+            tau,
+        };
         ct.control_round(3.0 + i as f64 * tau, &mut tel);
     }
     let recovered = ct

@@ -42,8 +42,7 @@ fn main() {
     }
 
     let gain = 1.0
-        - rows[1].fct.mean_fct().unwrap_or(f64::NAN)
-            / rows[0].fct.mean_fct().unwrap_or(f64::NAN);
+        - rows[1].fct.mean_fct().unwrap_or(f64::NAN) / rows[0].fct.mean_fct().unwrap_or(f64::NAN);
     println!(
         "\nmax/min route selection + explicit rates completes flows {:.0}% faster than\n\
          hashed ECMP + TCP — the §IX claim that SCDA generalizes beyond trees, with the\n\

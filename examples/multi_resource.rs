@@ -20,14 +20,21 @@ fn main() {
     // Every second server: a disk an order of magnitude below the network.
     let profiles = vec![
         ResourceProfile::default(),
-        ResourceProfile { disk_read_bps: 4e6, disk_write_bps: 3e6, ..Default::default() },
+        ResourceProfile {
+            disk_read_bps: 4e6,
+            disk_write_bps: 3e6,
+            ..Default::default()
+        },
     ];
 
     println!("fleet: every second server disk-limited to 3-4 MB/s (network path ~60 MB/s)\n");
     for (label, opts) in [
         (
             "R_other-aware SCDA selection",
-            ScdaOptions { resource_profiles: Some(profiles.clone()), ..Default::default() },
+            ScdaOptions {
+                resource_profiles: Some(profiles.clone()),
+                ..Default::default()
+            },
         ),
         (
             "random selection, same fleet",

@@ -67,7 +67,10 @@ fn main() {
 
     // What the indirection costs: one extra control hop in the figure-3/5
     // protocols, already priced into the SCDA runs.
-    let costs = ProtocolCosts { control_hop: 0.010, client_wan: 0.050 };
+    let costs = ProtocolCosts {
+        control_hop: 0.010,
+        client_wan: 0.050,
+    };
     println!(
         "protocol setup costs: external write {:.0} ms, external read {:.0} ms, \
          internal replication {:.0} ms (vs a bare TCP handshake at {:.0} ms)",

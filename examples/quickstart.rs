@@ -41,7 +41,11 @@ fn main() {
     );
 
     let s = pair.scda.fct.mean_fct().expect("SCDA completed flows");
-    let r = pair.randtcp.fct.mean_fct().expect("RandTCP completed flows");
+    let r = pair
+        .randtcp
+        .fct
+        .mean_fct()
+        .expect("RandTCP completed flows");
     println!(
         "\nSCDA mean FCT is {:.0}% lower than RandTCP (paper claims ~50% lower transfer times \
          and up to 60% higher throughput).",

@@ -1,21 +1,33 @@
 //! Run the DESIGN.md §6 ablation studies and print their tables.
 //!
 //! ```text
-//! ablations [--scale quick|paper] [--seed S]
+//! ablations [--scale quick|paper] [--seed S] [--trace PATH] [--profile]
 //! ```
+//!
+//! `--trace PATH` / `--profile` run one instrumented SCDA pass on the
+//! datacenter scenario before the studies: the trace goes to PATH as
+//! JSONL, the per-phase timing table to stdout.
 
 use scda_experiments::ablations::{
     energy_study, metric_comparison, nns_scaling_study, overhead_study, priority_study,
     selection_transport_grid, table, tau_sweep,
 };
 use scda_experiments::{
-    run_multipath, MultipathConfig, PathPolicy, Scale, Scenario,
+    run_multipath, run_scda, MultipathConfig, PathPolicy, Scale, ScdaOptions, Scenario,
 };
+use scda_obs::Obs;
+
+fn usage() -> ! {
+    eprintln!("usage: ablations [--scale quick|paper] [--seed S] [--trace PATH] [--profile]");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
     let mut seed = 1u64;
+    let mut trace: Option<String> = None;
+    let mut profile = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -24,22 +36,62 @@ fn main() {
                 scale = match args.get(i).map(String::as_str) {
                     Some("quick") => Scale::Quick,
                     Some("paper") => Scale::Paper,
-                    _ => {
-                        eprintln!("usage: ablations [--scale quick|paper] [--seed S]");
-                        std::process::exit(2);
-                    }
+                    _ => usage(),
                 };
             }
             "--seed" => {
                 i += 1;
                 seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(1);
             }
-            _ => {
-                eprintln!("usage: ablations [--scale quick|paper] [--seed S]");
+            "--trace" => {
+                i += 1;
+                trace = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--profile" => profile = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    // One instrumented representative pass before the (uninstrumented)
+    // studies: the datacenter K=3 scenario under default SCDA options.
+    if trace.is_some() || profile {
+        if let Some(path) = &trace {
+            // Fail before the run, not after: the trace is written at the end.
+            if let Err(e) = std::fs::write(path, "") {
+                eprintln!("error: cannot write trace file {path}: {e}");
                 std::process::exit(2);
             }
         }
-        i += 1;
+        let obs = Obs::enabled();
+        let opts = ScdaOptions {
+            obs: obs.clone(),
+            snapshot_every: Some(5),
+            ..Default::default()
+        };
+        let sc = Scenario::datacenter(scale, 3.0, seed);
+        eprintln!("# instrumented SCDA pass on {} ...", sc.name);
+        let r = run_scda(&sc, &opts);
+        eprintln!(
+            "#   {}/{} completed, {} control rounds, {} SLA violations",
+            r.completed, r.requested, r.control_rounds, r.sla_violations
+        );
+        if let Some(path) = &trace {
+            obs.write_trace_jsonl(std::path::Path::new(path))
+                .expect("write trace JSONL");
+            let events = obs.with_core(|c| c.tracer.len()).unwrap_or(0);
+            eprintln!("#   wrote {events} trace events to {path}");
+        }
+        if profile {
+            if let Some(report) = &r.profile {
+                println!("== per-phase wall-clock profile (instrumented pass) ==");
+                println!("{}", report.to_table());
+            }
+            if let Some(reg) = obs.metrics_snapshot() {
+                println!("== metrics registry (instrumented pass) ==");
+                println!("{}", reg.to_table());
+            }
+        }
     }
 
     let video = Scenario::video(scale, false, seed);
@@ -92,21 +144,31 @@ fn main() {
     );
 
     println!("\n== ablation 7: NNS scaling (metadata peak load) ==");
-    println!("{:>6} {:>12} {:>14}", "NNS", "peak objects", "peak fraction");
+    println!(
+        "{:>6} {:>12} {:>14}",
+        "NNS", "peak objects", "peak fraction"
+    );
     for (n, peak, frac) in nns_scaling_study(100_000, &[1, 2, 4, 8, 16]) {
         println!("{n:>6} {peak:>12} {frac:>14.3}");
     }
 
     println!("\n== ablation 8: general fabric (§IX) — path policies on a Clos ==");
-    let mcfg = MultipathConfig { seed, ..Default::default() };
+    let mcfg = MultipathConfig {
+        seed,
+        ..Default::default()
+    };
     println!(
         "{:<34} {:>10} {:>10} {:>8} {:>10}",
         "policy", "mean FCT", "p95 FCT", "Jain", "done"
     );
     for policy in [
         PathPolicy::EcmpHash,
-        PathPolicy::HederaLike { elephant_bytes: 100e6 },
-        PathPolicy::HederaLike { elephant_bytes: 0.0 },
+        PathPolicy::HederaLike {
+            elephant_bytes: 100e6,
+        },
+        PathPolicy::HederaLike {
+            elephant_bytes: 0.0,
+        },
         PathPolicy::MaxMinRoute,
     ] {
         let r = run_multipath(&mcfg, policy);

@@ -2,19 +2,24 @@
 //!
 //! ```text
 //! figures [--fig N]... [--all] [--scale quick|paper] [--seed S] [--out DIR]
+//!         [--trace PATH] [--profile]
 //! ```
 //!
 //! Prints each figure as a text table (x, RandTCP, SCDA) plus the headline
 //! SCDA-vs-RandTCP comparison, and — with `--out` — writes per-figure JSON
-//! for archiving.
+//! for archiving. `--trace PATH` records every SCDA run's control-round,
+//! flow-lifecycle, server-selection and SLA-violation events to a JSONL
+//! file; `--profile` prints the per-phase wall-clock table and the merged
+//! metrics registry after the runs.
 
 use std::collections::BTreeMap;
 
-use scda_experiments::{aggregate, build_figure, run_seeds, Group, Scale};
+use scda_experiments::{aggregate, build_figure, run_seeds, Group, Scale, ScdaOptions};
+use scda_obs::Obs;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [--fig N]... [--all] [--scale quick|paper|full|full100] [--seed S] [--seeds N] [--out DIR]"
+        "usage: figures [--fig N]... [--all] [--scale quick|paper|full|full100] [--seed S] [--seeds N] [--out DIR] [--trace PATH] [--profile]"
     );
     std::process::exit(2);
 }
@@ -25,6 +30,8 @@ fn main() {
     let mut seed = 1u64;
     let mut n_seeds = 1usize;
     let mut out: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut profile = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -32,7 +39,10 @@ fn main() {
         match args[i].as_str() {
             "--fig" => {
                 i += 1;
-                let n = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                let n = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 figs.push(n);
             }
             "--all" => figs.extend(7..=18),
@@ -48,16 +58,27 @@ fn main() {
             }
             "--seed" => {
                 i += 1;
-                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--seeds" => {
                 i += 1;
-                n_seeds = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                n_seeds = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--out" => {
                 i += 1;
                 out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--trace" => {
+                i += 1;
+                trace = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--profile" => profile = true,
             _ => usage(),
         }
         i += 1;
@@ -82,6 +103,28 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create output dir");
     }
 
+    // One handle across every group: the trace ring is bounded, and the
+    // metrics registry merges the runs.
+    let obs = if trace.is_some() || profile {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
+    let run_opts = ScdaOptions {
+        obs: obs.clone(),
+        snapshot_every: trace.as_ref().map(|_| 5),
+        ..Default::default()
+    };
+    if let Some(path) = &trace {
+        // Fail before the runs, not after: the trace is written at exit.
+        if let Err(e) = std::fs::write(path, "") {
+            eprintln!("error: cannot write trace file {path}: {e}");
+            std::process::exit(2);
+        }
+        // The snapshot series is appended per group; start clean.
+        let _ = std::fs::remove_file(format!("{path}.snapshots.jsonl"));
+    }
+
     for (lead, figures) in by_group {
         let group = Group::for_figure(lead).expect("lead figure is valid");
         if n_seeds > 1 {
@@ -98,9 +141,12 @@ fn main() {
                 100.0 * agg.std_throughput_gain,
             );
         }
-        eprintln!("# running group {group:?} ({} figures) at {scale:?} scale...", figures.len());
+        eprintln!(
+            "# running group {group:?} ({} figures) at {scale:?} scale...",
+            figures.len()
+        );
         let t0 = std::time::Instant::now();
-        let pair = group.run(scale, seed);
+        let pair = group.run_with(scale, seed, &run_opts);
         eprintln!(
             "#   done in {:.1}s — SCDA {}/{} completed ({} SLA violations), RandTCP {}/{}",
             t0.elapsed().as_secs_f64(),
@@ -116,7 +162,10 @@ fn main() {
             match f {
                 7 | 10 | 17 => {
                     if let Some(g) = report.mean_gain() {
-                        println!("# SCDA mean throughput gain over RandTCP: {:+.1}%\n", 100.0 * g);
+                        println!(
+                            "# SCDA mean throughput gain over RandTCP: {:+.1}%\n",
+                            100.0 * g
+                        );
                     }
                 }
                 8 | 11 | 14 | 16 | 18 => {
@@ -142,6 +191,40 @@ fn main() {
                 std::fs::write(&path, report.to_json()).expect("write figure JSON");
                 eprintln!("#   wrote {path}");
             }
+        }
+        if let (Some(path), Some(stream)) = (&trace, &pair.scda.snapshots) {
+            let snap_path = format!("{path}.snapshots.jsonl");
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&snap_path)
+                .expect("open snapshot stream file");
+            use std::io::Write as _;
+            f.write_all(stream.to_jsonl().as_bytes())
+                .expect("write snapshot stream");
+            eprintln!(
+                "#   appended {} tree snapshots (every 5 rounds) to {snap_path}",
+                stream.snapshots().len()
+            );
+        }
+    }
+
+    if let Some(path) = &trace {
+        obs.write_trace_jsonl(std::path::Path::new(path))
+            .expect("write trace JSONL");
+        let (events, dropped) = obs
+            .with_core(|c| (c.tracer.len(), c.tracer.dropped()))
+            .expect("tracing handle is enabled");
+        eprintln!("# wrote {events} trace events to {path} ({dropped} dropped by the ring)");
+    }
+    if profile {
+        if let Some(report) = obs.profile_report() {
+            println!("== per-phase wall-clock profile ==");
+            println!("{}", report.to_table());
+        }
+        if let Some(reg) = obs.metrics_snapshot() {
+            println!("== metrics registry (merged across runs) ==");
+            println!("{}", reg.to_table());
         }
     }
 }

@@ -20,7 +20,10 @@
 //! * [`metrics`] — FCT CDFs, AFCT-by-size curves, throughput series and
 //!   figure reports;
 //! * [`experiments`] — runners for both systems and the regenerators for
-//!   every evaluation figure (7-18).
+//!   every evaluation figure (7-18);
+//! * [`obs`] — run-time observability: a bounded trace ring with JSONL
+//!   export, a mergeable metrics registry, and per-phase wall-clock
+//!   profiling, all behind a cloneable handle that is free when disabled.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@
 pub use scda_core as core;
 pub use scda_experiments as experiments;
 pub use scda_metrics as metrics;
+pub use scda_obs as obs;
 pub use scda_simnet as simnet;
 pub use scda_transport as transport;
 pub use scda_workloads as workloads;
@@ -50,8 +54,9 @@ pub mod prelude {
         ContentClass, ContentId, ControlTree, Direction, EnergyBook, MetricKind, NameService,
         Params, PriorityPolicy, Selector, SelectorConfig, SlaMonitor,
     };
-    pub use scda_experiments::{build_figure, run_pair, Group, Scale, Scenario, ScdaOptions};
+    pub use scda_experiments::{build_figure, run_pair, Group, Scale, ScdaOptions, Scenario};
     pub use scda_metrics::{FctStats, FigureReport, ThroughputSeries};
+    pub use scda_obs::{Obs, Registry, TraceEvent};
     pub use scda_simnet::{builders::ThreeTierConfig, Network, NodeId};
     pub use scda_transport::{AnyTransport, FlowDriver, Reno, ScdaWindow};
     pub use scda_workloads::{DatacenterConfig, SyntheticConfig, Workload, YouTubeConfig};

@@ -16,7 +16,10 @@ impl Telemetry for Uneven {
     fn sample(&mut self, l: LinkId) -> LinkSample {
         // Deterministic uneven load: every third link is busier.
         if l.0.is_multiple_of(3) {
-            LinkSample { flow_rate_sum: 40e6, ..Default::default() }
+            LinkSample {
+                flow_rate_sum: 40e6,
+                ..Default::default()
+            }
         } else {
             LinkSample::default()
         }
@@ -49,7 +52,10 @@ fn write_replicate_read_round_trip() {
         .collect();
 
     let metrics = ct.server_metrics();
-    let cfg = SelectorConfig { r_scale: f64::INFINITY, power_aware: false };
+    let cfg = SelectorConfig {
+        r_scale: f64::INFINITY,
+        power_aware: false,
+    };
     let sel = Selector::new(&metrics, None, &cfg);
 
     // 1. External write (figure 3): best downlink server.
@@ -59,7 +65,10 @@ fn write_replicate_read_round_trip() {
         .write_target(ContentClass::SemiInteractiveRead, &[])
         .expect("servers exist");
     assert!(rate > 0.0);
-    let bs = stores.iter_mut().find(|b| b.node == primary).expect("primary exists");
+    let bs = stores
+        .iter_mut()
+        .find(|b| b.node == primary)
+        .expect("primary exists");
     assert!(bs.store(content, size));
 
     // 2. Register metadata through the FES hash.
@@ -79,10 +88,19 @@ fn write_replicate_read_round_trip() {
         .expect("another server exists");
     assert_ne!(replica, primary);
     let rate = ct.transfer_rate(primary, replica).expect("both in tree");
-    assert!(rate > 0.0, "replication flow must get a positive allocation");
-    let rbs = stores.iter_mut().find(|b| b.node == replica).expect("replica exists");
+    assert!(
+        rate > 0.0,
+        "replication flow must get a positive allocation"
+    );
+    let rbs = stores
+        .iter_mut()
+        .find(|b| b.node == replica)
+        .expect("replica exists");
     assert!(rbs.store(content, size));
-    ns.lookup_mut(content).expect("registered").replicas.push(replica);
+    ns.lookup_mut(content)
+        .expect("registered")
+        .replicas
+        .push(replica);
 
     // 4. External read (figure 5): served from the faster-uplink holder.
     let meta = ns.lookup(content).expect("registered");
@@ -92,7 +110,10 @@ fn write_replicate_read_round_trip() {
     assert!(up_rate > 0.0);
     // The chosen source has the best uplink among holders.
     for h in &holders {
-        let m = metrics.iter().find(|m| m.server == *h).expect("holder has metrics");
+        let m = metrics
+            .iter()
+            .find(|m| m.server == *h)
+            .expect("holder has metrics");
         assert!(m.path_up <= up_rate + 1e-9);
     }
 }
@@ -131,6 +152,9 @@ fn disk_pressure_fails_placement_gracefully() {
     assert!(!bs.store(ContentId(2), 6e6), "over disk budget");
     // The §IV multi-resource hook: a disk-full server caps R_other, which
     // the tree folds into its advertised rates via RateCaps.
-    let caps = RateCaps { send: f64::INFINITY, recv: 0.0 };
+    let caps = RateCaps {
+        send: f64::INFINITY,
+        recv: 0.0,
+    };
     assert_eq!(caps.recv, 0.0, "no write bandwidth for a full server");
 }

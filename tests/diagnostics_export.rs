@@ -4,7 +4,7 @@
 
 use scda::core::rate_metric::LinkSample;
 use scda::core::tree::{RateCaps, Telemetry};
-use scda::core::{ControlTree, MetricKind, Params, TreeSnapshot};
+use scda::core::{ControlTree, MetricKind, Params, SnapshotStream, TreeSnapshot};
 use scda::prelude::*;
 use scda::simnet::LinkId;
 
@@ -14,7 +14,11 @@ struct HotRack {
 impl Telemetry for HotRack {
     fn sample(&mut self, l: LinkId) -> LinkSample {
         if self.hot_links.contains(&l) {
-            LinkSample { flow_rate_sum: 1e10, queue_bytes: 9e5, arrival_rate: 1e10 }
+            LinkSample {
+                flow_rate_sum: 1e10,
+                queue_bytes: 9e5,
+                arrival_rate: 1e10,
+            }
         } else {
             LinkSample::default()
         }
@@ -40,7 +44,9 @@ fn snapshot_round_trips_and_flags_congested_links() {
         .iter()
         .flat_map(|&(up, down)| [up, down])
         .collect();
-    let mut tel = HotRack { hot_links: hot_links.clone() };
+    let mut tel = HotRack {
+        hot_links: hot_links.clone(),
+    };
     for i in 0..6 {
         ct.control_round(i as f64 * 0.05, &mut tel);
     }
@@ -67,5 +73,77 @@ fn snapshot_round_trips_and_flags_congested_links() {
     assert!(
         parsed.total_server_down_rate() < 0.95 * healthy_total,
         "aggregate health must reflect the congested rack"
+    );
+}
+
+#[test]
+fn snapshot_stream_round_trips_and_tracks_congestion_onset() {
+    let tree = ThreeTierConfig {
+        racks: 3,
+        servers_per_rack: 2,
+        racks_per_agg: 3,
+        clients: 2,
+        ..Default::default()
+    }
+    .build();
+    let mut ct = ControlTree::from_three_tier(&tree, Params::default(), MetricKind::Full);
+    let hot_links: Vec<LinkId> = tree.server_links[1]
+        .iter()
+        .flat_map(|&(up, down)| [up, down])
+        .collect();
+
+    // Two quiet rounds, then six rounds of a slammed rack, streaming a
+    // snapshot every second round (cadence 2·τ on the wire).
+    let tau = 0.05;
+    let mut stream = SnapshotStream::new(2);
+    let mut quiet = HotRack { hot_links: vec![] };
+    let mut hot = HotRack {
+        hot_links: hot_links.clone(),
+    };
+    for i in 0..8 {
+        let now = i as f64 * tau;
+        if i < 2 {
+            ct.control_round(now, &mut quiet);
+        } else {
+            ct.control_round(now, &mut hot);
+        }
+        stream.offer_with(|| ct.snapshot(now));
+    }
+    assert_eq!(stream.rounds_offered(), 8);
+    assert_eq!(stream.snapshots().len(), 4, "every second round is kept");
+
+    // Ship the whole series as JSONL and parse it back on the analysis side.
+    let wire = stream.to_jsonl();
+    let parsed = SnapshotStream::from_jsonl(&wire).expect("valid snapshot JSONL");
+    assert_eq!(parsed.snapshots().len(), stream.snapshots().len());
+    for (a, b) in parsed.snapshots().iter().zip(stream.snapshots()) {
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.nodes.len(), b.nodes.len());
+    }
+
+    // Off-line analysis over the time series: the first (pre-congestion)
+    // entry is clean, and once the hot rounds dominate the diagnosis
+    // converges on exactly the slammed links — onset is visible in-stream.
+    let mut expected = hot_links.clone();
+    expected.sort();
+    assert!(
+        parsed.snapshots()[0].collapsed_links(0.05).is_empty(),
+        "the quiet prefix must not raise suspects"
+    );
+    let mut suspects = parsed.snapshots().last().unwrap().collapsed_links(0.05);
+    suspects.sort();
+    assert_eq!(
+        suspects, expected,
+        "the tail of the stream flags the hot rack"
+    );
+    // Aggregate health degrades monotonically in time across the stream.
+    let totals: Vec<f64> = parsed
+        .snapshots()
+        .iter()
+        .map(TreeSnapshot::total_server_down_rate)
+        .collect();
+    assert!(
+        totals.last().unwrap() < totals.first().unwrap(),
+        "health indicator must fall after congestion onset: {totals:?}"
     );
 }

@@ -18,7 +18,10 @@ fn scda_beats_randtcp_on_video_traces() {
     let pair = run_pair(&sc, &ScdaOptions::default());
     let s = pair.scda.fct.mean_fct().expect("SCDA completions");
     let r = pair.randtcp.fct.mean_fct().expect("RandTCP completions");
-    assert!(s < 0.7 * r, "paper: ~50% lower transfer time; got SCDA {s:.3} vs RandTCP {r:.3}");
+    assert!(
+        s < 0.7 * r,
+        "paper: ~50% lower transfer time; got SCDA {s:.3} vs RandTCP {r:.3}"
+    );
     // Throughput direction too (figure 7's claim).
     assert!(pair.scda.throughput.mean_per_flow() > pair.randtcp.throughput.mean_per_flow());
 }
@@ -61,7 +64,10 @@ fn scda_cdf_dominates_randtcp_cdf() {
             dominated += 1;
         }
     }
-    assert!(dominated > 10, "SCDA must strictly dominate over a wide range");
+    assert!(
+        dominated > 10,
+        "SCDA must strictly dominate over a wide range"
+    );
 }
 
 #[test]
@@ -74,7 +80,11 @@ fn afct_grows_with_file_size_for_both_systems() {
         assert!(bins.len() >= 3, "{} produced too few size bins", r.system);
         let first = bins.first().expect("non-empty").afct;
         let last = bins.last().expect("non-empty").afct;
-        assert!(last > first, "{}: AFCT must grow with size ({first} vs {last})", r.system);
+        assert!(
+            last > first,
+            "{}: AFCT must grow with size ({first} vs {last})",
+            r.system
+        );
     }
 }
 
@@ -85,7 +95,10 @@ fn figure_builders_produce_consistent_reports() {
     for fig in [7u32, 8, 9] {
         let report = build_figure(fig, &pair);
         assert_eq!(report.figure, fig);
-        assert!(!report.scda.points.is_empty(), "figure {fig} SCDA series empty");
+        assert!(
+            !report.scda.points.is_empty(),
+            "figure {fig} SCDA series empty"
+        );
         assert!(!report.randtcp.points.is_empty());
         let table = report.to_table();
         assert!(table.contains(&format!("Figure {fig}")));
@@ -141,5 +154,8 @@ fn mixed_workload_with_interactive_sessions_still_favors_scda() {
         .collect();
     assert!(!small.is_empty());
     let mean_small = small.iter().sum::<f64>() / small.len() as f64;
-    assert!(mean_small < 1.0, "interactive messages must stay snappy: {mean_small}");
+    assert!(
+        mean_small < 1.0,
+        "interactive messages must stay snappy: {mean_small}"
+    );
 }

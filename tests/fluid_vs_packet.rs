@@ -6,20 +6,14 @@
 //! loads and topologies.
 
 use scda::prelude::*;
-use scda::simnet::packet::{simulate_packets, PacketFlow, SourceModel};
 use scda::simnet::builders::dumbbell;
+use scda::simnet::packet::{simulate_packets, PacketFlow, SourceModel};
 use scda::simnet::units::mbps;
 use scda::simnet::{FlowId, Network, NodeId};
 use scda::transport::{AnyTransport, FlowDriver, ScdaWindow};
 
 /// Run one explicit-rate flow through the fluid model; return its FCT.
-fn fluid_fct(
-    topo: scda::simnet::Topology,
-    src: NodeId,
-    dst: NodeId,
-    size: f64,
-    rate: f64,
-) -> f64 {
+fn fluid_fct(topo: scda::simnet::Topology, src: NodeId, dst: NodeId, size: f64, rate: f64) -> f64 {
     let mut d = FlowDriver::new(Network::new(topo));
     let rtt = d.net_mut().base_rtt_between(src, dst).expect("connected");
     d.start_flow(
@@ -88,7 +82,13 @@ fn fluid_matches_packets_across_topology_depth() {
     let (src, dst) = (tree.clients[0], tree.servers[1][1]);
     let packet = simulate_packets(
         &tree.topo,
-        &[PacketFlow { src, dst, size_bytes: size, source: SourceModel::Paced { rate }, start: 0.0 }],
+        &[PacketFlow {
+            src,
+            dst,
+            size_bytes: size,
+            source: SourceModel::Paced { rate },
+            start: 0.0,
+        }],
         120.0,
     )
     .flows[0]
@@ -115,8 +115,20 @@ fn contended_link_serves_both_models_equally() {
     let res = simulate_packets(
         &topo,
         &[
-            PacketFlow { src: s[0], dst: r[0], size_bytes: size, source: SourceModel::Paced { rate }, start: 0.0 },
-            PacketFlow { src: s[1], dst: r[1], size_bytes: size, source: SourceModel::Paced { rate }, start: 0.0 },
+            PacketFlow {
+                src: s[0],
+                dst: r[0],
+                size_bytes: size,
+                source: SourceModel::Paced { rate },
+                start: 0.0,
+            },
+            PacketFlow {
+                src: s[1],
+                dst: r[1],
+                size_bytes: size,
+                source: SourceModel::Paced { rate },
+                start: 0.0,
+            },
         ],
         120.0,
     );
@@ -145,7 +157,11 @@ fn contended_link_serves_both_models_equally() {
     assert_eq!(fluid_fcts.len(), 2);
     for (p, f) in [p0, p1].iter().zip(&fluid_fcts) {
         let err = (p - f).abs() / p;
-        assert!(err < 0.08, "packet {p:.4} vs fluid {f:.4} ({:.1}% apart)", 100.0 * err);
+        assert!(
+            err < 0.08,
+            "packet {p:.4} vs fluid {f:.4} ({:.1}% apart)",
+            100.0 * err
+        );
     }
 }
 
@@ -161,7 +177,9 @@ fn window_pacing_agrees_between_models() {
             src: s[0],
             dst: r[0],
             size_bytes: size,
-            source: SourceModel::Window { packets: window_pkts },
+            source: SourceModel::Window {
+                packets: window_pkts,
+            },
             start: 0.0,
         }],
         120.0,

@@ -19,7 +19,10 @@ fn clos_fabric_routes_all_pairs_and_spreads_flows() {
     for a in servers.iter().flatten() {
         for b in servers.iter().flatten() {
             if a != b {
-                assert!(routes.path(&topo, *a, *b).is_some(), "{a} -> {b} unroutable");
+                assert!(
+                    routes.path(&topo, *a, *b).is_some(),
+                    "{a} -> {b} unroutable"
+                );
             }
         }
     }
@@ -77,7 +80,12 @@ fn star_control() -> (Topology, Vec<NodeId>, ControlTree) {
         });
         servers.push(s);
     }
-    let params = Params { alpha: 1.0, beta: 0.0, min_rate: 1.0, ..Default::default() };
+    let params = Params {
+        alpha: 1.0,
+        beta: 0.0,
+        min_rate: 1.0,
+        ..Default::default()
+    };
     let ct = ControlTree::new(params, MetricKind::Full, &specs, |l: LinkId| {
         topo.link(l).capacity_bytes()
     });
@@ -87,7 +95,10 @@ fn star_control() -> (Topology, Vec<NodeId>, ControlTree) {
 struct Loads(Vec<f64>);
 impl Telemetry for Loads {
     fn sample(&mut self, l: LinkId) -> LinkSample {
-        LinkSample { flow_rate_sum: self.0[l.index()], ..Default::default() }
+        LinkSample {
+            flow_rate_sum: self.0[l.index()],
+            ..Default::default()
+        }
     }
     fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
         RateCaps::default()
@@ -139,6 +150,8 @@ fn custom_tree_reports_best_server_on_star() {
     for _ in 0..5 {
         ct.control_round(0.0, &mut Loads(loads.clone()));
     }
-    let (best, _) = ct.best_server_global(Direction::Down).expect("servers exist");
+    let (best, _) = ct
+        .best_server_global(Direction::Down)
+        .expect("servers exist");
     assert_eq!(best, servers[2]);
 }

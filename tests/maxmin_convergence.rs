@@ -38,7 +38,10 @@ struct FlowTelemetry {
 
 impl Telemetry for FlowTelemetry {
     fn sample(&mut self, link: LinkId) -> LinkSample {
-        LinkSample { flow_rate_sum: self.loads[link.index()], ..Default::default() }
+        LinkSample {
+            flow_rate_sum: self.loads[link.index()],
+            ..Default::default()
+        }
     }
     fn rate_caps(&mut self, _server: NodeId) -> RateCaps {
         RateCaps::default()
@@ -55,14 +58,27 @@ fn run_convergence(flows: &[TestFlow]) -> (Vec<f64>, Vec<f64>) {
     };
     let tree = cfg.build();
     // alpha = 1, beta = 0 so the fixed point is plain capacity sharing.
-    let params = Params { alpha: 1.0, beta: 0.0, min_rate: 1.0, ..Default::default() };
+    let params = Params {
+        alpha: 1.0,
+        beta: 0.0,
+        min_rate: 1.0,
+        ..Default::default()
+    };
     let mut ct = ControlTree::from_three_tier(&tree, params, MetricKind::Full);
 
-    let paths: Vec<Vec<LinkId>> = flows.iter().map(|f| up_path(&tree, f.rack, f.idx)).collect();
+    let paths: Vec<Vec<LinkId>> = flows
+        .iter()
+        .map(|f| up_path(&tree, f.rack, f.idx))
+        .collect();
     let n_links = tree.topo.link_count();
 
     // Prime the tree so advertisements exist before the first query.
-    ct.control_round(0.0, &mut FlowTelemetry { loads: vec![0.0; n_links] });
+    ct.control_round(
+        0.0,
+        &mut FlowTelemetry {
+            loads: vec![0.0; n_links],
+        },
+    );
 
     let mut rates = vec![0.0_f64; flows.len()];
     for _ in 0..200 {
@@ -96,7 +112,10 @@ fn run_convergence(flows: &[TestFlow]) -> (Vec<f64>, Vec<f64>) {
     let fluid: Vec<FluidFlow> = flows
         .iter()
         .zip(&paths)
-        .map(|(f, p)| FluidFlow { path: p.clone(), cap: f.cap })
+        .map(|(f, p)| FluidFlow {
+            path: p.clone(),
+            cap: f.cap,
+        })
         .collect();
     let reference = max_min_rates(&caps, &fluid);
     (rates, reference)
@@ -115,9 +134,21 @@ fn assert_close(actual: &[f64], expected: &[f64], tol: f64) {
 fn equal_greedy_flows_share_their_bottleneck() {
     // Three greedy readers on the same server uplink: each gets X/3.
     let flows = [
-        TestFlow { rack: 0, idx: 0, cap: None },
-        TestFlow { rack: 0, idx: 0, cap: None },
-        TestFlow { rack: 0, idx: 0, cap: None },
+        TestFlow {
+            rack: 0,
+            idx: 0,
+            cap: None,
+        },
+        TestFlow {
+            rack: 0,
+            idx: 0,
+            cap: None,
+        },
+        TestFlow {
+            rack: 0,
+            idx: 0,
+            cap: None,
+        },
     ];
     let (rates, reference) = run_convergence(&flows);
     assert_close(&rates, &reference, 0.02);
@@ -134,8 +165,16 @@ fn capped_flow_releases_unused_share() {
     // gives the greedy one 90% — the paper's eq. 3 redistribution.
     let x = 500e6 / 8.0;
     let flows = [
-        TestFlow { rack: 1, idx: 0, cap: Some(0.1 * x) },
-        TestFlow { rack: 1, idx: 0, cap: None },
+        TestFlow {
+            rack: 1,
+            idx: 0,
+            cap: Some(0.1 * x),
+        },
+        TestFlow {
+            rack: 1,
+            idx: 0,
+            cap: None,
+        },
     ];
     let (rates, reference) = run_convergence(&flows);
     assert_close(&rates, &reference, 0.02);
@@ -148,13 +187,41 @@ fn cross_rack_contention_matches_water_filling() {
     // Five flows over distinct servers in racks 0-1 (shared agg uplink of
     // 3X) plus two flows in rack 2: a genuinely multi-link allocation.
     let flows = [
-        TestFlow { rack: 0, idx: 0, cap: None },
-        TestFlow { rack: 0, idx: 1, cap: None },
-        TestFlow { rack: 0, idx: 2, cap: None },
-        TestFlow { rack: 1, idx: 0, cap: None },
-        TestFlow { rack: 1, idx: 1, cap: None },
-        TestFlow { rack: 2, idx: 0, cap: Some(1e6) },
-        TestFlow { rack: 2, idx: 1, cap: None },
+        TestFlow {
+            rack: 0,
+            idx: 0,
+            cap: None,
+        },
+        TestFlow {
+            rack: 0,
+            idx: 1,
+            cap: None,
+        },
+        TestFlow {
+            rack: 0,
+            idx: 2,
+            cap: None,
+        },
+        TestFlow {
+            rack: 1,
+            idx: 0,
+            cap: None,
+        },
+        TestFlow {
+            rack: 1,
+            idx: 1,
+            cap: None,
+        },
+        TestFlow {
+            rack: 2,
+            idx: 0,
+            cap: Some(1e6),
+        },
+        TestFlow {
+            rack: 2,
+            idx: 1,
+            cap: None,
+        },
     ];
     let (rates, reference) = run_convergence(&flows);
     assert_close(&rates, &reference, 0.03);
@@ -170,13 +237,20 @@ fn full_fanout_binds_at_the_edge_uplinks() {
     let mut flows = Vec::new();
     for rack in 0..4 {
         for idx in 0..3 {
-            flows.push(TestFlow { rack, idx, cap: None });
+            flows.push(TestFlow {
+                rack,
+                idx,
+                cap: None,
+            });
         }
     }
     let (rates, reference) = run_convergence(&flows);
     assert_close(&rates, &reference, 0.03);
     let x = 500e6 / 8.0;
     for r in &reference {
-        assert!((r - x / 3.0).abs() < 1.0, "expected edge share X/3, got {r}");
+        assert!(
+            (r - x / 3.0).abs() < 1.0,
+            "expected edge share X/3, got {r}"
+        );
     }
 }

@@ -20,7 +20,11 @@ fn scenario(seed: u64) -> Scenario {
 fn half_crippled() -> Vec<ResourceProfile> {
     vec![
         ResourceProfile::default(),
-        ResourceProfile { disk_read_bps: 4e6, disk_write_bps: 3e6, ..Default::default() },
+        ResourceProfile {
+            disk_read_bps: 4e6,
+            disk_write_bps: 3e6,
+            ..Default::default()
+        },
     ]
 }
 
@@ -29,7 +33,10 @@ fn resource_aware_selection_routes_around_slow_disks() {
     let sc = scenario(83);
     let aware = run_scda(
         &sc,
-        &ScdaOptions { resource_profiles: Some(half_crippled()), ..Default::default() },
+        &ScdaOptions {
+            resource_profiles: Some(half_crippled()),
+            ..Default::default()
+        },
     );
     let blind = run_scda(
         &sc,
@@ -60,12 +67,18 @@ fn uniform_slow_disks_bound_every_flow() {
     }];
     let slow = run_scda(
         &sc,
-        &ScdaOptions { resource_profiles: Some(slow_everywhere), ..Default::default() },
+        &ScdaOptions {
+            resource_profiles: Some(slow_everywhere),
+            ..Default::default()
+        },
     );
     let healthy = run_scda(&sc, &ScdaOptions::default());
     let s = slow.fct.mean_fct().expect("completions");
     let h = healthy.fct.mean_fct().expect("completions");
-    assert!(h < s, "disk-bound fleet must be slower: healthy {h} vs slow {s}");
+    assert!(
+        h < s,
+        "disk-bound fleet must be slower: healthy {h} vs slow {s}"
+    );
     // Large transfers respect the disk ceiling (5 MB/s + slack for setup).
     for rec in slow.fct.records() {
         if rec.size_bytes > 5e6 {
@@ -94,7 +107,10 @@ fn disk_contention_splits_bandwidth_between_concurrent_flows() {
     }];
     let r = run_scda(
         &sc,
-        &ScdaOptions { resource_profiles: Some(profiles), ..Default::default() },
+        &ScdaOptions {
+            resource_profiles: Some(profiles),
+            ..Default::default()
+        },
     );
     assert!(
         r.completed as f64 >= 0.9 * r.requested as f64,

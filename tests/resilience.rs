@@ -30,7 +30,10 @@ fn mitigation_applies_reserve_bandwidth_and_reduces_violations() {
             ..Default::default()
         },
     );
-    assert!(plain.sla_violations > 0, "the burst must overload something");
+    assert!(
+        plain.sla_violations > 0,
+        "the burst must overload something"
+    );
     assert!(
         mitigated.mitigations_applied > 0,
         "reserve bandwidth must have been granted"
@@ -44,7 +47,10 @@ fn mitigation_applies_reserve_bandwidth_and_reduces_violations() {
     // Extra capacity can only help completion times.
     let pf = plain.fct.mean_fct().expect("completions");
     let mf = mitigated.fct.mean_fct().expect("completions");
-    assert!(mf <= pf * 1.05, "mitigated {mf} should not be slower than plain {pf}");
+    assert!(
+        mf <= pf * 1.05,
+        "mitigated {mf} should not be slower than plain {pf}"
+    );
 }
 
 #[test]
@@ -57,8 +63,17 @@ fn replication_creates_and_completes_internal_transfers() {
     }
     sc.duration = 20.0;
     let writes = sc.workload.len();
-    let r = run_scda(&sc, &ScdaOptions { replicate_writes: true, ..Default::default() });
-    assert!(r.replications_completed > 0, "internal writes must complete");
+    let r = run_scda(
+        &sc,
+        &ScdaOptions {
+            replicate_writes: true,
+            ..Default::default()
+        },
+    );
+    assert!(
+        r.replications_completed > 0,
+        "internal writes must complete"
+    );
     assert!(
         r.replications_completed <= writes,
         "at most one replica per write"
@@ -74,10 +89,19 @@ fn replication_load_slows_external_flows_slightly_not_catastrophically() {
     sc.workload.flows.retain(|f| f.arrival < 4.0);
     sc.duration = 20.0;
     let without = run_scda(&sc, &ScdaOptions::default());
-    let with = run_scda(&sc, &ScdaOptions { replicate_writes: true, ..Default::default() });
+    let with = run_scda(
+        &sc,
+        &ScdaOptions {
+            replicate_writes: true,
+            ..Default::default()
+        },
+    );
     let a = without.fct.mean_fct().expect("completions");
     let b = with.fct.mean_fct().expect("completions");
-    assert!(b < 3.0 * a, "replication traffic must not collapse the cloud: {a} vs {b}");
+    assert!(
+        b < 3.0 * a,
+        "replication traffic must not collapse the cloud: {a} vs {b}"
+    );
 }
 
 #[test]
@@ -104,7 +128,10 @@ fn openflow_sjf_weighting_changes_allocations() {
     assert_eq!(openflow.completed, uniform.completed);
     let ut = uniform.throughput.mean_aggregate();
     let ot = openflow.throughput.mean_aggregate();
-    assert!(ot > 0.5 * ut, "aggregate throughput collapsed: {ot} vs {ut}");
+    assert!(
+        ot > 0.5 * ut,
+        "aggregate throughput collapsed: {ot} vs {ut}"
+    );
 }
 
 #[test]
@@ -123,7 +150,14 @@ fn link_failure_mid_run_is_survivable_at_the_network_layer() {
     let a: NodeId = tree.servers[0][0];
     let b: NodeId = tree.servers[1][0];
     let mut driver = FlowDriver::new(Network::new(tree.topo));
-    driver.start_flow(FlowId(1), a, b, 5e6, AnyTransport::Tcp(Reno::default()), 0.0);
+    driver.start_flow(
+        FlowId(1),
+        a,
+        b,
+        5e6,
+        AnyTransport::Tcp(Reno::default()),
+        0.0,
+    );
     // Run a bit, fail the rack uplink, keep running: the in-flight flow
     // starves (its path is pinned), but a rerouted replacement finishes.
     let mut now = 0.0;
@@ -136,12 +170,22 @@ fn link_failure_mid_run_is_survivable_at_the_network_layer() {
         driver.tick(now, 0.005);
         now += 0.005;
     }
-    let stuck = driver.progress(FlowId(1)).expect("still active").remaining();
+    let stuck = driver
+        .progress(FlowId(1))
+        .expect("still active")
+        .remaining();
     assert!(stuck > 0.0, "flow over a failed link cannot finish");
     // The §IV-A answer: abort and reassign (here: restore + new flow).
     driver.abort_flow(FlowId(1)).expect("was active");
     driver.net_mut().restore_link(edge_up);
-    driver.start_flow(FlowId(2), a, b, 5e6, AnyTransport::Tcp(Reno::default()), now);
+    driver.start_flow(
+        FlowId(2),
+        a,
+        b,
+        5e6,
+        AnyTransport::Tcp(Reno::default()),
+        now,
+    );
     let mut done = false;
     for _ in 0..4000 {
         if !driver.tick(now, 0.005).completed.is_empty() {
