@@ -1,0 +1,126 @@
+//! Offline vendored stand-in for
+//! [`rand_distr`](https://crates.io/crates/rand_distr): the exponential
+//! and log-normal families the workload generators draw from, by
+//! inverse-CDF and Box–Muller respectively. Only `f64` parameterization
+//! is provided — that is the only instantiation the workspace uses.
+
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+/// A sampling distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+impl std::error::Error for ParamError {}
+
+/// The exponential distribution `Exp(λ)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp<F> {
+    lambda: F,
+}
+
+impl Exp<f64> {
+    /// An exponential with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp rate must be finite and > 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; 1 - u avoids ln(0).
+        let u: f64 = rng.random();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal<F> {
+    mu: F,
+    sigma: F,
+}
+
+impl LogNormal<f64> {
+    /// A log-normal whose logarithm has mean `mu` and standard deviation
+    /// `sigma >= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if sigma >= 0.0 && sigma.is_finite() && mu.is_finite() {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(ParamError("LogNormal sigma must be finite and >= 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller. Two uniforms per sample, no spare caching, so the
+        // draw count per sample is fixed — deterministic replay holds
+        // regardless of interleaving with other distributions.
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        let z = (-2.0 * (1.0 - u1).ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(4.0).unwrap();
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_rejects_bad_rate() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let d = LogNormal::new(500.0f64.ln(), 1.3).unwrap();
+        let mut r = StdRng::seed_from_u64(2);
+        let mut xs: Vec<f64> = (0..100_001).map(|_| d.sample(&mut r)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        assert!((median / 500.0 - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let d = LogNormal::new(0.0, 2.0).unwrap();
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Offline vendored stand-in for [`rayon`](https://crates.io/crates/rayon):
+//! just enough data parallelism for `xs.par_iter().map(f).collect()` —
+//! the one pattern this workspace uses. Work is split into contiguous
+//! chunks across `std::thread::scope` threads (one per available core,
+//! capped by item count); results come back in input order.
+
+#![warn(missing_docs)]
+
+/// The glob-import surface: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Types whose elements can be visited in parallel by shared reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element reference type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator; see [`IntoParallelRefIterator::par_iter`].
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator; terminate with [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Run the map on scoped threads and gather results in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let n = self.items.len();
+        if n == 0 {
+            return C::from_ordered(Vec::new());
+        }
+        let threads = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)
+            .min(n);
+        if threads <= 1 {
+            return C::from_ordered(self.items.iter().map(&self.f).collect());
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut chunks: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            chunks = handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect();
+        });
+        C::from_ordered(chunks.into_iter().flatten().collect())
+    }
+}
+
+/// Collection types a parallel map can collect into.
+pub trait FromParallelIterator<R> {
+    /// Build the collection from results already in input order.
+    fn from_ordered(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u64> = Vec::new();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn works_on_slices() {
+        let xs = [1u32, 2, 3];
+        let ys: Vec<u32> = xs[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(ys, vec![2, 3, 4]);
+    }
+}

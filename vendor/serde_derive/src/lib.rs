@@ -1,0 +1,441 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! `syn` and `quote` are unavailable offline, so this crate parses the
+//! `proc_macro` token stream by hand. It supports exactly the shapes this
+//! workspace derives on:
+//!
+//! * non-generic structs with named fields, tuple structs (newtype and
+//!   wider), unit structs;
+//! * non-generic enums with unit, tuple, and struct variants
+//!   (externally tagged, like real serde).
+//!
+//! Anything else (generics, `#[serde(...)]` attributes) produces a
+//! `compile_error!` so misuse fails loudly at build time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: a name for named fields, or a positional index.
+#[derive(Debug, Clone)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+type Iter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attributes(it: &mut Iter) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                // Inner attribute marker (`#!`) never appears on items we
+                // receive, but consume a stray `!` defensively.
+                if let Some(TokenTree::Punct(p)) = it.peek() {
+                    if p.as_char() == '!' {
+                        it.next();
+                    }
+                }
+                match it.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return,
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn skip_visibility(it: &mut Iter) {
+    if let Some(TokenTree::Ident(id)) = it.peek() {
+        if id.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consume type tokens until a top-level comma (consumed) or the end.
+/// Tracks `<`/`>` depth so commas inside generics do not split fields.
+fn skip_type(it: &mut Iter) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = it.peek() {
+        match tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    it.next();
+                    return;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' {
+                    angle_depth -= 1;
+                }
+                it.next();
+            }
+            _ => {
+                it.next();
+            }
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut it: Iter = group.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attributes(&mut it);
+        skip_visibility(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                // Expect `:` then the type.
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => skip_type(&mut it),
+                    _ => break,
+                }
+            }
+            None => break,
+            _ => break,
+        }
+    }
+    names
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut it: Iter = group.into_iter().peekable();
+    let mut n = 0;
+    while it.peek().is_some() {
+        skip_attributes(&mut it);
+        skip_visibility(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        skip_type(&mut it);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut it: Iter = group.into_iter().peekable();
+    let mut out = Vec::new();
+    loop {
+        skip_attributes(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                it.next();
+                Fields::Named(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                it.next();
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        out.push(Variant { name, fields });
+        // Consume a trailing comma (and any explicit discriminant would be
+        // a parse failure — none of the derived enums have one).
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            _ => break,
+        }
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it: Iter = input.into_iter().peekable();
+    skip_attributes(&mut it);
+    skip_visibility(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct {
+                    name,
+                    fields: Fields::Tuple(count_tuple_fields(g.stream())),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                name,
+                fields: Fields::Unit,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }),
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---- Serialize -------------------------------------------------------
+
+fn serialize_named(path: &str, names: &[String], access: &str) -> String {
+    // `access` is a prefix like `&self.` or `` (bound variable names).
+    let mut fields = String::new();
+    for n in names {
+        fields.push_str(&format!(
+            "({n:?}.to_string(), ::serde::Serialize::to_value({access}{n})),"
+        ));
+        let _ = path;
+    }
+    format!("::serde::Value::Object(::std::vec![{fields}])")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => serialize_named(name, names, "&self."),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Object(::std::vec![({vn:?}.to_string(), ::serde::Serialize::to_value(f0))]),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![({vn:?}.to_string(), ::serde::Value::Array(::std::vec![{}]))]),",
+                            binds.join(","),
+                            items.join(","),
+                        ));
+                    }
+                    Fields::Named(ns) => {
+                        let binds = ns.join(",");
+                        let inner = serialize_named(name, ns, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![({vn:?}.to_string(), {inner})]),"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\
+                 }}"
+            )
+        }
+    }
+}
+
+// ---- Deserialize -----------------------------------------------------
+
+/// Field extraction for named fields against value expression `src`.
+/// Missing fields deserialize from `Null` so `Option` fields default to
+/// `None`; everything else reports a missing-field error.
+fn deserialize_named(names: &[String], src: &str) -> String {
+    let mut fields = String::new();
+    for n in names {
+        fields.push_str(&format!(
+            "{n}: match {src}.get({n:?}) {{\
+                 Some(x) => ::serde::Deserialize::from_value(x).map_err(|e| ::serde::Error::custom(::std::format!(\"field `{n}`: {{}}\", e)))?,\
+                 None => ::serde::Deserialize::from_value(&::serde::Value::Null).map_err(|_| ::serde::Error::missing_field({n:?}))?,\
+             }},"
+        ));
+    }
+    fields
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let fields = deserialize_named(names, "v");
+                    format!(
+                        "if !::std::matches!(v, ::serde::Value::Object(_)) {{\
+                             return ::std::result::Result::Err(::serde::Error::expected(\"object\", v));\
+                         }}\
+                         ::std::result::Result::Ok({name} {{ {fields} }})"
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&xs[{i}])?"))
+                        .collect();
+                    format!(
+                        "match v {{\
+                             ::serde::Value::Array(xs) if xs.len() == {n} => ::std::result::Result::Ok({name}({})),\
+                             other => ::std::result::Result::Err(::serde::Error::expected(\"array of {n}\", other)),\
+                         }}",
+                        items.join(","),
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),"
+                        ));
+                        // Also accept the `{"Variant": null}` object form.
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),"
+                        ));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&xs[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => match inner {{\
+                                 ::serde::Value::Array(xs) if xs.len() == {n} => ::std::result::Result::Ok({name}::{vn}({})),\
+                                 other => ::std::result::Result::Err(::serde::Error::expected(\"array of {n}\", other)),\
+                             }},",
+                            items.join(","),
+                        ));
+                    }
+                    Fields::Named(ns) => {
+                        let fields = deserialize_named(ns, "inner");
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\
+                                 if !::std::matches!(inner, ::serde::Value::Object(_)) {{\
+                                     return ::std::result::Result::Err(::serde::Error::expected(\"object\", inner));\
+                                 }}\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {fields} }})\
+                             }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\
+                         match v {{\
+                             ::serde::Value::Str(s) => match s.as_str() {{\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{}}` of {name}\", other))),\
+                             }},\
+                             ::serde::Value::Object(fields) if fields.len() == 1 => {{\
+                                 let (tag, inner) = &fields[0];\
+                                 match tag.as_str() {{\
+                                     {tagged_arms}\
+                                     other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{}}` of {name}\", other))),\
+                                 }}\
+                             }},\
+                             other => ::std::result::Result::Err(::serde::Error::expected(\"enum ({name})\", other)),\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
