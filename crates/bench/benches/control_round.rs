@@ -1,0 +1,82 @@
+//! Kernel control-round cost: one full RM/RA round (telemetry sweep,
+//! eq. 2 allocator updates, bottom-up aggregation, server-metric
+//! refresh) at the test scale vs the paper's figure-6 deployment scale
+//! (163 racks × 10 servers, 28 racks per aggregation switch).
+//!
+//! This is the τ-periodic work the SCDA control plane pays regardless of
+//! load; the two points bound how far the Quick-scale unit-test numbers
+//! can be extrapolated to paper-scale claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use scda_core::rate_metric::LinkSample;
+use scda_core::tree::{RateCaps, Telemetry};
+use scda_core::{ControlTree, MetricKind, Params};
+use scda_simnet::builders::ThreeTierConfig;
+use scda_simnet::{LinkId, NodeId};
+
+/// Deterministic moderate load: some links queueing, some idle, so the
+/// round exercises both the congested and headroom branches of eq. 2.
+struct MixedLoad;
+
+impl Telemetry for MixedLoad {
+    fn sample(&mut self, l: LinkId) -> LinkSample {
+        LinkSample {
+            queue_bytes: (l.0 % 11) as f64 * 2e4,
+            flow_rate_sum: (l.0 % 17) as f64 * 2e6,
+            arrival_rate: (l.0 % 17) as f64 * 2e6,
+        }
+    }
+    fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
+        RateCaps::default()
+    }
+}
+
+fn scale_config(label: &str) -> ThreeTierConfig {
+    match label {
+        // The unit-test scale (Scenario Quick): 40 servers.
+        "quick" => ThreeTierConfig {
+            racks: 8,
+            servers_per_rack: 5,
+            racks_per_agg: 4,
+            clients: 8,
+            ..Default::default()
+        },
+        // The paper's figure-6 deployment: 163 racks × 10 = 1630 servers.
+        "paper-163x10" => ThreeTierConfig {
+            racks: 163,
+            servers_per_rack: 10,
+            racks_per_agg: 28,
+            clients: 64,
+            ..Default::default()
+        },
+        other => unreachable!("unknown scale {other}"),
+    }
+}
+
+fn bench_control_round_scales(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/control_round");
+    g.sample_size(10);
+    for label in ["quick", "paper-163x10"] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, &label| {
+            let tree = scale_config(label).build();
+            let params = Params::default();
+            let mut ct = ControlTree::from_three_tier(&tree, params.clone(), MetricKind::Full);
+            let mut metrics = Vec::new();
+            let mut now = 0.0;
+            b.iter(|| {
+                // One τ of control-plane work as the kernel drives it:
+                // the round itself plus the server-metric refresh the
+                // next admission burst reads.
+                now += params.tau;
+                let violations = ct.control_round(now, &mut MixedLoad);
+                ct.server_metrics_into(&mut metrics);
+                (violations.len(), metrics.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_control_round_scales);
+criterion_main!(benches);

@@ -459,10 +459,14 @@ impl ControlTree {
 
         // Pass 2 (downward, figure 2 right): every RM's cumulative Ř per
         // level. Ancestor chains are ≤ h_max long, so walking up per RM is
-        // cheap and keeps the pass allocation-free.
-        for &rm in &self.rms.clone() {
-            let mut down = Vec::with_capacity(self.hmax as usize + 1);
-            let mut up = Vec::with_capacity(self.hmax as usize + 1);
+        // cheap; each RM's Ř vectors are taken out, refilled in place and
+        // put back, so steady-state rounds allocate nothing.
+        for i in 0..self.rms.len() {
+            let rm = self.rms[i];
+            let mut down = std::mem::take(&mut self.nodes[rm.0].r_check_down);
+            let mut up = std::mem::take(&mut self.nodes[rm.0].r_check_up);
+            down.clear();
+            up.clear();
             let n = &self.nodes[rm.0];
             let mut cum_down = n.down.r_hat;
             let mut cum_up = n.up.r_hat;
@@ -567,11 +571,21 @@ impl ControlTree {
     /// The RAs at a given tree level, in construction order (level 1 =
     /// one per rack in the three-tier tree).
     pub fn ras_at(&self, level: u8) -> Vec<CtrlId> {
+        self.ras_at_iter(level).collect()
+    }
+
+    /// Iterator form of [`ras_at`]: the RAs at a given tree level in
+    /// construction order, without allocating a `Vec` per query (the NNS
+    /// asks for rack-level RAs on hot selection paths).
+    ///
+    /// [`ras_at`]: ControlTree::ras_at
+    pub fn ras_at_iter(&self, level: u8) -> impl Iterator<Item = CtrlId> + '_ {
         assert!(level >= 1, "level 0 holds RMs, not RAs");
-        (0..self.nodes.len())
-            .map(CtrlId)
-            .filter(|&id| self.nodes[id.0].level == level)
-            .collect()
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(move |(_, n)| n.level == level)
+            .map(|(i, _)| CtrlId(i))
     }
 
     /// The best block server *under a specific RA* — §VI: "If the NNS
@@ -1056,6 +1070,11 @@ mod tests {
         ct.control_round(0.0, &mut Idle);
         let racks = ct.ras_at(1);
         assert_eq!(racks.len(), 4, "one level-1 RA per rack");
+        assert_eq!(
+            ct.ras_at_iter(1).collect::<Vec<_>>(),
+            racks,
+            "iterator form matches the collecting form"
+        );
         for (r, &ra) in racks.iter().enumerate() {
             let (bs, rate) = ct
                 .best_server_at(ra, Direction::Down)

@@ -6,9 +6,11 @@
 //! * [`scenario`] — topology + workload + timing presets for the three
 //!   §X setups (video traces ± control flows, datacenter traces at K ∈
 //!   {1, 3}, Pareto/Poisson synthetic);
-//! * [`runner`] — the two system runners: SCDA (control tree, per-τ
-//!   allocation, class-aware server selection, figure-3/5 setup costs)
-//!   and RandTCP (random server selection + TCP Reno + handshake);
+//! * [`runner`] — the staged simulation kernel plus the policy
+//!   compositions that make up the two systems: SCDA (control tree,
+//!   per-τ allocation, class-aware server selection, figure-3/5 setup
+//!   costs) and RandTCP (random server selection + TCP Reno +
+//!   handshake);
 //! * [`figures`] — the figure index: five simulation groups → figures
 //!   7-18 as [`scda_metrics::FigureReport`]s.
 //!
@@ -30,7 +32,8 @@ pub use figures::{build_figure, run_pair, ExperimentPair, Group};
 pub use multipath::{run_multipath, MultipathConfig, MultipathResult, PathPolicy};
 pub use replication::{aggregate, run_seeds, Aggregate, SeedSummary};
 pub use runner::{
-    run_randtcp, run_scda, DataTransport, EnergyOptions, ReservationPlan, RunResult, ScdaOptions,
-    SelectionPolicy,
+    run_randtcp, run_scda, run_scda_with, Accounting, ControlPolicy, DataTransport, EnergyOptions,
+    Placement, PlacementCtx, ReservationPlan, RunResult, ScdaOptions, SelectionPolicy, SimKernel,
+    TransportPolicy,
 };
 pub use scenario::{Scale, Scenario};

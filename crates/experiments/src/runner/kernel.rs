@@ -1,0 +1,347 @@
+//! The staged simulation kernel: one scenario replay loop for every
+//! system composition.
+//!
+//! [`SimKernel`] owns the *mechanism* — the flow-id sequence, the
+//! pending-start heap, the arrival table and the per-step stage order
+//! (admission → open → per-τ control → transport tick) — and delegates
+//! every *decision* to the [`policy`](super::policy) traits. `run_scda`
+//! and `run_randtcp` differ only in the policy objects they hand the
+//! kernel; neither carries its own copy of the loop.
+//!
+//! The kernel reports per-stage wall-clock under the canonical
+//! [`scda_obs::phase`] names when the run carries an enabled handle, and
+//! records nothing (not even an `Instant`) otherwise.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+use scda_metrics::{FctStats, FlowRecord, ThroughputSeries};
+use scda_obs::{phase, TraceEvent};
+use scda_simnet::{FlowId, Network, NodeId};
+use scda_transport::{AnyTransport, FlowDriver};
+use scda_workloads::FlowDirection;
+
+use super::policy::{Accounting, ControlPolicy, Placement, TransportPolicy};
+use super::RunResult;
+use crate::scenario::Scenario;
+
+/// An `f64` with the IEEE-754 total order, so keys containing times can
+/// derive `Eq`/`Ord` instead of hand-writing the comparison boilerplate.
+#[derive(Debug, Clone, Copy)]
+pub struct TotalF64(pub f64);
+
+impl PartialEq for TotalF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for TotalF64 {}
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Min-heap key for pending starts: start time (total order), then flow
+/// id as the deterministic tiebreak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StartKey(pub TotalF64, pub u64);
+
+impl StartKey {
+    /// Build a key from a start time and the flow's id.
+    pub fn new(time: f64, id: u64) -> Self {
+        StartKey(TotalF64(time), id)
+    }
+
+    /// The scheduled start time.
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.0 .0
+    }
+}
+
+/// A flow waiting for its connection setup to finish.
+pub struct PendingStart {
+    /// Flow id (assigned by the kernel in admission order).
+    pub id: FlowId,
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Content size in bytes.
+    pub size: f64,
+    /// Request arrival time (FCT is measured from here).
+    pub arrival: f64,
+    /// The block server whose rates price the flow (primary / sender).
+    pub server: NodeId,
+    /// Upload or download.
+    pub dir: FlowDirection,
+    /// Requesting client index (as the control policy resolved it).
+    pub client_idx: usize,
+    /// An internal (figure 4) replication transfer.
+    pub internal: bool,
+    /// The transport that will carry the flow.
+    pub transport: AnyTransport,
+}
+
+/// The shared replay loop. Owns the transport driver and the flow
+/// lifecycle bookkeeping; everything system-specific lives behind the
+/// policy traits passed to [`SimKernel::run`].
+pub struct SimKernel {
+    driver: FlowDriver,
+    pending: BinaryHeap<Reverse<(StartKey, usize)>>,
+    starts: Vec<Option<PendingStart>>,
+    /// id → (arrival, size) for external flows, the FCT record source.
+    arrivals: HashMap<FlowId, (f64, f64)>,
+    next_id: u64,
+}
+
+impl SimKernel {
+    /// A kernel driving flows over `net`.
+    pub fn new(net: Network) -> Self {
+        SimKernel {
+            driver: FlowDriver::new(net),
+            pending: BinaryHeap::new(),
+            starts: Vec::new(),
+            arrivals: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The transport driver (control policies attach state before a run).
+    pub fn driver_mut(&mut self) -> &mut FlowDriver {
+        &mut self.driver
+    }
+
+    /// Schedule a flow: allocate the next id, park the start on the heap.
+    fn schedule(&mut self, start: f64, build: impl FnOnce(FlowId) -> PendingStart) -> FlowId {
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let idx = self.starts.len();
+        self.starts.push(Some(build(id)));
+        self.pending
+            .push(Reverse((StartKey::new(start, id.0), idx)));
+        id
+    }
+
+    /// Replay `sc` to completion under the given policies and return the
+    /// run's results. Consumes the kernel: one kernel, one run.
+    pub fn run(
+        mut self,
+        sc: &Scenario,
+        ctrl: &mut dyn ControlPolicy,
+        placement: &mut dyn Placement,
+        transport: &mut dyn TransportPolicy,
+        acct: &mut dyn Accounting,
+    ) -> RunResult {
+        let observing = acct.obs().is_enabled();
+        self.driver.set_obs(acct.obs().clone());
+        ctrl.prime(&mut self.driver);
+
+        let period = ctrl.cadence();
+        let mut next_ctrl = period;
+        let mut next_flow = 0usize;
+        let steps = (sc.duration / sc.dt).ceil() as u64;
+        for step in 0..steps {
+            let now = step as f64 * sc.dt;
+
+            // Admission: classify, select a server, price the setup.
+            let t_admit = observing.then(Instant::now);
+            while next_flow < sc.workload.flows.len() && sc.workload.flows[next_flow].arrival <= now
+            {
+                let f = sc.workload.flows[next_flow];
+                next_flow += 1;
+                let id = FlowId(self.next_id);
+                let adm = ctrl.admit(&f, id, now, &mut self.driver, placement, transport);
+                self.schedule(adm.start, |id| PendingStart {
+                    id,
+                    src: adm.src,
+                    dst: adm.dst,
+                    size: f.size_bytes,
+                    arrival: f.arrival,
+                    server: adm.server,
+                    dir: f.direction,
+                    client_idx: adm.client_idx,
+                    internal: false,
+                    transport: adm.transport,
+                });
+            }
+            if let Some(t) = t_admit {
+                acct.obs().phase_add(phase::ADMISSION, t.elapsed());
+            }
+
+            // Open connections whose setup completed.
+            let t_open = observing.then(Instant::now);
+            while let Some(Reverse((key, idx))) = self.pending.peek() {
+                if key.time() > now {
+                    break;
+                }
+                let idx = *idx;
+                self.pending.pop();
+                let p = self.starts[idx].take().expect("start scheduled once");
+                ctrl.on_open(&p, &mut self.driver);
+                if !p.internal {
+                    self.arrivals.insert(p.id, (p.arrival, p.size));
+                }
+                self.driver
+                    .start_flow(p.id, p.src, p.dst, p.size, p.transport, now);
+            }
+            if let Some(t) = t_open {
+                acct.obs().phase_add(phase::OPEN, t.elapsed());
+            }
+
+            // Control round every τ (skipped entirely for cadence-free
+            // policies — RandTCP has no control plane).
+            if let (Some(period), Some(nc)) = (period, next_ctrl) {
+                if now + 1e-12 >= nc {
+                    let t_ctrl = observing.then(Instant::now);
+                    next_ctrl = Some(nc + period);
+                    ctrl.round(now, &mut self.driver);
+                    if let Some(t) = t_ctrl {
+                        acct.obs().phase_add(phase::CONTROL, t.elapsed());
+                    }
+                }
+            }
+
+            // Drive the data plane one tick and account completions.
+            let t_tick = observing.then(Instant::now);
+            let summary = self.driver.tick(now, sc.dt);
+            acct.on_tick(now, summary.delivered_bytes, self.driver.active_count());
+            for c in &summary.completed {
+                let entry = self.arrivals.remove(&c.id);
+                let spawn = ctrl.on_complete(c, entry.map(|(_, size)| size), &mut self.driver);
+                if let Some((arrival, size)) = entry {
+                    acct.on_completion(FlowRecord {
+                        size_bytes: size,
+                        start: arrival,
+                        finish: c.finish,
+                    });
+                }
+                if let Some(sp) = spawn {
+                    self.schedule(sp.start, |id| PendingStart {
+                        id,
+                        src: sp.src,
+                        dst: sp.dst,
+                        size: sp.size,
+                        arrival: sp.arrival,
+                        server: sp.server,
+                        dir: FlowDirection::Write,
+                        client_idx: 0,
+                        internal: true,
+                        transport: sp.transport,
+                    });
+                }
+            }
+            if let Some(t) = t_tick {
+                acct.obs().phase_add(phase::TICK, t.elapsed());
+            }
+        }
+
+        // Flows the horizon cut off: still-active transfers plus setups
+        // that never opened.
+        if observing {
+            let end = sc.duration;
+            let mut timed_out = 0u64;
+            for (id, _, _) in self.driver.active_flows() {
+                let remaining = self
+                    .driver
+                    .progress(id)
+                    .map(|p| p.remaining())
+                    .unwrap_or(0.0);
+                acct.obs().emit(TraceEvent::FlowTimedOut {
+                    now: end,
+                    flow: id.0,
+                    remaining_bytes: remaining,
+                });
+                timed_out += 1;
+            }
+            for p in self.starts.iter().flatten() {
+                acct.obs().emit(TraceEvent::FlowTimedOut {
+                    now: end,
+                    flow: p.id.0,
+                    remaining_bytes: p.size,
+                });
+                timed_out += 1;
+            }
+            acct.obs().counter_add("flow.timed_out", timed_out);
+        }
+
+        let mut result = RunResult {
+            system: ctrl.system().into(),
+            fct: FctStats::new(),
+            throughput: ThroughputSeries::new(sc.throughput_interval),
+            sla_violations: 0,
+            requested: sc.workload.len(),
+            completed: 0,
+            energy_joules: None,
+            dormant_servers: 0,
+            mitigations_applied: 0,
+            replications_completed: 0,
+            control_rounds: 0,
+            changed_dirs_total: 0,
+            profile: None,
+            snapshots: None,
+        };
+        acct.finish(&mut result);
+        ctrl.finish(&mut result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_key_orders_by_time_then_id() {
+        // The derived lexicographic order must match the old hand-written
+        // `total_cmp(..).then(id)` comparison, including the f64 edge
+        // cases total_cmp pins down (-0.0 < +0.0, NaN sorts last).
+        let a = StartKey::new(1.0, 5);
+        let b = StartKey::new(1.0, 6);
+        let c = StartKey::new(2.0, 0);
+        assert!(a < b && b < c);
+        assert!(StartKey::new(-0.0, 0) < StartKey::new(0.0, 0));
+        assert!(StartKey::new(f64::NAN, 0) > StartKey::new(f64::INFINITY, u64::MAX));
+        assert_eq!(StartKey::new(3.5, 7), StartKey::new(3.5, 7));
+    }
+
+    #[test]
+    fn pending_heap_pops_in_start_order() {
+        // The kernel's heap is a min-heap over (StartKey, insertion idx):
+        // earlier start first, id breaking ties.
+        let mut heap: BinaryHeap<Reverse<(StartKey, usize)>> = BinaryHeap::new();
+        let entries = [
+            (2.0, 3u64),
+            (1.0, 7),
+            (1.0, 2),
+            (0.5, 9),
+            (f64::INFINITY, 0),
+            (1.0, 4),
+        ];
+        for (i, &(t, id)) in entries.iter().enumerate() {
+            heap.push(Reverse((StartKey::new(t, id), i)));
+        }
+        let mut popped = Vec::new();
+        while let Some(Reverse((k, _))) = heap.pop() {
+            popped.push((k.time(), k.1));
+        }
+        assert_eq!(
+            popped,
+            vec![
+                (0.5, 9),
+                (1.0, 2),
+                (1.0, 4),
+                (1.0, 7),
+                (2.0, 3),
+                (f64::INFINITY, 0)
+            ]
+        );
+    }
+}

@@ -1,0 +1,670 @@
+//! The SCDA control plane as a [`ControlPolicy`].
+//!
+//! [`ScdaControl`] owns every piece of shared SCDA state — the RM/RA
+//! [`ControlTree`], the client-side WAN allocators, the outstanding-load
+//! discounts, per-flow control records, the SLA monitor/mitigation
+//! ladder, resource and energy books, and the snapshot stream — and
+//! reacts to the kernel's lifecycle hooks: admission prices each request
+//! through the figure-3/5 setup costs, the per-τ round measures and
+//! re-windows (§VIII-D), and completions trigger §VIII-B replication
+//! writes.
+
+use std::collections::BTreeMap;
+
+use scda_core::{
+    ContentClass, ControlTree, Direction, EnergyBook, LinkAllocator, LinkSample, Mitigation,
+    OpenFlowSjf, Params, PriorityPolicy, ProtocolCosts, RateCaps, ResourceBook, Selector,
+    SlaMonitor, SnapshotStream, Telemetry,
+};
+use scda_obs::{Candidate, TraceEvent, MAX_CANDIDATES};
+use scda_simnet::builders::ThreeTierTree;
+use scda_simnet::{FlowId, LinkId, NodeId};
+use scda_transport::{AnyTransport, CompletedFlow, FlowDriver, ScdaWindow, Transport};
+use scda_workloads::{FlowDirection, FlowSpec};
+
+use super::kernel::PendingStart;
+use super::policy::{
+    Admission, ControlPolicy, Placement, PlacementCtx, SpawnSpec, TransportPolicy,
+};
+use super::{class_of, RunResult, ScdaOptions};
+use crate::scenario::Scenario;
+
+/// Telemetry bridge from the simulated network to the control tree.
+struct NetTelemetry<'a> {
+    net: &'a mut scda_simnet::Network,
+    loads: &'a [f64],
+    tau: f64,
+    resources: Option<&'a ResourceBook>,
+}
+
+impl Telemetry for NetTelemetry<'_> {
+    fn sample(&mut self, link: LinkId) -> LinkSample {
+        LinkSample {
+            queue_bytes: self.net.link_state(link).queue_bytes,
+            flow_rate_sum: self.loads[link.index()],
+            arrival_rate: self.net.link_state_mut(link).take_arrived() / self.tau,
+        }
+    }
+
+    fn rate_caps(&mut self, server: NodeId) -> RateCaps {
+        // Infinite unless the run models server resources (eq. 4's
+        // R_other): then disk/CPU caps flow into every advertised rate.
+        match self.resources {
+            Some(book) => book.rate_caps(server),
+            None => RateCaps::default(),
+        }
+    }
+}
+
+/// What a flow is, for rate refresh, energy attribution and completion
+/// bookkeeping.
+enum CtlKind {
+    /// Client-facing transfer (figures 3/5).
+    External {
+        dir: FlowDirection,
+        client_idx: usize,
+    },
+    /// Server-to-server replication (figure 4).
+    Internal { receiver: NodeId },
+}
+
+struct FlowCtl {
+    /// The block server whose tree rates price this flow (primary for
+    /// external flows, the *sender* for internal replication).
+    server: NodeId,
+    kind: CtlKind,
+}
+
+/// Per-flow weight under the configured priority policy. The OpenFlow
+/// variant (§IV-B) keys on bytes already sent (the switch's packet
+/// counter); the policy variants key on bytes remaining.
+fn weight_of(
+    openflow_sjf: &Option<OpenFlowSjf>,
+    priority: &Option<PriorityPolicy>,
+    remaining: f64,
+    size: f64,
+    rate: f64,
+    now: f64,
+) -> f64 {
+    if let Some(of) = openflow_sjf {
+        return of.weight(size - remaining);
+    }
+    match priority {
+        Some(p) => p.weight(remaining, rate, now),
+        None => 1.0,
+    }
+}
+
+/// The SCDA control plane (see the module docs).
+pub struct ScdaControl {
+    opts: ScdaOptions,
+    params: Params,
+    ct: ControlTree,
+    costs: ProtocolCosts,
+    servers: Vec<NodeId>,
+    clients: Vec<NodeId>,
+    client_links: Vec<(LinkId, LinkId)>,
+    /// Client-side RMs: allocators for the WAN links the RA tree does not
+    /// cover ("FES agents associated with the UCL clients").
+    client_alloc: Vec<(LinkAllocator, LinkAllocator)>,
+    /// Rack / aggregation coordinates per server, for path-level
+    /// outstanding-load discounting.
+    server_coord: BTreeMap<NodeId, (usize, usize)>,
+    /// Per-level capacities (server link, edge uplink, aggregation,
+    /// trunk) the admission discount divides by.
+    level_caps: [f64; 4],
+    link_loads: Vec<f64>,
+    // Outstanding (pending + in-flight) flows, tracked at every tree
+    // level: the NNS knows where it sent work that has not finished and
+    // discounts each candidate's advertised rate by the share those flows
+    // will claim at the server link, its rack's edge uplink, its
+    // aggregation link and the trunk — so bursts spread across racks
+    // instead of herding onto one momentary "best" server between control
+    // rounds.
+    outstanding: BTreeMap<NodeId, u32>,
+    outstanding_rack: Vec<u32>,
+    outstanding_agg: Vec<u32>,
+    outstanding_total: u32,
+    flow_ctl: BTreeMap<FlowId, FlowCtl>,
+    /// Scratch buffer for per-arrival selection metrics (reused to keep
+    /// the hot path allocation-free at the 16k-server scale).
+    metrics_buf: Vec<scda_core::ServerMetrics>,
+    resources: Option<ResourceBook>,
+    /// Original capacities of links that received reserve bandwidth, to
+    /// bound how far mitigation may grow them.
+    boosted: BTreeMap<LinkId, f64>,
+    energy: Option<EnergyBook>,
+    server_link_bytes: f64,
+    tau: f64,
+    sla_monitor: Option<SlaMonitor>,
+    snap_stream: Option<SnapshotStream>,
+    sla_violations: usize,
+    mitigations_applied: usize,
+    replications_completed: usize,
+    control_rounds: usize,
+    changed_dirs_total: usize,
+}
+
+impl ScdaControl {
+    /// Build the SCDA control plane over a freshly built topology tree
+    /// (call before the tree's `topo` moves into the kernel's network).
+    pub fn new(sc: &Scenario, opts: &ScdaOptions, tree: &ThreeTierTree) -> Self {
+        let servers = tree.all_servers();
+        let clients = tree.clients.clone();
+        let client_links = tree.client_links.clone();
+        let mut server_coord: BTreeMap<NodeId, (usize, usize)> = BTreeMap::new();
+        for (r, rack) in tree.servers.iter().enumerate() {
+            for &srv in rack {
+                server_coord.insert(srv, (r, tree.agg_of_rack[r]));
+            }
+        }
+        let n_racks = tree.servers.len();
+        let n_aggs = tree.aggs.len();
+        let params = Params {
+            tau: sc.tau,
+            drain_horizon: sc.tau,
+            ..opts.params.clone()
+        };
+        let mut ct = ControlTree::from_three_tier(tree, params.clone(), opts.metric);
+        ct.set_obs(opts.obs.clone());
+        let costs = ProtocolCosts {
+            control_hop: params.control_hop_delay,
+            client_wan: sc.topo.client_delay_s,
+        };
+        let client_alloc: Vec<(LinkAllocator, LinkAllocator)> = client_links
+            .iter()
+            .map(|&(up, down)| {
+                let cap_up = tree.topo.link(up).capacity_bytes();
+                let cap_down = tree.topo.link(down).capacity_bytes();
+                (
+                    LinkAllocator::new(cap_up, opts.metric, &params),
+                    LinkAllocator::new(cap_down, opts.metric, &params),
+                )
+            })
+            .collect();
+        let resources = opts.resource_profiles.as_ref().map(|profiles| {
+            assert!(
+                !profiles.is_empty(),
+                "resource profile list cannot be empty"
+            );
+            ResourceBook::new(servers.iter().copied(), |i| {
+                profiles[i % profiles.len()].clone()
+            })
+        });
+        let energy = opts.energy.as_ref().map(|e| {
+            let spread = e.hetero_spread;
+            EnergyBook::new(e.model.clone(), servers.iter().copied(), |i| {
+                1.0 + spread * (((i * 7919) % 101) as f64 / 100.0 - 0.5)
+            })
+        });
+        let x = sc.topo.base_bw_bps / 8.0;
+        ScdaControl {
+            params,
+            ct,
+            costs,
+            client_alloc,
+            server_coord,
+            level_caps: [x, x, sc.topo.k_factor * x, sc.topo.trunk_mult * x],
+            link_loads: vec![0.0_f64; tree.topo.link_count()],
+            outstanding: BTreeMap::new(),
+            outstanding_rack: vec![0u32; n_racks],
+            outstanding_agg: vec![0u32; n_aggs],
+            outstanding_total: 0,
+            flow_ctl: BTreeMap::new(),
+            metrics_buf: Vec::new(),
+            resources,
+            boosted: BTreeMap::new(),
+            energy,
+            server_link_bytes: x,
+            tau: sc.tau,
+            sla_monitor: opts.mitigation.clone().map(SlaMonitor::new),
+            snap_stream: opts.snapshot_every.map(SnapshotStream::new),
+            sla_violations: 0,
+            mitigations_applied: 0,
+            replications_completed: 0,
+            control_rounds: 0,
+            changed_dirs_total: 0,
+            servers,
+            clients,
+            client_links,
+            opts: opts.clone(),
+        }
+    }
+}
+
+impl ControlPolicy for ScdaControl {
+    fn system(&self) -> &'static str {
+        "SCDA"
+    }
+
+    fn cadence(&self) -> Option<f64> {
+        Some(self.tau)
+    }
+
+    fn prime(&mut self, driver: &mut FlowDriver) {
+        // Prime the tree so the first arrivals see idle-state
+        // advertisements.
+        let mut tel = NetTelemetry {
+            net: driver.net_mut(),
+            loads: &self.link_loads,
+            tau: self.tau,
+            resources: self.resources.as_ref(),
+        };
+        self.ct.control_round(0.0, &mut tel);
+    }
+
+    fn admit(
+        &mut self,
+        f: &FlowSpec,
+        id: FlowId,
+        now: f64,
+        driver: &mut FlowDriver,
+        placement: &mut dyn Placement,
+        transport: &mut dyn TransportPolicy,
+    ) -> Admission {
+        let client = self.clients[f.client % self.clients.len()];
+
+        // Discount each candidate's advertised rate by the NNS's own
+        // outstanding assignments: k not-yet-visible flows on a level-h
+        // link of capacity C shift a per-flow share r to r/(1 + k·r/C)
+        // (i.e. C/N -> C/(N + k)). The candidate's score is the minimum
+        // over its path levels — so a server in a quiet rack outranks
+        // one whose rack or aggregation uplink is already spoken for.
+        // The per-level rates come from the ServerMetrics level cache,
+        // keeping this hot path free of tree walks and allocations.
+        self.ct.server_metrics_into(&mut self.metrics_buf);
+        for m in self.metrics_buf.iter_mut() {
+            let &(rack, agg) = self.server_coord.get(&m.server).expect("server has coords");
+            let k0 = self.outstanding.get(&m.server).copied().unwrap_or(0) as f64;
+            let counts = [
+                k0,
+                self.outstanding_rack[rack] as f64,
+                self.outstanding_agg[agg] as f64,
+                self.outstanding_total as f64,
+            ];
+            let mut adj_down = f64::INFINITY;
+            let mut adj_up = f64::INFINITY;
+            for (h, (&k, &cap)) in counts.iter().zip(&self.level_caps).enumerate() {
+                let rd = m.down_levels[h];
+                adj_down = adj_down.min(rd / (1.0 + k * rd / cap));
+                let ru = m.up_levels[h];
+                adj_up = adj_up.min(ru / (1.0 + k * ru / cap));
+            }
+            m.path_down = adj_down;
+            m.path_up = adj_up;
+            m.r0_down /= 1.0 + k0;
+            m.r0_up /= 1.0 + k0;
+        }
+        let class = class_of(f.kind);
+        let picked = placement.place(&PlacementCtx {
+            class,
+            direction: f.direction,
+            metrics: &self.metrics_buf,
+            servers: &self.servers,
+            energy: self.energy.as_ref(),
+            selector: &self.opts.selector,
+        });
+        let (server, sel_rate) = picked.expect("at least one server exists");
+        self.opts.obs.emit_with(|| {
+            // The NNS's decision, with the top of the candidate set it
+            // chose from (discounted per-direction path rates).
+            let mut candidates: Vec<Candidate> = self
+                .metrics_buf
+                .iter()
+                .map(|m| Candidate {
+                    server: m.server.0,
+                    rate: match f.direction {
+                        FlowDirection::Write => m.path_down,
+                        FlowDirection::Read => m.path_up,
+                    },
+                })
+                .collect();
+            candidates.sort_by(|a, b| b.rate.total_cmp(&a.rate));
+            candidates.truncate(MAX_CANDIDATES);
+            TraceEvent::ServerSelected {
+                now,
+                flow: id.0,
+                server: server.0,
+                rate: sel_rate,
+                candidates,
+            }
+        });
+        *self.outstanding.entry(server).or_insert(0) += 1;
+        {
+            let &(rack, agg) = self.server_coord.get(&server).expect("server has coords");
+            self.outstanding_rack[rack] += 1;
+            self.outstanding_agg[agg] += 1;
+            self.outstanding_total += 1;
+        }
+
+        // Waking a dormant server costs its transition latency before
+        // the connection can open (§VII-C).
+        let mut wake_delay = 0.0;
+        if let Some(book) = self.energy.as_mut() {
+            if book.is_dormant(server) {
+                book.wake(server, now);
+                wake_delay = self
+                    .opts
+                    .energy
+                    .as_ref()
+                    .expect("energy enabled")
+                    .model
+                    .wake_latency;
+            }
+        }
+
+        let (src, dst, setup, tree_dir) = match f.direction {
+            FlowDirection::Write => (
+                client,
+                server,
+                self.costs.external_write_setup(),
+                Direction::Down,
+            ),
+            FlowDirection::Read => (
+                server,
+                client,
+                self.costs.external_read_setup(),
+                Direction::Up,
+            ),
+        };
+        let base_rtt = driver
+            .net_mut()
+            .base_rtt_between(src, dst)
+            .expect("client and server are connected");
+        let tree_rate = self
+            .ct
+            .client_rate(server, tree_dir)
+            .unwrap_or(self.params.min_rate);
+        let ci = f.client % self.client_alloc.len();
+        let wan_rate = match f.direction {
+            FlowDirection::Write => self.client_alloc[ci].0.rate(),
+            FlowDirection::Read => self.client_alloc[ci].1.rate(),
+        };
+        let w = weight_of(
+            &self.opts.openflow_sjf,
+            &self.opts.priority,
+            f.size_bytes,
+            f.size_bytes,
+            tree_rate,
+            now,
+        );
+        let mut rate = (w * tree_rate.min(wan_rate)).max(self.params.min_rate);
+        if let Some(plan) = &self.opts.reservations {
+            if id.0.is_multiple_of(plan.every) {
+                rate = rate.max(plan.min_rate);
+            }
+        }
+        Admission {
+            src,
+            dst,
+            server,
+            client_idx: ci,
+            start: f.arrival + setup + wake_delay,
+            transport: transport.open(rate, base_rtt),
+        }
+    }
+
+    fn on_open(&mut self, p: &PendingStart, _driver: &mut FlowDriver) {
+        if let Some(book) = self.resources.as_mut() {
+            // Writes hit the server's disk write path, reads its read
+            // path; internal replication writes the receiver's disk.
+            if p.internal {
+                book.open_flow(p.dst, true);
+            } else {
+                book.open_flow(p.server, p.dir == FlowDirection::Write);
+            }
+        }
+        self.flow_ctl.insert(
+            p.id,
+            FlowCtl {
+                server: p.server,
+                kind: if p.internal {
+                    CtlKind::Internal { receiver: p.dst }
+                } else {
+                    CtlKind::External {
+                        dir: p.dir,
+                        client_idx: p.client_idx,
+                    }
+                },
+            },
+        );
+    }
+
+    fn round(&mut self, now: f64, driver: &mut FlowDriver) {
+        // Current offered rates, per link (the S sums of eq. 4/6 —
+        // weights are already baked into each flow's installed rate).
+        driver.offered_loads_into(&mut self.link_loads);
+        let round_violations;
+        {
+            let mut tel = NetTelemetry {
+                net: driver.net_mut(),
+                loads: &self.link_loads,
+                tau: self.tau,
+                resources: self.resources.as_ref(),
+            };
+            round_violations = self.ct.control_round(now, &mut tel);
+            self.sla_violations += round_violations.len();
+            self.control_rounds += 1;
+            self.changed_dirs_total += self.ct.changed_nodes(0.05);
+            // Client-side RM updates over the same telemetry.
+            for (ci, &(up, down)) in self.client_links.iter().enumerate() {
+                let su = tel.sample(up);
+                let sd = tel.sample(down);
+                self.client_alloc[ci].0.update(&su, &self.params);
+                self.client_alloc[ci].1.update(&sd, &self.params);
+            }
+        }
+        // SLA mitigation ladder (§IV-A): grant reserve bandwidth on
+        // violated links, bounded by the reserve factor; the monitor
+        // escalates repeat offenders (reassignment happens naturally —
+        // the violated link's rates collapse and selection avoids it).
+        if let Some(mon) = self.sla_monitor.as_mut() {
+            for v in &round_violations {
+                match mon.ingest(*v) {
+                    Mitigation::AddBandwidth { extra } => {
+                        let link = v.site.link;
+                        let cur = driver.net().topo().link(link).capacity_bps;
+                        let orig = *self.boosted.entry(link).or_insert(cur);
+                        let new =
+                            (cur + extra * 8.0).min(orig * self.opts.mitigation_reserve_factor);
+                        if new > cur {
+                            driver.net_mut().set_link_capacity(link, new);
+                            self.ct.set_link_capacity(link, new / 8.0);
+                            self.mitigations_applied += 1;
+                        }
+                    }
+                    Mitigation::ReassignServer | Mitigation::Escalate => {
+                        // Selection pressure does the reassignment; an
+                        // operator would add capacity on Escalate.
+                    }
+                }
+            }
+        }
+
+        // Energy accounting + dormancy management (§VII-C/D).
+        let server_link_bytes = self.server_link_bytes;
+        if let Some(book) = self.energy.as_mut() {
+            // Per-server utilization from the offered rates of the
+            // flows it is serving.
+            let mut per_server: BTreeMap<NodeId, f64> = BTreeMap::new();
+            for (id, ctl) in &self.flow_ctl {
+                if let Some(t) = driver.transport(*id) {
+                    let rtt = driver.net().rtt(*id);
+                    *per_server.entry(ctl.server).or_insert(0.0) += t.offered_rate(rtt);
+                }
+            }
+            book.tick(now, |srv| {
+                per_server.get(&srv).copied().unwrap_or(0.0) / server_link_bytes
+            });
+            if self.opts.energy.as_ref().expect("energy enabled").dormancy {
+                // Idle servers with uplink headroom above R_scale nap
+                // until demand wakes them.
+                self.ct.server_metrics_into(&mut self.metrics_buf);
+                for m in &self.metrics_buf {
+                    let busy = per_server.get(&m.server).copied().unwrap_or(0.0) > 0.0;
+                    if !busy && m.path_up >= self.opts.selector.r_scale && book.is_active(m.server)
+                    {
+                        book.scale_down(m.server);
+                    }
+                }
+            }
+        }
+
+        // Refresh every on-going flow's windows from fresh allocations;
+        // flows the driver no longer knows fall out of the control map.
+        let ct = &self.ct;
+        let params = &self.params;
+        let client_alloc = &self.client_alloc;
+        let opts = &self.opts;
+        self.flow_ctl.retain(|id, ctl| {
+            let Some(progress) = driver.progress(*id) else {
+                return false;
+            };
+            let remaining = progress.remaining();
+            let size = progress.size_bytes;
+            let alloc = match &ctl.kind {
+                CtlKind::External { dir, client_idx } => {
+                    let tree_dir = match dir {
+                        FlowDirection::Write => Direction::Down,
+                        FlowDirection::Read => Direction::Up,
+                    };
+                    let tree_rate = ct
+                        .client_rate(ctl.server, tree_dir)
+                        .unwrap_or(params.min_rate);
+                    let wan_rate = match dir {
+                        FlowDirection::Write => client_alloc[*client_idx].0.rate(),
+                        FlowDirection::Read => client_alloc[*client_idx].1.rate(),
+                    };
+                    tree_rate.min(wan_rate)
+                }
+                CtlKind::Internal { receiver } => ct
+                    .transfer_rate(ctl.server, *receiver)
+                    .unwrap_or(params.min_rate),
+            };
+            let w = weight_of(
+                &opts.openflow_sjf,
+                &opts.priority,
+                remaining,
+                size,
+                alloc,
+                now,
+            );
+            let mut rate = (w * alloc).max(params.min_rate);
+            if let Some(plan) = &opts.reservations {
+                if matches!(ctl.kind, CtlKind::External { .. }) && id.0 % plan.every == 0 {
+                    rate = rate.max(plan.min_rate);
+                }
+            }
+            if let Some(AnyTransport::Scda(win)) = driver.transport_mut(*id) {
+                win.set_rates(rate, rate);
+                opts.obs.emit_with(|| TraceEvent::FlowRewindowed {
+                    now,
+                    flow: id.0,
+                    rate,
+                });
+            }
+            true
+        });
+        self.opts
+            .obs
+            .gauge_set("flows.active", driver.active_count() as f64);
+        if let Some(stream) = self.snap_stream.as_mut() {
+            let ct = &self.ct;
+            stream.offer_with(|| ct.snapshot(now));
+        }
+    }
+
+    fn on_complete(
+        &mut self,
+        c: &CompletedFlow,
+        size: Option<f64>,
+        driver: &mut FlowDriver,
+    ) -> Option<SpawnSpec> {
+        let ctl = self.flow_ctl.remove(&c.id);
+        if let (Some(book), Some(ctl)) = (self.resources.as_mut(), ctl.as_ref()) {
+            match &ctl.kind {
+                CtlKind::External { dir, .. } => {
+                    book.close_flow(ctl.server, *dir == FlowDirection::Write)
+                }
+                CtlKind::Internal { receiver } => book.close_flow(*receiver, true),
+            }
+        }
+        let is_internal = matches!(
+            ctl.as_ref().map(|x| &x.kind),
+            Some(CtlKind::Internal { .. })
+        );
+        let was_write = matches!(
+            ctl.as_ref().map(|x| &x.kind),
+            Some(CtlKind::External {
+                dir: FlowDirection::Write,
+                ..
+            })
+        );
+        if let Some(ctl) = &ctl {
+            if !is_internal {
+                if let Some(k) = self.outstanding.get_mut(&ctl.server) {
+                    *k = k.saturating_sub(1);
+                }
+                let &(rack, agg) = self
+                    .server_coord
+                    .get(&ctl.server)
+                    .expect("server has coords");
+                self.outstanding_rack[rack] = self.outstanding_rack[rack].saturating_sub(1);
+                self.outstanding_agg[agg] = self.outstanding_agg[agg].saturating_sub(1);
+                self.outstanding_total = self.outstanding_total.saturating_sub(1);
+            }
+        }
+        if is_internal {
+            self.replications_completed += 1;
+            return None;
+        }
+
+        // Internal write (§VIII-B, figure 4): replicate the freshly
+        // written content to the best-uplink server so future reads
+        // are fast.
+        if was_write && self.opts.replicate_writes {
+            let size = size.expect("external completion has a recorded size");
+            let primary = ctl.as_ref().expect("write flow has control state").server;
+            self.ct.server_metrics_into(&mut self.metrics_buf);
+            let sel = Selector::new(&self.metrics_buf, self.energy.as_ref(), &self.opts.selector);
+            if let Some((replica, _)) =
+                sel.replica_target(ContentClass::SemiInteractiveRead, primary, &[])
+            {
+                let rate = self
+                    .ct
+                    .transfer_rate(primary, replica)
+                    .unwrap_or(self.params.min_rate)
+                    .max(self.params.min_rate);
+                let base_rtt = driver
+                    .net_mut()
+                    .base_rtt_between(primary, replica)
+                    .expect("servers are connected");
+                return Some(SpawnSpec {
+                    src: primary,
+                    dst: replica,
+                    server: primary,
+                    size,
+                    arrival: c.finish,
+                    start: c.finish + self.costs.internal_write_setup(),
+                    transport: AnyTransport::Scda(ScdaWindow::new(rate, rate, base_rtt)),
+                });
+            }
+        }
+        None
+    }
+
+    fn finish(&mut self, result: &mut RunResult) {
+        result.sla_violations = self.sla_violations;
+        result.energy_joules = self.energy.as_ref().map(EnergyBook::total_energy);
+        result.dormant_servers = self
+            .energy
+            .as_ref()
+            .map(EnergyBook::dormant_count)
+            .unwrap_or(0);
+        result.mitigations_applied = self.mitigations_applied;
+        result.replications_completed = self.replications_completed;
+        result.control_rounds = self.control_rounds;
+        result.changed_dirs_total = self.changed_dirs_total;
+        result.snapshots = self.snap_stream.take();
+    }
+}

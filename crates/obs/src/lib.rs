@@ -27,6 +27,23 @@ pub mod metrics;
 pub mod profile;
 pub mod trace;
 
+/// Canonical profiler phase names for the simulation kernel's run-loop
+/// stages (admission → open → control → tick). The experiments kernel
+/// reports its per-stage wall-clock under these names; diagnostics
+/// tooling that groups or plots phases should key on the constants, not
+/// on string literals.
+pub mod phase {
+    /// Admission stage: classify, place and price each arriving request.
+    pub const ADMISSION: &str = "kernel.admission";
+    /// Open stage: flows whose connection setup completed enter the data
+    /// plane.
+    pub const OPEN: &str = "kernel.open";
+    /// Per-τ control stage: measure, allocate, mitigate, re-window.
+    pub const CONTROL: &str = "kernel.control";
+    /// Transport-drive stage: one fluid tick plus completion accounting.
+    pub const TICK: &str = "kernel.tick";
+}
+
 pub use metrics::{Histogram, Metric, Registry};
 pub use profile::{PhaseStat, ProfileReport, Profiler};
 pub use trace::{Candidate, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY, MAX_CANDIDATES};

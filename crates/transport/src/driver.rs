@@ -205,6 +205,26 @@ impl FlowDriver {
         self.net.rtt(id)
     }
 
+    /// Sum every active flow's current offered rate onto the links of its
+    /// path: `loads[link.index()]` receives the per-link S sums the SCDA
+    /// control plane feeds into eq. 4/6 telemetry. Clears `loads` first;
+    /// flows are visited in id order, so the floating-point accumulation
+    /// is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` is shorter than the topology's link count.
+    pub fn offered_loads_into(&self, loads: &mut [f64]) {
+        loads.fill(0.0);
+        for (&id, f) in &self.active {
+            let rtt = self.net.rtt(id);
+            let rate = f.transport.offered_rate(rtt);
+            for &l in &self.net.flow(id).path {
+                loads[l.index()] += rate;
+            }
+        }
+    }
+
     /// Advance every flow by `dt` seconds starting at time `now`.
     ///
     /// Each transport offers `min(its rate, remaining/dt)`; the network
