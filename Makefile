@@ -1,6 +1,6 @@
 # Convenience targets for the SCDA reproduction.
 
-.PHONY: all build test bench figures ablations docs clippy clean
+.PHONY: all build test bench figures ablations docs clippy analyze clean
 
 all: build
 
@@ -29,6 +29,11 @@ docs:
 
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings
+
+# Domain lints: determinism, float-eq, hot-path unwraps, phase names,
+# unit documentation. Exits non-zero on any unsuppressed finding.
+analyze:
+	cargo run -p scda-analyze -- --deny
 
 clean:
 	cargo clean

@@ -1,0 +1,513 @@
+//! A hand-rolled Rust lexer, just deep enough for domain linting.
+//!
+//! The workspace builds offline against vendored stand-ins, so the
+//! analyzer cannot pull in `syn`. It does not need to: every lint in
+//! [`crate::lints`] works on a flat token stream as long as the lexer
+//! gets the *hard* part right — never mistaking the contents of a
+//! comment, string, raw string or char literal for code. That is exactly
+//! what this module does:
+//!
+//! * line (`//`) and nested block (`/* /* */ */`) comments are stripped,
+//!   with doc comments (`///`, `//!`, `/**`, `/*!`) preserved as
+//!   [`Tok::Doc`] tokens so the `doc-units` lint can read them;
+//! * string likes — `"…"` (with escapes), `b"…"`, `r"…"`, `r#"…"#` with
+//!   any number of hashes, and `c"…"` — become [`Tok::Str`] carrying
+//!   their contents, so code inside a string can never trip a lint;
+//! * `'a` lifetimes are distinguished from `'x'`/`'\n'` char literals;
+//! * numbers are split into [`Tok::Int`] and [`Tok::Float`] (exponents,
+//!   `_` separators, and `1f64`-style suffixes included), which the
+//!   `no-float-eq` lint keys on;
+//! * multi-character operators (`==`, `!=`, `::`, `->`, …) are single
+//!   tokens, so lints match `Instant :: now` without reassembling
+//!   punctuation.
+//!
+//! The lexer also collects `// scda-analyze: allow(<lint>, <reason>)`
+//! suppression annotations ([`Allow`]) as it strips line comments —
+//! suppressions are comments, so no later pass could see them.
+
+/// One lexed token kind. Contents are owned `String`s; linting a whole
+/// workspace is an ~100-file batch job, not a hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#try`, …).
+    Ident(String),
+    /// A lifetime (`'a`, `'_`, `'static`) — without the quote.
+    Lifetime(String),
+    /// Integer literal, verbatim (`42`, `0xFF`, `1_000u64`).
+    Int(String),
+    /// Float literal, verbatim (`0.0`, `1e-9`, `2.5f32`, `1.`).
+    Float(String),
+    /// String-like literal (`"…"`, `b"…"`, `r#"…"#`): the *contents*,
+    /// escapes left unprocessed.
+    Str(String),
+    /// Char or byte-char literal (`'x'`, `b'\n'`). Contents never matter
+    /// to a lint, so they are not kept.
+    Char,
+    /// Doc comment text (`///`, `//!`, `/**`, `/*!`), markers stripped.
+    Doc(String),
+    /// Multi-character operator (`==`, `!=`, `::`, `->`, `..=`, …).
+    Op(&'static str),
+    /// Any other single character (`{`, `(`, `#`, `.`, `<`, …).
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// One `// scda-analyze: allow(<lint>, <reason>)` annotation.
+///
+/// An allow suppresses findings of `lint` on its own line and on the
+/// line immediately below (so it can trail the offending expression or
+/// sit on its own line above it). The reason is mandatory — the driver
+/// reports empty-reason annotations as findings of their own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The lint name being suppressed.
+    pub lint: String,
+    /// The stated justification (may be empty — the driver rejects that).
+    pub reason: String,
+    /// 1-based line of the annotation.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus any suppression annotations and
+/// annotations too malformed to parse at all.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Well-formed-enough `allow(...)` annotations.
+    pub allows: Vec<Allow>,
+    /// Lines with a `scda-analyze:` marker that did not parse as
+    /// `allow(lint, reason)`.
+    pub malformed_allows: Vec<u32>,
+}
+
+/// Marker prefix for suppression annotations inside line comments.
+pub const ALLOW_MARKER: &str = "scda-analyze:";
+
+/// Longest-match-first multi-character operators. `..=` before `..`,
+/// `<<=` before `<<`, etc.
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "::", "->", "=>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Tokenize `src`. Never fails: unrecognized bytes become [`Tok::Punct`]
+/// and an unterminated literal simply consumes to end-of-file — for a
+/// linter, graceful degradation beats hard errors on exotic input.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' | b'c' if self.string_prefix() => self.prefixed_string(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => self.op_or_punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.tokens.push(Token { tok, line });
+    }
+
+    /// Is the `r`/`b`/`c` at `pos` the start of a string-like literal
+    /// (`r"`, `r#"`, `b"`, `br"`, `b'`, …) rather than an identifier?
+    fn string_prefix(&self) -> bool {
+        let mut i = self.pos;
+        // Longest prefixes are two letters (`br`, `rb`, `cr`) plus hashes.
+        for _ in 0..2 {
+            match self.src.get(i) {
+                Some(b'r' | b'b' | b'c') => i += 1,
+                _ => break,
+            }
+        }
+        let mut j = i;
+        while self.src.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        // `r#ident` is a raw identifier, not a string — require a quote.
+        // Hashes are only legal after an `r`, so `b#` never reaches here
+        // with a quote and misparsing it as ident is correct.
+        matches!(self.src.get(j), Some(b'"'))
+            || (i > self.pos && self.src.get(i) == Some(&b'\''))
+            || (self.src.get(i) == Some(&b'\'') && self.src[self.pos] == b'b')
+    }
+
+    /// Lex `b"…"`, `r"…"`, `r#"…"#`, `br#"…"#`, `c"…"`, or `b'…'`.
+    fn prefixed_string(&mut self) {
+        let start_line = self.line;
+        while matches!(self.peek(0), Some(b'r' | b'b' | b'c')) {
+            self.pos += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        match self.peek(0) {
+            Some(b'"') if hashes > 0 => self.raw_string_body(hashes, start_line),
+            Some(b'"') => {
+                // A raw string with zero hashes (`r"…"`) has no escapes;
+                // a cooked byte string (`b"…"`) does. Escaped-quote
+                // handling is harmless for raw strings (`\"` cannot
+                // appear: `\` before `"` just ends a raw string — but a
+                // raw string containing `\` last is rare enough that
+                // treating it cooked is an acceptable approximation).
+                self.cooked_string_body(start_line);
+            }
+            Some(b'\'') => {
+                // b'…' byte char.
+                self.pos += 1;
+                if self.peek(0) == Some(b'\\') {
+                    self.pos += 2;
+                } else {
+                    self.pos += 1;
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                }
+                self.push(Tok::Char, start_line);
+            }
+            _ => {
+                // Defensive: `string_prefix` said otherwise, skip a byte.
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Body of `r#…#"…"#…#` after the opening hashes: read until `"`
+    /// followed by `hashes` hashes.
+    fn raw_string_body(&mut self, hashes: usize, start_line: u32) {
+        self.pos += 1; // opening quote
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            if self.src[self.pos] == b'"' {
+                let mut k = 0;
+                while k < hashes && self.src.get(self.pos + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    let body = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.pos += 1 + hashes;
+                    self.push(Tok::Str(body), start_line);
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+        // Unterminated: take everything.
+        let body = String::from_utf8_lossy(&self.src[start..]).into_owned();
+        self.push(Tok::Str(body), start_line);
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.cooked_string_body(line);
+    }
+
+    /// `"…"` with `\"` and `\\` escapes, starting at the opening quote.
+    fn cooked_string_body(&mut self, start_line: u32) {
+        self.pos += 1; // opening quote
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    let body = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    self.push(Tok::Str(body), start_line);
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let body = String::from_utf8_lossy(&self.src[start..]).into_owned();
+        self.push(Tok::Str(body), start_line);
+    }
+
+    /// `'a` lifetime vs `'x'` / `'\n'` char literal.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.pos += 1; // the quote
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: skip `\x`, then to closing quote.
+                self.pos += 2;
+                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos += 1;
+                self.push(Tok::Char, line);
+            }
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+                // Could be 'a' (char) or 'a-lifetime. Char iff a quote
+                // immediately follows one ident char.
+                if self.peek(1) == Some(b'\'') {
+                    self.pos += 2;
+                    self.push(Tok::Char, line);
+                } else {
+                    let start = self.pos;
+                    while self
+                        .peek(0)
+                        .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+                    {
+                        self.pos += 1;
+                    }
+                    let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.push(Tok::Lifetime(name), line);
+                }
+            }
+            Some(_) => {
+                // Non-alphabetic char literal like ' ' or '0'.
+                self.pos += 1;
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                }
+                self.push(Tok::Char, line);
+            }
+            None => {}
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        // Raw identifier `r#try`.
+        if self.src[self.pos] == b'r' && self.peek(1) == Some(b'#') {
+            self.pos += 2;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let text = text.strip_prefix("r#").unwrap_or(&text).to_string();
+        self.push(Tok::Ident(text), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        let mut is_float = false;
+        if self.src[self.pos] == b'0' && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            // Radix literal: digits + underscores + hex letters; a type
+            // suffix like `u64` is swallowed by the alphanumeric scan.
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+        } else {
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+            {
+                self.pos += 1;
+            }
+            // Fractional part: `.` followed by a digit (`1.0`), or a bare
+            // trailing `.` not followed by an identifier (`1.` is a float
+            // but `1.max(2)` is an int method call and `0..n` a range).
+            if self.peek(0) == Some(b'.') {
+                match self.peek(1) {
+                    Some(c) if c.is_ascii_digit() => {
+                        is_float = true;
+                        self.pos += 1;
+                        while self
+                            .peek(0)
+                            .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+                        {
+                            self.pos += 1;
+                        }
+                    }
+                    Some(c) if c == b'_' || c.is_ascii_alphabetic() || c == b'.' => {}
+                    _ => {
+                        is_float = true;
+                        self.pos += 1;
+                    }
+                }
+            }
+            // Exponent: `e`/`E` with optional sign — only when followed by
+            // a digit (else `2e` would eat the ident in `2 ether`… which
+            // is not Rust anyway, but stay conservative).
+            if matches!(self.peek(0), Some(b'e' | b'E')) {
+                let (sign, first_digit) = match self.peek(1) {
+                    Some(b'+' | b'-') => (1, self.peek(2)),
+                    other => (0, other),
+                };
+                if first_digit.is_some_and(|c| c.is_ascii_digit()) {
+                    is_float = true;
+                    self.pos += 1 + sign;
+                    while self
+                        .peek(0)
+                        .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                }
+            }
+            // Type suffix (`f64`, `u32`, `_f32`…).
+            let suffix_start = self.pos;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+            let suffix = &self.src[suffix_start..self.pos];
+            if suffix.starts_with(b"f32") || suffix.starts_with(b"f64") {
+                is_float = true;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let tok = if is_float {
+            Tok::Float(text)
+        } else {
+            Tok::Int(text)
+        };
+        self.push(tok, line);
+    }
+
+    fn op_or_punct(&mut self) {
+        let line = self.line;
+        for op in OPS {
+            if self.src[self.pos..].starts_with(op.as_bytes()) {
+                self.pos += op.len();
+                self.push(Tok::Op(op), line);
+                return;
+            }
+        }
+        let c = self.src[self.pos] as char;
+        self.pos += 1;
+        self.push(Tok::Punct(c), line);
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        // `///` (but not `////`) and `//!` are doc comments.
+        let is_outer_doc = text.starts_with("///") && !text.starts_with("////");
+        if is_outer_doc || text.starts_with("//!") {
+            self.push(Tok::Doc(text[3..].trim().to_string()), line);
+        } else {
+            self.scan_allow(&text, line);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos..].starts_with(b"/*") {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos..].starts_with(b"*/") {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                if self.src[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        // `/** … */` and `/*! … */` are doc comments (`/**/` and `/***`
+        // are not, matching rustc).
+        let body = text
+            .strip_prefix("/**")
+            .or_else(|| text.strip_prefix("/*!"))
+            .and_then(|b| b.strip_suffix("*/"));
+        match body {
+            Some(b) if !b.is_empty() && !b.starts_with('*') => {
+                self.push(Tok::Doc(b.trim().to_string()), line);
+            }
+            _ => {}
+        }
+    }
+
+    /// Parse `scda-analyze: allow(<lint>, <reason>)` out of a line
+    /// comment, if present.
+    fn scan_allow(&mut self, comment: &str, line: u32) {
+        let text = comment.trim_start_matches('/').trim();
+        let Some(rest) = text.strip_prefix(ALLOW_MARKER) else {
+            return;
+        };
+        let rest = rest.trim();
+        let parsed = rest.strip_prefix("allow(").and_then(|r| {
+            let inner = r.rfind(')').map(|end| &r[..end])?;
+            let (lint, reason) = match inner.split_once(',') {
+                Some((l, why)) => (l.trim(), why.trim()),
+                None => (inner.trim(), ""),
+            };
+            if lint.is_empty() {
+                return None;
+            }
+            Some(Allow {
+                lint: lint.to_string(),
+                reason: reason.to_string(),
+                line,
+            })
+        });
+        match parsed {
+            Some(a) => self.out.allows.push(a),
+            None => self.out.malformed_allows.push(line),
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! `determinism` — no nondeterminism sources in simulation logic.
+//!
+//! The paper's control plane is a fixed-point iteration: every τ the
+//! RM/RA tree folds per-link rates up and down (figure 2) and the
+//! selector places requests on the argmax server. Reproducing Table I
+//! bit-exactly therefore requires that *every* round visit links, flows
+//! and servers in the same order with the same inputs. Three std
+//! facilities silently break that:
+//!
+//! * `HashMap`/`HashSet` iterate in randomized order (SipHash seeding) —
+//!   any fold over them reorders float accumulation and tiebreaks;
+//! * `Instant::now`/`SystemTime` leak wall-clock into logic that must
+//!   depend only on virtual time;
+//! * `thread_rng`/`from_entropy`/`rand::random`/`OsRng` draw OS entropy —
+//!   all simulation randomness must come from the scenario seed.
+//!
+//! The lint bans them in the `simnet`, `core`, `transport` and
+//! `experiments` crates (tests excluded). Wall-clock profiling that is
+//! provably invisible to sim state is the legitimate exception — allow
+//! it inline with a reason.
+
+use super::{finding, is_ident, is_op, Lint};
+use crate::lexer::Tok;
+use crate::{Finding, SourceFile};
+
+/// Crates whose `src/` trees carry simulation logic.
+const SIM_CRATES: &[&str] = &["simnet", "core", "transport", "experiments"];
+
+/// The `determinism` lint. See the module docs.
+pub struct Determinism;
+
+impl Lint for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn summary(&self) -> &'static str {
+        "forbids HashMap/HashSet, wall-clock time and unseeded RNG in sim logic"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let in_scope =
+            file.crate_src().is_some_and(|c| SIM_CRATES.contains(&c)) && !file.is_test_code;
+        if !in_scope {
+            return;
+        }
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if file.in_test(t.line) {
+                continue;
+            }
+            let Tok::Ident(name) = &t.tok else { continue };
+            match name.as_str() {
+                "HashMap" | "HashSet" => out.push(finding(
+                    file,
+                    i,
+                    self.name(),
+                    format!(
+                        "`{name}` iteration order is seeded per-process; use \
+                         `BTreeMap`/`BTreeSet` or an index-keyed `Vec` so control \
+                         rounds replay identically"
+                    ),
+                )),
+                "Instant" if is_op(toks, i + 1, "::") && is_ident(toks, i + 2, "now") => {
+                    out.push(finding(
+                        file,
+                        i,
+                        self.name(),
+                        "`Instant::now` reads wall-clock inside sim logic; drive \
+                         everything from virtual time (or allow with a reason if \
+                         this is profiling that never feeds back into state)",
+                    ))
+                }
+                "SystemTime" => out.push(finding(
+                    file,
+                    i,
+                    self.name(),
+                    "`SystemTime` reads wall-clock inside sim logic; use virtual time",
+                )),
+                "thread_rng" | "from_entropy" | "OsRng" => out.push(finding(
+                    file,
+                    i,
+                    self.name(),
+                    format!(
+                        "`{name}` draws OS entropy; derive all randomness from the \
+                         scenario seed (e.g. `StdRng::seed_from_u64`)"
+                    ),
+                )),
+                "random" if i >= 2 && is_ident(toks, i - 2, "rand") && is_op(toks, i - 1, "::") => {
+                    out.push(finding(
+                        file,
+                        i,
+                        self.name(),
+                        "`rand::random` draws from the thread RNG; derive randomness \
+                         from the scenario seed",
+                    ))
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! `doc-units` — multi-`f64` public APIs must document units.
+//!
+//! The paper mixes bytes, bytes/s, seconds and fractions in one
+//! equation set (queue `Q` in bytes, rates `S`/`Λ`/`R` in bytes/s,
+//! window `d` in seconds, `α`/`β` dimensionless). A `pub fn` taking two
+//! or more raw `f64`s is exactly the signature where a caller can swap
+//! `(capacity, queue)` for `(queue, capacity)` or pass Mb/s where
+//! bytes/s is expected and the type system stays silent. The lint
+//! requires such functions (in `core`, `transport` and `simnet`) to
+//! carry a doc comment mentioning at least one unit word — the cheap,
+//! greppable half of unit safety; newtype wrappers are the expensive
+//! half and can come later.
+
+use super::{is_punct, Lint};
+use crate::lexer::Tok;
+use crate::{Finding, SourceFile};
+
+/// Crates whose public `f64` APIs must document units.
+const UNIT_CRATES: &[&str] = &["core", "transport", "simnet"];
+
+/// Words that count as a unit mention (lowercase substring match).
+const UNIT_WORDS: &[&str] = &[
+    "bytes",
+    "byte",
+    "second",
+    "secs",
+    "b/s",
+    "bps",
+    "/s",
+    "joule",
+    "watt",
+    "hz",
+    "fraction",
+    "ratio",
+    "unitless",
+    "dimensionless",
+    "percent",
+    "µs",
+    "millis",
+];
+
+/// The `doc-units` lint. See the module docs.
+pub struct DocUnits;
+
+impl Lint for DocUnits {
+    fn name(&self) -> &'static str {
+        "doc-units"
+    }
+
+    fn summary(&self) -> &'static str {
+        "pub fns taking ≥2 raw f64 params must document units"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let in_scope =
+            file.crate_src().is_some_and(|c| UNIT_CRATES.contains(&c)) && !file.is_test_code;
+        if !in_scope {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !matches!(&toks[i].tok, Tok::Ident(s) if s == "pub") {
+                continue;
+            }
+            if file.in_test(toks[i].line) {
+                continue;
+            }
+            // Skip a `(crate)` / `(super)` visibility qualifier.
+            let mut j = i + 1;
+            if is_punct(toks, j, '(') {
+                while j < toks.len() && !is_punct(toks, j, ')') {
+                    j += 1;
+                }
+                j += 1;
+            }
+            if !matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "fn") {
+                continue;
+            }
+            let Some(Tok::Ident(fn_name)) = toks.get(j + 1).map(|t| &t.tok) else {
+                continue;
+            };
+            let Some(params) = param_range(toks, j + 2) else {
+                continue;
+            };
+            let n_f64 = count_raw_f64_params(&toks[params.0..params.1]);
+            if n_f64 < 2 {
+                continue;
+            }
+            let doc = doc_text_before(file, i);
+            let documented = doc.as_ref().is_some_and(|d| {
+                let lower = d.to_lowercase();
+                UNIT_WORDS.iter().any(|w| lower.contains(w))
+            });
+            if !documented {
+                out.push(Finding {
+                    file: file.path.clone(),
+                    line: toks[i].line,
+                    lint: self.name(),
+                    message: format!(
+                        "pub fn `{fn_name}` takes {n_f64} raw f64 parameters but its \
+                         doc comment names no units — say bytes / bytes/s / seconds / \
+                         fraction for each, so call sites can't transpose them"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Token index range `(start, end)` of the parameter list opened by the
+/// first `(` at angle-bracket depth 0 from `from` (skipping generics).
+fn param_range(toks: &[crate::lexer::Token], from: usize) -> Option<(usize, usize)> {
+    let mut angle = 0i32;
+    let mut i = from;
+    // Find the opening paren of the parameter list.
+    loop {
+        match &toks.get(i)?.tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Op("<<") => angle += 2,
+            Tok::Op(">>") => angle -= 2,
+            Tok::Punct('(') if angle <= 0 => break,
+            Tok::Punct('{' | ';') => return None, // no params — not a fn?
+            _ => {}
+        }
+        i += 1;
+    }
+    let start = i + 1;
+    let mut depth = 1i32;
+    let mut j = start;
+    while depth > 0 {
+        match &toks.get(j)?.tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => depth -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    Some((start, j - 1))
+}
+
+/// Count parameters typed as a bare `f64`: a `:` directly followed by
+/// `f64` which is itself followed by `,` or the list's end. `&f64`,
+/// `Option<f64>`, `Vec<f64>` and closure return types do not match.
+fn count_raw_f64_params(params: &[crate::lexer::Token]) -> usize {
+    let mut n = 0;
+    let mut depth = 0i32; // nested parens (closure args) don't count
+    for i in 0..params.len() {
+        match &params[i].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => depth -= 1,
+            Tok::Punct(':') if depth == 0 => {
+                let is_f64 = matches!(
+                    params.get(i + 1).map(|t| &t.tok),
+                    Some(Tok::Ident(s)) if s == "f64"
+                );
+                let terminated = match params.get(i + 2).map(|t| &t.tok) {
+                    Some(Tok::Punct(',')) | None => true,
+                    Some(_) => false,
+                };
+                if is_f64 && terminated {
+                    n += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    n
+}
+
+/// The doc comment block attached to the item whose first token is at
+/// `item`: walk backward over attributes (`#[…]`) and collect contiguous
+/// `Doc` tokens. Returns `None` when there is no doc comment at all.
+fn doc_text_before(file: &SourceFile, item: usize) -> Option<String> {
+    let toks = &file.tokens;
+    let mut parts: Vec<&str> = Vec::new();
+    let mut i = item;
+    while i > 0 {
+        i -= 1;
+        match &toks[i].tok {
+            Tok::Doc(d) => parts.push(d),
+            Tok::Punct(']') => {
+                // Skip back over a `#[…]` attribute.
+                let mut depth = 1i32;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    match &toks[i].tok {
+                        Tok::Punct(']') => depth += 1,
+                        Tok::Punct('[') => depth -= 1,
+                        _ => {}
+                    }
+                }
+                // The `#` before the `[`.
+                if i > 0 && matches!(&toks[i - 1].tok, Tok::Punct('#')) {
+                    i -= 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        parts.reverse();
+        Some(parts.join("\n"))
+    }
+}

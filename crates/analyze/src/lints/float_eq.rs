@@ -1,0 +1,84 @@
+//! `no-float-eq` — no exact `==`/`!=` against float expressions.
+//!
+//! The rate metric (eqs. 2–5) is a chain of float multiplies and
+//! divides; two algebraically equal paths through it differ in the last
+//! ulp, so exact comparison is a latent heisenbug — it works until a
+//! refactor reassociates an expression. Outside `#[cfg(test)]`, compare
+//! floats with `f64::total_cmp`, an explicit tolerance, or the kernel's
+//! `TotalF64` wrapper; guard zeros with a helper that says what it
+//! means (see `scda-experiments`' `is_zero`).
+//!
+//! Token-level heuristic: an `==`/`!=` whose immediate neighbor is a
+//! float literal (`0.0`, `1e-9`, `2.5f32`) or one of `f64::NAN`,
+//! `f64::INFINITY`, `f64::EPSILON`. Comparisons of two float *variables*
+//! are invisible without type inference — the lint catches the common
+//! sentinel-comparison form, the golden tests catch the rest.
+
+use super::{finding, is_ident, is_op, Lint};
+use crate::lexer::Tok;
+use crate::{Finding, SourceFile};
+
+/// The `no-float-eq` lint. See the module docs.
+pub struct NoFloatEq;
+
+/// `f64::`/`f32::` associated constants whose comparison is exact-float.
+const FLOAT_CONSTS: &[&str] = &["NAN", "INFINITY", "NEG_INFINITY", "EPSILON"];
+
+impl Lint for NoFloatEq {
+    fn name(&self) -> &'static str {
+        "no-float-eq"
+    }
+
+    fn summary(&self) -> &'static str {
+        "forbids ==/!= on float expressions outside tests"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.is_test_code {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            let Tok::Op(op @ ("==" | "!=")) = &toks[i].tok else {
+                continue;
+            };
+            if file.in_test(toks[i].line) {
+                continue;
+            }
+            let prev_float = i > 0
+                && match &toks[i - 1].tok {
+                    Tok::Float(_) => true,
+                    Tok::Ident(s) => {
+                        FLOAT_CONSTS.contains(&s.as_str())
+                            && i >= 3
+                            && is_op(toks, i - 2, "::")
+                            && (is_ident(toks, i - 3, "f64") || is_ident(toks, i - 3, "f32"))
+                    }
+                    _ => false,
+                };
+            let next_float = match toks.get(i + 1).map(|t| &t.tok) {
+                Some(Tok::Float(_)) => true,
+                Some(Tok::Ident(s)) if s == "f64" || s == "f32" => {
+                    is_op(toks, i + 2, "::")
+                        && matches!(
+                            toks.get(i + 3).map(|t| &t.tok),
+                            Some(Tok::Ident(c)) if FLOAT_CONSTS.contains(&c.as_str())
+                        )
+                }
+                _ => false,
+            };
+            if prev_float || next_float {
+                out.push(finding(
+                    file,
+                    i,
+                    self.name(),
+                    format!(
+                        "exact float `{op}` comparison; use `f64::total_cmp`, a \
+                         tolerance, or a named zero-guard helper — exact equality \
+                         breaks under refactoring-induced ulp drift"
+                    ),
+                ));
+            }
+        }
+    }
+}

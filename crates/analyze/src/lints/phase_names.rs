@@ -1,0 +1,125 @@
+//! `phase-name-canonical` — phase names come from `scda_obs::phase`.
+//!
+//! The profiler keys per-stage wall-clock on string phase names, and
+//! every consumer (the `--profile` report, CI dashboards, the DESIGN §7
+//! tables) groups by exact string match. A typo'd literal silently
+//! forks a phase into two series. The lint therefore requires every
+//! string literal passed to `phase_add(…)`/`time_phase(…)` to match a
+//! constant declared in the `scda_obs::phase` module — which it reads
+//! from the workspace source itself ([`harvest_canonical`]), so adding
+//! a constant automatically widens the allowed set.
+
+use super::{finding, is_punct, Lint};
+use crate::lexer::Tok;
+use crate::{Finding, SourceFile};
+
+/// The `phase-name-canonical` lint; holds the harvested canonical set.
+pub struct PhaseNameCanonical {
+    names: Vec<String>,
+}
+
+impl PhaseNameCanonical {
+    /// A lint instance allowing exactly `names`.
+    pub fn new(names: Vec<String>) -> Self {
+        PhaseNameCanonical { names }
+    }
+}
+
+/// Scan the workspace files for the `scda_obs` crate's `pub mod phase`
+/// block and collect every `pub const NAME: &str = "…";` value in it.
+pub fn harvest_canonical(files: &[SourceFile]) -> Vec<String> {
+    let Some(obs) = files
+        .iter()
+        .find(|f| f.path.ends_with("crates/obs/src/lib.rs"))
+    else {
+        return Vec::new();
+    };
+    let toks = &obs.tokens;
+    let mut names = Vec::new();
+    // Find `mod phase {`, then take every string literal assigned to a
+    // const until the matching close brace.
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        let is_mod_phase = matches!(&toks[i].tok, Tok::Ident(s) if s == "mod")
+            && matches!(&toks[i + 1].tok, Tok::Ident(s) if s == "phase")
+            && is_punct(toks, i + 2, '{');
+        if !is_mod_phase {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut j = i + 2;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(s) if s == "const" => {
+                    // const NAME : &str = "value" ;
+                    let mut k = j + 1;
+                    while k < toks.len() && !matches!(&toks[k].tok, Tok::Punct(';')) {
+                        if let Tok::Str(v) = &toks[k].tok {
+                            names.push(v.clone());
+                            break;
+                        }
+                        k += 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        break;
+    }
+    names
+}
+
+impl Lint for PhaseNameCanonical {
+    fn name(&self) -> &'static str {
+        "phase-name-canonical"
+    }
+
+    fn summary(&self) -> &'static str {
+        "string literals passed as phase names must match scda_obs::phase constants"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        // The constants' own declarations live in crates/obs; linting
+        // them against themselves is vacuous but harmless — declaration
+        // sites are `const X = "…"`, not `phase_add("…")` calls.
+        if file.is_test_code {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            let Tok::Ident(callee) = &toks[i].tok else {
+                continue;
+            };
+            if callee != "phase_add" && callee != "time_phase" {
+                continue;
+            }
+            if !is_punct(toks, i + 1, '(') || file.in_test(toks[i].line) {
+                continue;
+            }
+            let Some(Tok::Str(lit)) = toks.get(i + 2).map(|t| &t.tok) else {
+                continue; // constant or expression — exactly what we want
+            };
+            if !self.names.iter().any(|n| n == lit) {
+                out.push(finding(
+                    file,
+                    i + 2,
+                    self.name(),
+                    format!(
+                        "phase name literal \"{lit}\" is not a `scda_obs::phase` \
+                         constant; declare it there and pass the constant so \
+                         profiles keep one series per phase"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! `no-unwrap-hot-path` — panic hygiene on the per-τ paths.
+//!
+//! The kernel's staged loop, the RM/RA control tree, the selector and
+//! the transport driver run once per tick or per control round for the
+//! whole simulation; a stray `.unwrap()` there turns a modeling bug
+//! into a context-free panic deep inside a million-flow run. On these
+//! files the lint requires:
+//!
+//! * no `.unwrap()` at all — name the invariant or propagate;
+//! * `.expect(…)` only with a string literal starting with
+//!   `"invariant: "`, so the panic message states *why* the value must
+//!   exist (and reads as documentation at the call site).
+//!
+//! Constructor-time validation with documented panics is the legitimate
+//! exception — allow it inline with a reason.
+
+use super::{finding, is_punct, Lint};
+use crate::lexer::Tok;
+use crate::{Finding, SourceFile};
+
+/// Per-τ hot-path files: the staged kernel, the control tree and
+/// selection logic it feeds, the rate metric, and the whole transport
+/// data plane.
+const HOT_SUFFIXES: &[&str] = &[
+    "crates/experiments/src/runner/kernel.rs",
+    "crates/core/src/tree.rs",
+    "crates/core/src/selection.rs",
+    "crates/core/src/rate_metric.rs",
+];
+const HOT_DIRS: &[&str] = &["crates/transport/src/"];
+
+/// Required prefix of every hot-path `expect` message.
+pub const INVARIANT_PREFIX: &str = "invariant: ";
+
+/// The `no-unwrap-hot-path` lint. See the module docs.
+pub struct NoUnwrapHotPath;
+
+/// Is `path` one of the per-τ hot-path files?
+pub fn is_hot_path(path: &str) -> bool {
+    HOT_SUFFIXES.iter().any(|s| path.ends_with(s)) || HOT_DIRS.iter().any(|d| path.contains(d))
+}
+
+impl Lint for NoUnwrapHotPath {
+    fn name(&self) -> &'static str {
+        "no-unwrap-hot-path"
+    }
+
+    fn summary(&self) -> &'static str {
+        "bans .unwrap() and non-invariant .expect() in kernel/control-tree/transport"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.is_test_code || !is_hot_path(&file.path) {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.in_test(toks[i].line) || !is_punct(toks, i, '.') {
+                continue;
+            }
+            let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) else {
+                continue;
+            };
+            if !is_punct(toks, i + 2, '(') {
+                continue;
+            }
+            match name.as_str() {
+                "unwrap" if is_punct(toks, i + 3, ')') => out.push(finding(
+                    file,
+                    i + 1,
+                    self.name(),
+                    "`.unwrap()` on a per-τ path; use `.expect(\"invariant: …\")` \
+                     naming why the value must exist, or propagate the error",
+                )),
+                "expect" => match toks.get(i + 3).map(|t| &t.tok) {
+                    Some(Tok::Str(msg)) if msg.starts_with(INVARIANT_PREFIX) => {}
+                    Some(Tok::Str(msg)) => out.push(finding(
+                        file,
+                        i + 1,
+                        self.name(),
+                        format!(
+                            "hot-path `.expect(\"{msg}\")` must state its invariant — \
+                             start the message with \"invariant: \""
+                        ),
+                    )),
+                    _ => out.push(finding(
+                        file,
+                        i + 1,
+                        self.name(),
+                        "hot-path `.expect(…)` must take a string literal starting \
+                         with \"invariant: \" (computed messages hide the contract)",
+                    )),
+                },
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The `scda-analyze` command-line driver.
+//!
+//! ```text
+//! scda-analyze [--deny] [--list] [--root <dir>]
+//! ```
+//!
+//! Lints every first-party `.rs` file under the workspace root (found
+//! via `CARGO_MANIFEST_DIR` when run through `cargo run -p
+//! scda-analyze`, else the current directory; `vendor/` and `target/`
+//! are skipped). Prints one line per unsuppressed finding. With
+//! `--deny`, exits 1 when any finding survives — the mode CI runs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use scda_analyze::{collect_workspace, run_lints, stock_lints};
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut list = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--list" => list = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: scda-analyze [--deny] [--list] [--root <dir>]");
+                println!("  --deny   exit 1 if any unsuppressed finding remains");
+                println!("  --list   list the registered lints and exit");
+                println!("  --root   workspace root (default: the enclosing workspace)");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let files = match collect_workspace(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!(
+                "scda-analyze: cannot read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let lints = stock_lints(&files);
+
+    if list {
+        for l in &lints {
+            println!("{:24} {}", l.name(), l.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = run_lints(&files, &lints);
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "scda-analyze: {} file(s), {} finding(s), {} suppressed",
+        files.len(),
+        report.findings.len(),
+        report.suppressed
+    );
+    if deny && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `cargo run -p scda-analyze` sets `CARGO_MANIFEST_DIR` to
+/// `crates/analyze`; the workspace root is two levels up. Fall back to
+/// the current directory for a standalone binary.
+fn default_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let p = PathBuf::from(dir);
+            p.parent()
+                .and_then(|c| c.parent())
+                .map(PathBuf::from)
+                .unwrap_or(p)
+        }
+        None => PathBuf::from("."),
+    }
+}

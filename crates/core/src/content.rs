@@ -107,7 +107,8 @@ impl AccessStats {
         }
     }
 
-    /// Drop events older than `now - window`.
+    /// Drop events older than `now - window` (both in seconds of
+    /// virtual time).
     pub fn expire(&mut self, now: f64, window: f64) {
         let cutoff = now - window;
         self.writes.retain(|&t| t >= cutoff);

@@ -84,6 +84,7 @@ impl PriorityPolicy {
 
 /// The paper's explicit weight rule: a source that received `r_current`
 /// and wants `r_desired` next round sets `℘ = r_desired / r_current`.
+/// Both rates are in bytes/s; the weight is their dimensionless ratio.
 #[inline]
 pub fn weight_for_target(r_desired: f64, r_current: f64) -> f64 {
     if r_current <= 0.0 {

@@ -155,6 +155,7 @@ impl LinkAllocator {
 
 /// Eq. 4: a flow's rate is the minimum of its end-to-end link allocation
 /// and the sender/receiver other-resource (CPU, disk, application) caps.
+/// All three arguments — and the result — are rates in bytes/s.
 #[inline]
 pub fn flow_rate(r_send_other: f64, r_e2e: f64, r_recv_other: f64) -> f64 {
     r_send_other.min(r_e2e).min(r_recv_other)

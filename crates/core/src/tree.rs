@@ -186,6 +186,7 @@ impl ControlTree {
         specs: &[NodeSpec],
         mut capacity_of: impl FnMut(LinkId) -> f64,
     ) -> Self {
+        // scda-analyze: allow(no-unwrap-hot-path, construction-time input validation with a documented "# Panics" contract; never reached per-τ)
         params.validate().expect("invalid params");
         assert!(!specs.is_empty(), "control tree needs at least one node");
         let mut nodes = Vec::with_capacity(specs.len());
@@ -207,7 +208,11 @@ impl ControlTree {
             if s.level == 0 {
                 assert!(s.server.is_some(), "RMs (level 0) must name a server");
                 rms.push(CtrlId(i));
-                rm_by_server.insert(s.server.unwrap(), CtrlId(i));
+                rm_by_server.insert(
+                    s.server
+                        .expect("invariant: asserted is_some immediately above"),
+                    CtrlId(i),
+                );
             } else {
                 assert!(s.server.is_none(), "RAs must not name a server");
             }
@@ -233,7 +238,8 @@ impl ControlTree {
                 r_check_up: Vec::new(),
             });
         }
-        let root = root.expect("no root in spec list");
+        let root =
+            root.expect("invariant: spec[0] cannot name an earlier parent, so a root exists");
         for i in 0..nodes.len() {
             if let Some(p) = nodes[i].parent {
                 nodes[p.0].children.push(CtrlId(i));
@@ -350,6 +356,7 @@ impl ControlTree {
         let round = self.round;
         self.round += 1;
         let observing = self.obs.is_enabled();
+        // scda-analyze: allow(determinism, wall-clock profiling of the round; gated on obs and never read by allocator state)
         let t0 = observing.then(std::time::Instant::now);
         if observing {
             self.obs
@@ -401,7 +408,9 @@ impl ControlTree {
         for &id in &self.order {
             let node = &self.nodes[id.0];
             if node.level == 0 {
-                let server = node.server.expect("RM has server");
+                let server = node
+                    .server
+                    .expect("invariant: RMs (level 0) are constructed with a server");
                 let caps = telemetry.rate_caps(server);
                 let n = &mut self.nodes[id.0];
                 n.down.r_hat = n.down.r_own.min(caps.recv);
@@ -671,7 +680,9 @@ impl ControlTree {
             let down_levels = fill(&n.r_check_down, n.down.r_hat);
             let up_levels = fill(&n.r_check_up, n.up.r_hat);
             out.push(ServerMetrics {
-                server: n.server.expect("RM has server"),
+                server: n
+                    .server
+                    .expect("invariant: RMs (level 0) are constructed with a server"),
                 r0_down: n.down.r_hat,
                 r0_up: n.up.r_hat,
                 path_down: n.r_check_down.last().copied().unwrap_or(n.down.r_hat),

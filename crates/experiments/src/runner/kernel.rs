@@ -13,7 +13,7 @@
 //! records nothing (not even an `Instant`) otherwise.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::time::Instant;
 
 use scda_metrics::{FctStats, FlowRecord, ThroughputSeries};
@@ -98,7 +98,9 @@ pub struct SimKernel {
     pending: BinaryHeap<Reverse<(StartKey, usize)>>,
     starts: Vec<Option<PendingStart>>,
     /// id → (arrival, size) for external flows, the FCT record source.
-    arrivals: HashMap<FlowId, (f64, f64)>,
+    /// A `BTreeMap` so any future iteration over it is id-ordered —
+    /// `HashMap` order would vary per process and break replayability.
+    arrivals: BTreeMap<FlowId, (f64, f64)>,
     next_id: u64,
 }
 
@@ -109,7 +111,7 @@ impl SimKernel {
             driver: FlowDriver::new(net),
             pending: BinaryHeap::new(),
             starts: Vec::new(),
-            arrivals: HashMap::new(),
+            arrivals: BTreeMap::new(),
             next_id: 0,
         }
     }
@@ -152,6 +154,7 @@ impl SimKernel {
             let now = step as f64 * sc.dt;
 
             // Admission: classify, select a server, price the setup.
+            // scda-analyze: allow(determinism, per-stage wall-clock profiling; gated on obs and never read by sim state)
             let t_admit = observing.then(Instant::now);
             while next_flow < sc.workload.flows.len() && sc.workload.flows[next_flow].arrival <= now
             {
@@ -177,6 +180,7 @@ impl SimKernel {
             }
 
             // Open connections whose setup completed.
+            // scda-analyze: allow(determinism, per-stage wall-clock profiling; gated on obs and never read by sim state)
             let t_open = observing.then(Instant::now);
             while let Some(Reverse((key, idx))) = self.pending.peek() {
                 if key.time() > now {
@@ -184,7 +188,9 @@ impl SimKernel {
                 }
                 let idx = *idx;
                 self.pending.pop();
-                let p = self.starts[idx].take().expect("start scheduled once");
+                let p = self.starts[idx]
+                    .take()
+                    .expect("invariant: each start index is pushed to the heap exactly once");
                 ctrl.on_open(&p, &mut self.driver);
                 if !p.internal {
                     self.arrivals.insert(p.id, (p.arrival, p.size));
@@ -200,6 +206,7 @@ impl SimKernel {
             // policies — RandTCP has no control plane).
             if let (Some(period), Some(nc)) = (period, next_ctrl) {
                 if now + 1e-12 >= nc {
+                    // scda-analyze: allow(determinism, per-stage wall-clock profiling; gated on obs and never read by sim state)
                     let t_ctrl = observing.then(Instant::now);
                     next_ctrl = Some(nc + period);
                     ctrl.round(now, &mut self.driver);
@@ -210,6 +217,7 @@ impl SimKernel {
             }
 
             // Drive the data plane one tick and account completions.
+            // scda-analyze: allow(determinism, per-stage wall-clock profiling; gated on obs and never read by sim state)
             let t_tick = observing.then(Instant::now);
             let summary = self.driver.tick(now, sc.dt);
             acct.on_tick(now, summary.delivered_bytes, self.driver.active_count());

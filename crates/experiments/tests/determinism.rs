@@ -1,0 +1,70 @@
+//! Determinism: two identical seeded runs must produce *bit-identical*
+//! accounting.
+//!
+//! The golden kernel tests pin one run against stored numbers; this test
+//! pins a run against a second run of itself in the same process, which
+//! is exactly the property the `BTreeMap`-keyed kernel bookkeeping and
+//! the `scda-analyze` determinism lint exist to protect. Any per-process
+//! hash seeding, wall-clock leakage, or entropy draw in the kernel,
+//! control plane or transport shows up here as a single flipped bit.
+
+use scda_experiments::runner::{run_randtcp, run_scda, RunResult, ScdaOptions};
+use scda_experiments::{Group, Scale};
+
+/// Compare every float of a run's accounting by exact bit pattern —
+/// `assert_eq!` on `f64` would also be exact, but comparing `to_bits`
+/// makes failures print the raw patterns and survives NaN.
+fn assert_bit_identical(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.system, b.system);
+    assert_eq!(a.requested, b.requested);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.sla_violations, b.sla_violations);
+
+    let (ra, rb) = (a.fct.records(), b.fct.records());
+    assert_eq!(ra.len(), rb.len(), "completed-flow counts differ");
+    for (i, (x, y)) in ra.iter().zip(rb).enumerate() {
+        assert_eq!(
+            x.size_bytes.to_bits(),
+            y.size_bytes.to_bits(),
+            "flow {i} size"
+        );
+        assert_eq!(x.start.to_bits(), y.start.to_bits(), "flow {i} start");
+        assert_eq!(x.finish.to_bits(), y.finish.to_bits(), "flow {i} finish");
+    }
+
+    let (pa, pb) = (a.throughput.points(), b.throughput.points());
+    assert_eq!(pa.len(), pb.len(), "throughput series lengths differ");
+    for (i, (x, y)) in pa.iter().zip(&pb).enumerate() {
+        assert_eq!(x.time.to_bits(), y.time.to_bits(), "point {i} time");
+        assert_eq!(
+            x.aggregate.to_bits(),
+            y.aggregate.to_bits(),
+            "point {i} aggregate"
+        );
+        assert_eq!(
+            x.per_flow.to_bits(),
+            y.per_flow.to_bits(),
+            "point {i} per-flow"
+        );
+    }
+}
+
+#[test]
+fn scda_runs_are_bit_identical() {
+    let sc = Group::DatacenterK3.scenario(Scale::Quick, 42);
+    let opts = ScdaOptions::default();
+    let first = run_scda(&sc, &opts);
+    let second = run_scda(&sc, &opts);
+    assert!(first.completed > 0, "scenario must exercise the kernel");
+    assert_bit_identical(&first, &second);
+}
+
+#[test]
+fn randtcp_runs_are_bit_identical() {
+    // RandTCP carries the seeded placement RNG — same seed, same draws.
+    let sc = Group::VideoNoControl.scenario(Scale::Quick, 7);
+    let first = run_randtcp(&sc);
+    let second = run_randtcp(&sc);
+    assert!(first.completed > 0, "scenario must exercise the kernel");
+    assert_bit_identical(&first, &second);
+}

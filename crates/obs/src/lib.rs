@@ -42,6 +42,8 @@ pub mod phase {
     pub const CONTROL: &str = "kernel.control";
     /// Transport-drive stage: one fluid tick plus completion accounting.
     pub const TICK: &str = "kernel.tick";
+    /// Event-engine drain: the scheduler batch run up to a deadline.
+    pub const ENGINE_DRAIN: &str = "engine.drain";
 }
 
 pub use metrics::{Histogram, Metric, Registry};

@@ -245,8 +245,10 @@ pub fn dumbbell(
 
 /// A small VL2-like multi-rooted Clos (the §IX "general topology"): every
 /// edge switch uplinks to *every* aggregation switch, and every aggregation
-/// switch to every core switch, so paths are no longer unique. Returns the
-/// topology and the server ids grouped by rack.
+/// switch to every core switch, so paths are no longer unique. Server links
+/// run at `base_bw_bps` bits/s with `delay_s` seconds of per-hop propagation
+/// delay and `queue_cap_bytes` bytes of queue; switch tiers scale the
+/// bandwidth up. Returns the topology and the server ids grouped by rack.
 pub fn clos(
     racks: usize,
     servers_per_rack: usize,

@@ -73,9 +73,10 @@ fn run_until_observing<S: Simulation>(
     deadline: SimTime,
     obs: &scda_obs::Obs,
 ) -> u64 {
+    // scda-analyze: allow(determinism, wall-clock profiling of the drain batch; only ever feeds the profiler)
     let t0 = std::time::Instant::now();
     let processed = run_until(sim, sched, deadline);
-    obs.phase_add("engine.drain", t0.elapsed());
+    obs.phase_add(scda_obs::phase::ENGINE_DRAIN, t0.elapsed());
     obs.counter_add("engine.events", processed);
     obs.emit(scda_obs::TraceEvent::EngineBatch {
         now: deadline,

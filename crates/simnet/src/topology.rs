@@ -90,7 +90,8 @@ impl Topology {
         id
     }
 
-    /// Add a single directed link; returns its id.
+    /// Add a single directed link; returns its id. `capacity_bps` is in
+    /// bits/s, `delay_s` in seconds, `queue_cap_bytes` in bytes.
     ///
     /// # Panics
     ///
@@ -126,8 +127,9 @@ impl Topology {
         id
     }
 
-    /// Add both directions of a physical cable with identical parameters;
-    /// returns `(a_to_b, b_to_a)`.
+    /// Add both directions of a physical cable with identical parameters
+    /// (`capacity_bps` bits/s, `delay_s` seconds, `queue_cap_bytes`
+    /// bytes); returns `(a_to_b, b_to_a)`.
     pub fn add_duplex(
         &mut self,
         a: NodeId,

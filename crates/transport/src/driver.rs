@@ -136,9 +136,9 @@ impl FlowDriver {
         self.obs.counter_add("flow.started", 1);
     }
 
-    /// Begin driving a transfer whose network flow was already inserted
-    /// (e.g. over an explicit ECMP/max-min path via
-    /// [`Network::insert_flow_with_path`]).
+    /// Begin driving a transfer of `size_bytes` bytes starting at `now`
+    /// seconds, whose network flow was already inserted (e.g. over an
+    /// explicit ECMP/max-min path via [`Network::insert_flow_with_path`]).
     ///
     /// # Panics
     ///
@@ -249,7 +249,7 @@ impl FlowDriver {
             let f = self
                 .active
                 .get_mut(&ft.flow)
-                .expect("reported flow is active");
+                .expect("invariant: the network only reports flows the driver started");
             f.transport
                 .on_tick(now, ft.goodput_bytes, rate * dt, ft.loss_frac, ft.rtt);
             summary.delivered_bytes += ft.goodput_bytes;

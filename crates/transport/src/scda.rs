@@ -63,8 +63,8 @@ impl ScdaWindow {
     }
 
     /// Install fresh allocations from the control plane (the per-τ update
-    /// of §VIII-D). Windows are recomputed against the current RTT
-    /// estimate.
+    /// of §VIII-D), both in bytes/s. Windows are recomputed against the
+    /// current RTT estimate.
     pub fn set_rates(&mut self, rate_up: f64, rate_down: f64) {
         debug_assert!(rate_up >= 0.0 && rate_down >= 0.0);
         self.rate_up = rate_up;

@@ -1,0 +1,30 @@
+//! The workspace must stay lint-clean: running the full `scda-analyze`
+//! stock lint set over every workspace source file yields zero
+//! unsuppressed findings. This is the same check CI's `analyze` job runs
+//! via `cargo run -p scda-analyze -- --deny`, wired into `cargo test` so
+//! a plain test run catches regressions too.
+
+use scda_analyze::{collect_workspace, run_lints, stock_lints};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = collect_workspace(root).expect("workspace sources must be readable");
+    assert!(
+        files.len() > 50,
+        "expected to scan the whole workspace, got {} files",
+        files.len()
+    );
+    let report = run_lints(&files, &stock_lints(&files));
+    assert!(
+        report.is_clean(),
+        "scda-analyze found {} unsuppressed finding(s):\n{}",
+        report.findings.len(),
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
