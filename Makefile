@@ -1,6 +1,7 @@
 # Convenience targets for the SCDA reproduction.
 
-.PHONY: all build test bench figures ablations docs clippy analyze clean
+.PHONY: all build test bench figures ablations docs clippy analyze clean \
+        perf perf-baseline perf-check
 
 all: build
 
@@ -34,6 +35,23 @@ clippy:
 # unit documentation. Exits non-zero on any unsuppressed finding.
 analyze:
 	cargo run -p scda-analyze -- --deny
+
+# Performance trajectory (see DESIGN.md): run the canonical scenarios and
+# write the next free BENCH_<n>.json snapshot at the repo root.
+perf:
+	cargo run --release --bin perf
+
+# Refresh the committed regression baseline in place.
+perf-baseline:
+	cargo run --release --bin perf -- --out BENCH_0.json
+
+# CI regression gate: re-run the quick scenarios and compare against the
+# committed baseline. Behaviour counters must match exactly; wall-clock
+# and rate fields may drift by at most the threshold (default 400%,
+# sized for noisy shared runners — override with THRESHOLD=<pct>).
+THRESHOLD ?= 400
+perf-check:
+	cargo run --release --bin perf -- --check BENCH_0.json --threshold $(THRESHOLD)
 
 clean:
 	cargo clean

@@ -17,6 +17,7 @@
 //! | `no-unwrap-hot-path` | no `.unwrap()`, and only `expect("invariant: …")`, on per-τ paths |
 //! | `phase-name-canonical` | phase-name string literals must match `scda_obs::phase` constants |
 //! | `doc-units` | `pub fn`s taking ≥2 raw `f64`s must document units |
+//! | `no-println-in-crates` | no `println!`/`eprintln!` in library crates — bins and tests exempt |
 //!
 //! Findings are suppressed *only* via an inline
 //! `// scda-analyze: allow(<lint>, <reason>)` annotation on the finding's
@@ -319,5 +320,6 @@ pub fn stock_lints(files: &[SourceFile]) -> Vec<Box<dyn Lint>> {
         Box::new(lints::unwrap_hot::NoUnwrapHotPath),
         Box::new(lints::phase_names::PhaseNameCanonical::new(phases)),
         Box::new(lints::doc_units::DocUnits),
+        Box::new(lints::no_println::NoPrintlnInCrates),
     ]
 }

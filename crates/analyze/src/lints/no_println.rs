@@ -1,0 +1,59 @@
+//! `no-println-in-crates` — library crates never print.
+//!
+//! Run output belongs to the binaries (`src/bin/*`, `crates/*/src/main.rs`)
+//! and to the scda-obs observation layer; a `println!`/`eprintln!` buried
+//! in a library crate bypasses both, interleaves with figure tables on
+//! stdout, and — worse — hides state a caller can neither capture nor
+//! assert on. The lint forbids both macros inside `crates/*/src`, with
+//! binary entry points, tests, examples and benches exempt.
+
+use super::{finding, is_punct, Lint};
+use crate::lexer::Tok;
+use crate::{Finding, SourceFile};
+
+/// The `no-println-in-crates` lint.
+pub struct NoPrintlnInCrates;
+
+impl Lint for NoPrintlnInCrates {
+    fn name(&self) -> &'static str {
+        "no-println-in-crates"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no println!/eprintln! in library crates — return values or go through scda-obs"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        // Library sources only: the bins (root `src/bin`, a crate's
+        // `main.rs`) exist to print, and test/bench/example code asserts
+        // through the harness.
+        if file.crate_src().is_none() || file.is_test_code {
+            return;
+        }
+        if file.path.ends_with("/main.rs") || file.path.contains("/src/bin/") {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            let Tok::Ident(name) = &toks[i].tok else {
+                continue;
+            };
+            if name != "println" && name != "eprintln" && name != "print" && name != "eprint" {
+                continue;
+            }
+            if !is_punct(toks, i + 1, '!') || file.in_test(toks[i].line) {
+                continue;
+            }
+            out.push(finding(
+                file,
+                i,
+                self.name(),
+                format!(
+                    "`{name}!` in a library crate — return the string (a \
+                     `to_table()`/`to_json()` method), record through the \
+                     scda-obs registry, or move the printing into a binary"
+                ),
+            ));
+        }
+    }
+}

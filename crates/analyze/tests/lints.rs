@@ -5,7 +5,8 @@
 
 use scda_analyze::lints::{
     determinism::Determinism, doc_units::DocUnits, float_eq::NoFloatEq,
-    phase_names::PhaseNameCanonical, unwrap_hot::NoUnwrapHotPath, Lint,
+    no_println::NoPrintlnInCrates, phase_names::PhaseNameCanonical, unwrap_hot::NoUnwrapHotPath,
+    Lint,
 };
 use scda_analyze::{run_lints, Finding, SourceFile, ALLOW_HYGIENE};
 
@@ -288,6 +289,56 @@ fn doc_units_allow_suppresses() {
 pub fn tune(&mut self, alpha: f64, beta: f64) {}
 ";
     let report = drive(Box::new(DocUnits), SIM_PATH, src);
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+    assert_eq!(report.suppressed, 1);
+}
+
+// ------------------------------------------------------- no-println-in-crates
+
+#[test]
+fn no_println_fires_on_prints_in_library_crates() {
+    let src = "
+fn report() {
+    println!(\"done\");
+    eprintln!(\"warn: {}\", 1);
+    print!(\"x\");
+    eprint!(\"y\");
+}
+";
+    let found = check(&NoPrintlnInCrates, SIM_PATH, src);
+    let lines: Vec<u32> = found.iter().map(|f| f.line).collect();
+    assert_eq!(lines, [3, 4, 5, 6], "println, eprintln, print, eprint");
+}
+
+#[test]
+fn no_println_exempts_bins_tests_and_cfg_test() {
+    let dirty = "fn f() { println!(\"x\"); }\n";
+    // Root-package bins, crate main.rs, and bin dirs exist to print.
+    assert!(check(&NoPrintlnInCrates, "src/bin/figures.rs", dirty).is_empty());
+    assert!(check(&NoPrintlnInCrates, "crates/analyze/src/main.rs", dirty).is_empty());
+    assert!(check(&NoPrintlnInCrates, "crates/core/src/bin/tool.rs", dirty).is_empty());
+    // Test-support trees and #[cfg(test)] modules assert, not print.
+    assert!(check(&NoPrintlnInCrates, "crates/core/tests/x.rs", dirty).is_empty());
+    let gated = "
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    fn t() { println!(\"debugging a test is fine\"); }
+}
+";
+    assert!(check(&NoPrintlnInCrates, SIM_PATH, gated).is_empty());
+    // An identifier named println without the macro bang is not a print.
+    let not_macro = "fn f(println: u32) -> u32 { println }\n";
+    assert!(check(&NoPrintlnInCrates, SIM_PATH, not_macro).is_empty());
+}
+
+#[test]
+fn no_println_allow_suppresses_with_reason() {
+    let src = "
+// scda-analyze: allow(no-println-in-crates, CLI driver writes its own report)
+fn f() { println!(\"report\"); }
+";
+    let report = drive(Box::new(NoPrintlnInCrates), SIM_PATH, src);
     assert!(report.is_clean(), "findings: {:?}", report.findings);
     assert_eq!(report.suppressed, 1);
 }

@@ -343,6 +343,46 @@ impl ControlTree {
         self.rm_by_server.get(&server).copied()
     }
 
+    /// The block server a control node monitors (None for RAs).
+    pub fn server_of(&self, node: CtrlId) -> Option<NodeId> {
+        self.nodes.get(node.0).and_then(|n| n.server)
+    }
+
+    /// The binding max-min bottleneck for `server` in direction `dir`: the
+    /// lowest tree level whose link caps the server's cumulative `Ř`
+    /// (within a 1e-9 relative tolerance — `Ř` is non-increasing with
+    /// level, so the first level that already equals the full-path rate is
+    /// where the path allocation binds), plus that level's monitored link.
+    /// `None` before the first control round or for unknown servers.
+    pub fn bottleneck_of(&self, server: NodeId, dir: Direction) -> Option<(u8, LinkId)> {
+        let rm = self.rm_of(server)?;
+        let n = &self.nodes[rm.0];
+        let levels = match dir {
+            Direction::Down => &n.r_check_down,
+            Direction::Up => &n.r_check_up,
+        };
+        let path_rate = *levels.last()?;
+        let mut level = 0usize;
+        for (h, &v) in levels.iter().enumerate() {
+            if v <= path_rate * (1.0 + 1e-9) {
+                level = h;
+                break;
+            }
+        }
+        // Walk the ancestor chain to the node at `level` (entry h of the
+        // Ř vector is the h-th node on the RM→root chain).
+        let mut cur = rm;
+        for _ in 0..level {
+            cur = self.nodes[cur.0].parent?;
+        }
+        let node = &self.nodes[cur.0];
+        let link = match dir {
+            Direction::Down => node.down_link,
+            Direction::Up => node.up_link,
+        };
+        Some((level as u8, link))
+    }
+
     /// The params this tree runs with.
     #[inline]
     pub fn params(&self) -> &Params {
@@ -564,15 +604,16 @@ impl ControlTree {
                 changed_dirs,
                 duration_us,
             });
-            c.metrics.counter_add("ctrl.rounds", 1);
+            c.metrics.counter_add(scda_obs::metric::CTRL_ROUNDS, 1);
             c.metrics
-                .counter_add("ctrl.violations", violations.len() as u64);
+                .counter_add(scda_obs::metric::CTRL_VIOLATIONS, violations.len() as u64);
             c.metrics
-                .counter_add("ctrl.changed_dirs", changed_dirs as u64);
-            c.metrics.observe("ctrl.round_duration_us", duration_us);
+                .counter_add(scda_obs::metric::CTRL_CHANGED_DIRS, changed_dirs as u64);
+            c.metrics
+                .observe(scda_obs::metric::CTRL_ROUND_DURATION_US, duration_us);
             for (queue, util) in link_obs {
-                c.metrics.observe("link.queue_bytes", queue);
-                c.metrics.observe("link.utilization", util);
+                c.metrics.observe(scda_obs::metric::LINK_QUEUE_BYTES, queue);
+                c.metrics.observe(scda_obs::metric::LINK_UTILIZATION, util);
             }
         });
     }
@@ -1097,6 +1138,66 @@ mod tests {
         }
         assert_eq!(ct.ras_at(2).len(), 2);
         assert_eq!(ct.ras_at(3).len(), 1);
+    }
+
+    #[test]
+    fn bottleneck_of_walks_the_binding_level() {
+        let (tree, mut ct) = small_tree();
+        assert!(
+            ct.bottleneck_of(tree.servers[0][0], Direction::Down)
+                .is_none(),
+            "no bottleneck before the first round"
+        );
+        ct.control_round(0.0, &mut Idle);
+        // Idle tree: every path is bottlenecked by the server's own X link.
+        let (level, link) = ct
+            .bottleneck_of(tree.servers[0][0], Direction::Down)
+            .unwrap();
+        assert_eq!(level, 0);
+        assert_eq!(link, tree.server_links[0][0].1);
+
+        // Load rack 0's edge downlink hard: the binding level moves up.
+        struct EdgeLoaded {
+            edge_down: LinkId,
+        }
+        impl Telemetry for EdgeLoaded {
+            fn sample(&mut self, l: LinkId) -> LinkSample {
+                if l == self.edge_down {
+                    LinkSample {
+                        flow_rate_sum: 1e10,
+                        ..Default::default()
+                    }
+                } else {
+                    LinkSample::default()
+                }
+            }
+            fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
+                RateCaps::default()
+            }
+        }
+        let edge_down = tree.edge_links[0].1;
+        let mut tel = EdgeLoaded { edge_down };
+        for _ in 0..8 {
+            ct.control_round(0.0, &mut tel);
+        }
+        let (level, link) = ct
+            .bottleneck_of(tree.servers[0][0], Direction::Down)
+            .unwrap();
+        assert_eq!(level, 1, "the loaded edge link becomes the bottleneck");
+        assert_eq!(link, edge_down);
+        // Other racks keep their server-link bottleneck.
+        let (level, _) = ct
+            .bottleneck_of(tree.servers[3][0], Direction::Down)
+            .unwrap();
+        assert_eq!(level, 0);
+    }
+
+    #[test]
+    fn server_of_resolves_rms_only() {
+        let (tree, ct) = small_tree();
+        let rm = ct.rm_of(tree.servers[1][1]).unwrap();
+        assert_eq!(ct.server_of(rm), Some(tree.servers[1][1]));
+        assert_eq!(ct.server_of(CtrlId(0)), None, "the root RA has no server");
     }
 
     #[test]

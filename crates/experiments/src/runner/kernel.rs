@@ -16,11 +16,12 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::time::Instant;
 
+use scda_audit::{AuditClass, ShedCause};
 use scda_metrics::{FctStats, FlowRecord, ThroughputSeries};
-use scda_obs::{phase, TraceEvent};
+use scda_obs::{metric, phase, TraceEvent};
 use scda_simnet::{FlowId, Network, NodeId};
 use scda_transport::{AnyTransport, FlowDriver};
-use scda_workloads::FlowDirection;
+use scda_workloads::{FlowDirection, FlowKind};
 
 use super::policy::{Accounting, ControlPolicy, Placement, TransportPolicy};
 use super::RunResult;
@@ -45,6 +46,16 @@ impl PartialOrd for TotalF64 {
 impl Ord for TotalF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.0.total_cmp(&other.0)
+    }
+}
+
+/// Map a workload flow kind onto the audit's traffic classes (the same
+/// grouping as the control plane's `ContentClass` mapping).
+pub fn audit_class_of(kind: FlowKind) -> AuditClass {
+    match kind {
+        FlowKind::Control | FlowKind::Interactive => AuditClass::Interactive,
+        FlowKind::Video | FlowKind::Synthetic => AuditClass::SemiInteractiveRead,
+        FlowKind::Datacenter => AuditClass::SemiInteractiveWrite,
     }
 }
 
@@ -143,7 +154,9 @@ impl SimKernel {
         acct: &mut dyn Accounting,
     ) -> RunResult {
         let observing = acct.obs().is_enabled();
+        let auditing = acct.audit().is_enabled();
         self.driver.set_obs(acct.obs().clone());
+        self.driver.set_audit(acct.audit().clone());
         ctrl.prime(&mut self.driver);
 
         let period = ctrl.cadence();
@@ -162,6 +175,15 @@ impl SimKernel {
                 next_flow += 1;
                 let id = FlowId(self.next_id);
                 let adm = ctrl.admit(&f, id, now, &mut self.driver, placement, transport);
+                if auditing {
+                    acct.audit().admitted(
+                        now,
+                        id.0,
+                        audit_class_of(f.kind),
+                        adm.server.0,
+                        f.size_bytes,
+                    );
+                }
                 self.schedule(adm.start, |id| PendingStart {
                     id,
                     src: adm.src,
@@ -232,7 +254,7 @@ impl SimKernel {
                     });
                 }
                 if let Some(sp) = spawn {
-                    self.schedule(sp.start, |id| PendingStart {
+                    let spawned = self.schedule(sp.start, |id| PendingStart {
                         id,
                         src: sp.src,
                         dst: sp.dst,
@@ -244,6 +266,15 @@ impl SimKernel {
                         internal: true,
                         transport: sp.transport,
                     });
+                    if auditing {
+                        acct.audit().admitted(
+                            now,
+                            spawned.0,
+                            AuditClass::Internal,
+                            sp.server.0,
+                            sp.size,
+                        );
+                    }
                 }
             }
             if let Some(t) = t_tick {
@@ -277,7 +308,27 @@ impl SimKernel {
                 });
                 timed_out += 1;
             }
-            acct.obs().counter_add("flow.timed_out", timed_out);
+            acct.obs().counter_add(metric::FLOW_TIMED_OUT, timed_out);
+        }
+
+        // Audit the same horizon cut-off as shed spans, then close every
+        // open violation episode so each violation exports with a
+        // time-to-mitigation (censored at the horizon when unresolved).
+        if auditing {
+            let end = sc.duration;
+            for (id, _, _) in self.driver.active_flows() {
+                let remaining = self
+                    .driver
+                    .progress(id)
+                    .map(|p| p.remaining())
+                    .unwrap_or(0.0);
+                acct.audit().shed(end, id.0, ShedCause::Horizon, remaining);
+            }
+            for p in self.starts.iter().flatten() {
+                acct.audit()
+                    .shed(end, p.id.0, ShedCause::NeverOpened, p.size);
+            }
+            acct.audit().finalize(end);
         }
 
         let mut result = RunResult {

@@ -38,7 +38,7 @@ pub mod policy;
 pub mod randtcp;
 pub mod scda;
 
-pub use kernel::{PendingStart, SimKernel, StartKey, TotalF64};
+pub use kernel::{audit_class_of, PendingStart, SimKernel, StartKey, TotalF64};
 pub use policy::{
     Accounting, Admission, BestRatePlacement, ControlPolicy, ExplicitRateTransport, Placement,
     PlacementCtx, RandomPlacement, RunAccounting, SpawnSpec, TcpTransport, TransportPolicy,
@@ -180,6 +180,9 @@ pub struct ScdaOptions {
     /// Observability handle threaded through the engine, transport driver
     /// and control tree (disabled by default: near-zero overhead).
     pub obs: Obs,
+    /// Audit handle: flow-lifecycle spans, attributed SLA violations and
+    /// time-to-mitigation episodes (disabled by default, like `obs`).
+    pub audit: scda_audit::Audit,
     /// Record a [`SnapshotStream`] entry every k control rounds (the §I
     /// diagnostics offload as a `k·τ` time series).
     pub snapshot_every: Option<u64>,
@@ -205,6 +208,7 @@ impl Default for ScdaOptions {
             reservations: None,
             resource_profiles: None,
             obs: Obs::disabled(),
+            audit: scda_audit::Audit::disabled(),
             snapshot_every: None,
         }
     }
@@ -264,7 +268,8 @@ pub fn run_scda_with(
 ) -> RunResult {
     let tree = sc.topo.build();
     let mut ctrl = ScdaControl::new(sc, opts, &tree);
-    let mut acct = RunAccounting::new(sc.throughput_interval, opts.obs.clone());
+    let mut acct =
+        RunAccounting::with_audit(sc.throughput_interval, opts.obs.clone(), opts.audit.clone());
     SimKernel::new(Network::new(tree.topo)).run(sc, &mut ctrl, placement, transport, &mut acct)
 }
 

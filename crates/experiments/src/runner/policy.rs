@@ -19,6 +19,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use scda_audit::Audit;
 use scda_core::{ContentClass, EnergyBook, Selector, SelectorConfig, ServerMetrics};
 use scda_metrics::{FctStats, FlowRecord, ThroughputSeries};
 use scda_obs::Obs;
@@ -234,6 +235,12 @@ pub trait Accounting {
     /// The observability handle phases and trace events go to.
     fn obs(&self) -> &Obs;
 
+    /// The audit handle flow spans and SLA attributions go to
+    /// (disabled unless the accounting carries one).
+    fn audit(&self) -> &Audit {
+        Audit::disabled_ref()
+    }
+
     /// One driver tick happened.
     fn on_tick(&mut self, now: f64, delivered_bytes: f64, active: usize);
 
@@ -251,17 +258,26 @@ pub struct RunAccounting {
     thpt: ThroughputSeries,
     interval: f64,
     obs: Obs,
+    audit: Audit,
 }
 
 impl RunAccounting {
     /// Accounting sampling throughput every `interval` seconds,
     /// reporting through `obs`.
     pub fn new(interval: f64, obs: Obs) -> Self {
+        Self::with_audit(interval, obs, Audit::disabled())
+    }
+
+    /// [`RunAccounting::new`] plus an audit handle: the kernel wires it
+    /// into the driver and control plane so flow spans and SLA
+    /// attributions accumulate alongside the stock statistics.
+    pub fn with_audit(interval: f64, obs: Obs, audit: Audit) -> Self {
         RunAccounting {
             fct: FctStats::new(),
             thpt: ThroughputSeries::new(interval),
             interval,
             obs,
+            audit,
         }
     }
 }
@@ -269,6 +285,10 @@ impl RunAccounting {
 impl Accounting for RunAccounting {
     fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    fn audit(&self) -> &Audit {
+        &self.audit
     }
 
     fn on_tick(&mut self, now: f64, delivered_bytes: f64, active: usize) {

@@ -11,18 +11,22 @@
 
 use std::collections::BTreeMap;
 
+use scda_audit::{
+    Attribution, AuditClass, ViolationRecord, MITIGATION_ADD_BANDWIDTH, MITIGATION_ESCALATE,
+    MITIGATION_REASSIGN,
+};
 use scda_core::{
     ContentClass, ControlTree, Direction, EnergyBook, LinkAllocator, LinkSample, Mitigation,
     OpenFlowSjf, Params, PriorityPolicy, ProtocolCosts, RateCaps, ResourceBook, Selector,
     SlaMonitor, SnapshotStream, Telemetry,
 };
-use scda_obs::{Candidate, TraceEvent, MAX_CANDIDATES};
+use scda_obs::{metric, Candidate, TraceEvent, MAX_CANDIDATES};
 use scda_simnet::builders::ThreeTierTree;
 use scda_simnet::{FlowId, LinkId, NodeId};
 use scda_transport::{AnyTransport, CompletedFlow, FlowDriver, ScdaWindow, Transport};
 use scda_workloads::{FlowDirection, FlowSpec};
 
-use super::kernel::PendingStart;
+use super::kernel::{audit_class_of, PendingStart};
 use super::policy::{
     Admission, ControlPolicy, Placement, PlacementCtx, SpawnSpec, TransportPolicy,
 };
@@ -73,6 +77,9 @@ struct FlowCtl {
     /// external flows, the *sender* for internal replication).
     server: NodeId,
     kind: CtlKind,
+    /// Audit traffic class (only meaningful when the run carries an
+    /// enabled audit handle; internal flows are always `Internal`).
+    class: AuditClass,
 }
 
 /// Per-flow weight under the configured priority policy. The OpenFlow
@@ -126,6 +133,12 @@ pub struct ScdaControl {
     outstanding_agg: Vec<u32>,
     outstanding_total: u32,
     flow_ctl: BTreeMap<FlowId, FlowCtl>,
+    /// Audit class of admitted-but-not-yet-opened flows (populated only
+    /// when auditing; drained into [`FlowCtl`] at open time).
+    pending_class: BTreeMap<FlowId, AuditClass>,
+    /// Recent dormant-server wakeups `(time, server)`, kept within the
+    /// wake-latency + τ window for violation attribution (§VII-C).
+    recent_wakes: Vec<(f64, NodeId)>,
     /// Scratch buffer for per-arrival selection metrics (reused to keep
     /// the hot path allocation-free at the 16k-server scale).
     metrics_buf: Vec<scda_core::ServerMetrics>,
@@ -211,6 +224,8 @@ impl ScdaControl {
             outstanding_agg: vec![0u32; n_aggs],
             outstanding_total: 0,
             flow_ctl: BTreeMap::new(),
+            pending_class: BTreeMap::new(),
+            recent_wakes: Vec::new(),
             metrics_buf: Vec::new(),
             resources,
             boosted: BTreeMap::new(),
@@ -350,7 +365,14 @@ impl ControlPolicy for ScdaControl {
                     .expect("energy enabled")
                     .model
                     .wake_latency;
+                self.opts.audit.wakeup(now, server.0, wake_delay);
+                if self.opts.audit.is_enabled() {
+                    self.recent_wakes.push((now, server));
+                }
             }
+        }
+        if self.opts.audit.is_enabled() {
+            self.pending_class.insert(id, audit_class_of(f.kind));
         }
 
         let (src, dst, setup, tree_dir) = match f.direction {
@@ -426,6 +448,13 @@ impl ControlPolicy for ScdaControl {
                         client_idx: p.client_idx,
                     }
                 },
+                class: if p.internal {
+                    AuditClass::Internal
+                } else {
+                    self.pending_class
+                        .remove(&p.id)
+                        .unwrap_or(AuditClass::Internal)
+                },
             },
         );
     }
@@ -454,6 +483,78 @@ impl ControlPolicy for ScdaControl {
                 self.client_alloc[ci].1.update(&sd, &self.params);
             }
         }
+        // Attribute each violation *before* the mitigation ladder runs,
+        // so the recorded bottleneck and traffic mix are the ones the
+        // monitor saw at detection time: walk the control tree's max-min
+        // bottleneck for the violated server/direction, count the active
+        // flows crossing the saturated link per class, and flag any
+        // dormant-server wakeup still in flight under the affected set.
+        if self.opts.audit.is_enabled() && !round_violations.is_empty() {
+            let wake_window = self
+                .opts
+                .energy
+                .as_ref()
+                .map(|e| e.model.wake_latency)
+                .unwrap_or(0.0)
+                + self.tau;
+            self.recent_wakes.retain(|&(t, _)| now - t <= wake_window);
+            for v in &round_violations {
+                let mut affected: Vec<u64> = Vec::new();
+                let mut endpoints: Vec<NodeId> = Vec::new();
+                let mut counts: BTreeMap<AuditClass, u32> = BTreeMap::new();
+                for (fid, src, dst) in driver.active_flows() {
+                    if driver.net().flow(fid).path.contains(&v.site.link) {
+                        affected.push(fid.0);
+                        endpoints.push(src);
+                        endpoints.push(dst);
+                        let class = self
+                            .flow_ctl
+                            .get(&fid)
+                            .map(|c| c.class)
+                            .unwrap_or(AuditClass::Internal);
+                        *counts.entry(class).or_insert(0) += 1;
+                    }
+                }
+                let dominant_class = counts
+                    .iter()
+                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                    .map(|(&c, _)| c)
+                    .unwrap_or(AuditClass::Internal);
+                let server = if v.site.level == 0 {
+                    self.ct.server_of(v.site.node)
+                } else {
+                    self.ct
+                        .best_server_at(v.site.node, v.site.direction)
+                        .map(|(s, _)| s)
+                };
+                let (b_level, b_link) = server
+                    .and_then(|s| self.ct.bottleneck_of(s, v.site.direction))
+                    .unwrap_or((v.site.level, v.site.link));
+                let dormant_wake = self
+                    .recent_wakes
+                    .iter()
+                    .any(|&(_, s)| endpoints.contains(&s));
+                self.opts.audit.violation(
+                    ViolationRecord {
+                        time: v.time,
+                        link: v.site.link.0,
+                        level: v.site.level,
+                        down: matches!(v.site.direction, Direction::Down),
+                        demand: v.demand,
+                        capacity_term: v.capacity_term,
+                        attribution: Attribution {
+                            bottleneck_link: b_link.0,
+                            bottleneck_level: b_level,
+                            dominant_class,
+                            affected_flows: affected.len() as u32,
+                            dormant_wake,
+                        },
+                    },
+                    &affected,
+                );
+            }
+        }
+
         // SLA mitigation ladder (§IV-A): grant reserve bandwidth on
         // violated links, bounded by the reserve factor; the monitor
         // escalates repeat offenders (reassignment happens naturally —
@@ -471,14 +572,32 @@ impl ControlPolicy for ScdaControl {
                             driver.net_mut().set_link_capacity(link, new);
                             self.ct.set_link_capacity(link, new / 8.0);
                             self.mitigations_applied += 1;
+                            self.opts
+                                .audit
+                                .mitigation(now, link.0, MITIGATION_ADD_BANDWIDTH);
                         }
                     }
-                    Mitigation::ReassignServer | Mitigation::Escalate => {
-                        // Selection pressure does the reassignment; an
-                        // operator would add capacity on Escalate.
+                    Mitigation::ReassignServer => {
+                        // Selection pressure does the reassignment.
+                        self.opts
+                            .audit
+                            .mitigation(now, v.site.link.0, MITIGATION_REASSIGN);
+                    }
+                    Mitigation::Escalate => {
+                        // An operator would add capacity here.
+                        self.opts
+                            .audit
+                            .mitigation(now, v.site.link.0, MITIGATION_ESCALATE);
                     }
                 }
             }
+        }
+
+        // Close audit episodes for links that left the violated set (the
+        // violation cleared without an explicit mitigation action).
+        if self.opts.audit.is_enabled() {
+            let violated: Vec<u32> = round_violations.iter().map(|v| v.site.link.0).collect();
+            self.opts.audit.round_end(now, &violated);
         }
 
         // Energy accounting + dormancy management (§VII-C/D).
@@ -562,12 +681,13 @@ impl ControlPolicy for ScdaControl {
                     flow: id.0,
                     rate,
                 });
+                opts.audit.rate_update(id.0);
             }
             true
         });
         self.opts
             .obs
-            .gauge_set("flows.active", driver.active_count() as f64);
+            .gauge_set(metric::FLOWS_ACTIVE, driver.active_count() as f64);
         if let Some(stream) = self.snap_stream.as_mut() {
             let ct = &self.ct;
             stream.offer_with(|| ct.snapshot(now));

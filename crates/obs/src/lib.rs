@@ -46,6 +46,38 @@ pub mod phase {
     pub const ENGINE_DRAIN: &str = "engine.drain";
 }
 
+/// Canonical registry metric names. Every `counter_add` / `gauge_set` /
+/// `observe` call in the workspace keys on one of these constants (the
+/// `metric-name-canonical` scda-analyze lint enforces it), so audit span
+/// names, dashboards and the perf harness can never drift from the
+/// instrumentation.
+pub mod metric {
+    /// Counter: flows handed to the transport driver.
+    pub const FLOW_STARTED: &str = "flow.started";
+    /// Counter: flows that completed delivery.
+    pub const FLOW_COMPLETED: &str = "flow.completed";
+    /// Counter: flows still unfinished at the simulation horizon.
+    pub const FLOW_TIMED_OUT: &str = "flow.timed_out";
+    /// Histogram: flow completion time, seconds.
+    pub const FLOW_FCT_S: &str = "flow.fct_s";
+    /// Gauge: flows currently active in the data plane.
+    pub const FLOWS_ACTIVE: &str = "flows.active";
+    /// Counter: events dispatched by the simulation engine.
+    pub const ENGINE_EVENTS: &str = "engine.events";
+    /// Counter: control rounds executed.
+    pub const CTRL_ROUNDS: &str = "ctrl.rounds";
+    /// Counter: SLA violations detected by the control tree.
+    pub const CTRL_VIOLATIONS: &str = "ctrl.violations";
+    /// Counter: (node, direction) allocations changed per round.
+    pub const CTRL_CHANGED_DIRS: &str = "ctrl.changed_dirs";
+    /// Histogram: control-round duration, microseconds.
+    pub const CTRL_ROUND_DURATION_US: &str = "ctrl.round_duration_us";
+    /// Histogram: per-link queue backlog at round time, bytes.
+    pub const LINK_QUEUE_BYTES: &str = "link.queue_bytes";
+    /// Histogram: per-link utilization at round time (0-1).
+    pub const LINK_UTILIZATION: &str = "link.utilization";
+}
+
 pub use metrics::{Histogram, Metric, Registry};
 pub use profile::{PhaseStat, ProfileReport, Profiler};
 pub use trace::{Candidate, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY, MAX_CANDIDATES};

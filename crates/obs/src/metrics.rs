@@ -285,6 +285,58 @@ impl Registry {
         }
         out
     }
+
+    /// The registry as one JSON object, `name -> metric`, for `--metrics-out`
+    /// style exports. Counters render as integers, gauges as numbers (null
+    /// when non-finite), histograms as `{count, sum, min, max, mean, p50,
+    /// p99}` summaries plus their sparse buckets.
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".into()
+            }
+        }
+        let mut out = String::from("{");
+        for (i, (name, m)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":");
+            match m {
+                Metric::Counter(c) => {
+                    let _ = write!(out, "{{\"kind\":\"counter\",\"value\":{c}}}");
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(out, "{{\"kind\":\"gauge\",\"value\":{}}}", num(*g));
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\
+                         \"max\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"buckets\":{{",
+                        h.count(),
+                        num(h.sum()),
+                        num(h.min()),
+                        num(h.max()),
+                        num(h.mean().unwrap_or(0.0)),
+                        num(h.quantile(0.5).unwrap_or(0.0)),
+                        num(h.quantile(0.99).unwrap_or(0.0)),
+                    );
+                    for (j, (&idx, &n)) in h.buckets().iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "\"{idx}\":{n}");
+                    }
+                    out.push_str("}}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
 }
 
 #[cfg(test)]
@@ -379,5 +431,18 @@ mod tests {
         let t = r.to_table();
         assert!(t.contains("flows.started"));
         assert!(t.contains("flow.fct_s"));
+    }
+
+    #[test]
+    fn json_export_covers_all_kinds() {
+        let mut r = Registry::new();
+        r.counter_add("c", 7);
+        r.gauge_set("g", f64::INFINITY);
+        r.observe("h", 2.0);
+        let j = r.to_json();
+        assert!(j.contains("\"c\":{\"kind\":\"counter\",\"value\":7}"));
+        assert!(j.contains("\"g\":{\"kind\":\"gauge\",\"value\":null}"));
+        assert!(j.contains("\"kind\":\"histogram\",\"count\":1"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
     }
 }

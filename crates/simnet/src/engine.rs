@@ -66,6 +66,25 @@ pub fn run_until_observed<S: Simulation>(
     run_until_observing(sim, sched, deadline, obs)
 }
 
+/// [`run_until_observed`] that additionally audits the drain: one
+/// [`scda_audit::Audit::engine_batch`] record per call when `audit` is
+/// enabled. With both handles disabled this is exactly the plain drain.
+#[inline]
+pub fn run_until_audited<S: Simulation>(
+    sim: &mut S,
+    sched: &mut Scheduler<S::Event>,
+    deadline: SimTime,
+    obs: &scda_obs::Obs,
+    audit: &scda_audit::Audit,
+) -> u64 {
+    if !audit.is_enabled() {
+        return run_until_observed(sim, sched, deadline, obs);
+    }
+    let processed = run_until_observed(sim, sched, deadline, obs);
+    audit.engine_batch(processed);
+    processed
+}
+
 #[cold]
 fn run_until_observing<S: Simulation>(
     sim: &mut S,
@@ -77,7 +96,7 @@ fn run_until_observing<S: Simulation>(
     let t0 = std::time::Instant::now();
     let processed = run_until(sim, sched, deadline);
     obs.phase_add(scda_obs::phase::ENGINE_DRAIN, t0.elapsed());
-    obs.counter_add("engine.events", processed);
+    obs.counter_add(scda_obs::metric::ENGINE_EVENTS, processed);
     obs.emit(scda_obs::TraceEvent::EngineBatch {
         now: deadline,
         events: processed,
@@ -158,6 +177,20 @@ mod tests {
             Some(1),
             "one batched event per drain"
         );
+    }
+
+    #[test]
+    fn audited_run_records_one_batch() {
+        let obs = scda_obs::Obs::disabled();
+        let audit = scda_audit::Audit::enabled();
+        let mut sim = Countdown { seen: vec![] };
+        let mut sched = Scheduler::new();
+        sched.at(0.0, Ev::Tick(3));
+        let n = run_until_audited(&mut sim, &mut sched, f64::INFINITY, &obs, &audit);
+        assert_eq!(n, 4);
+        let r = audit.report().unwrap();
+        assert_eq!(r.engine_batches, 1);
+        assert_eq!(r.engine_events, 4);
     }
 
     #[test]

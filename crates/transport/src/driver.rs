@@ -7,7 +7,8 @@
 
 use std::collections::BTreeMap;
 
-use scda_obs::{Obs, TraceEvent};
+use scda_audit::Audit;
+use scda_obs::{metric, Obs, TraceEvent};
 use scda_simnet::{FlowId, Network, NodeId};
 
 use crate::flow::FlowProgress;
@@ -63,6 +64,8 @@ pub struct FlowDriver {
     offered: Vec<(FlowId, f64)>,
     /// Observability sink (disabled by default: every emit is one branch).
     obs: Obs,
+    /// Flow-lifecycle audit sink (disabled by default, like `obs`).
+    audit: Audit,
 }
 
 impl FlowDriver {
@@ -73,6 +76,7 @@ impl FlowDriver {
             active: BTreeMap::new(),
             offered: Vec::new(),
             obs: Obs::disabled(),
+            audit: Audit::disabled(),
         }
     }
 
@@ -80,6 +84,12 @@ impl FlowDriver {
     /// traced and FCTs land in the `flow.fct_s` histogram.
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
+    }
+
+    /// Attach an audit handle: flow spans record their data-plane open
+    /// and completion times as the driver sees them.
+    pub fn set_audit(&mut self, audit: Audit) {
+        self.audit = audit;
     }
 
     /// The underlying network (queue state, RTTs, topology).
@@ -133,7 +143,8 @@ impl FlowDriver {
             dst: dst.0,
             size_bytes,
         });
-        self.obs.counter_add("flow.started", 1);
+        self.obs.counter_add(metric::FLOW_STARTED, 1);
+        self.audit.opened(now, id.0);
     }
 
     /// Begin driving a transfer of `size_bytes` bytes starting at `now`
@@ -169,6 +180,7 @@ impl FlowDriver {
             },
         );
         assert!(prev.is_none(), "flow id {id} already driven");
+        self.audit.opened(now, id.0);
     }
 
     /// Abort an in-flight transfer (SLA mitigation may migrate a flow to a
@@ -281,10 +293,15 @@ impl FlowDriver {
                     size_bytes: c.size_bytes,
                     fct: c.fct(),
                 });
-                self.obs.observe("flow.fct_s", c.fct());
+                self.obs.observe(metric::FLOW_FCT_S, c.fct());
             }
             self.obs
-                .counter_add("flow.completed", summary.completed.len() as u64);
+                .counter_add(metric::FLOW_COMPLETED, summary.completed.len() as u64);
+        }
+        if self.audit.is_enabled() {
+            for c in &summary.completed {
+                self.audit.completed(c.finish, c.id.0, c.fct());
+            }
         }
         summary
     }

@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! ablations [--scale quick|paper] [--seed S] [--trace PATH] [--profile]
+//!           [--audit PATH] [--metrics-out PATH]
 //! ```
 //!
-//! `--trace PATH` / `--profile` run one instrumented SCDA pass on the
-//! datacenter scenario before the studies: the trace goes to PATH as
-//! JSONL, the per-phase timing table to stdout.
+//! `--trace PATH` / `--profile` / `--audit PATH` / `--metrics-out PATH`
+//! run one instrumented SCDA pass on the datacenter scenario before the
+//! studies: the trace goes to PATH as JSONL, the per-phase timing table
+//! to stdout, the SLA audit log (flow spans, attributed violations,
+//! time-to-mitigation) to its own JSONL, and the final metrics registry
+//! to JSON.
 
+use scda_audit::Audit;
 use scda_experiments::ablations::{
     energy_study, metric_comparison, nns_scaling_study, overhead_study, priority_study,
     selection_transport_grid, table, tau_sweep,
@@ -18,7 +23,9 @@ use scda_experiments::{
 use scda_obs::Obs;
 
 fn usage() -> ! {
-    eprintln!("usage: ablations [--scale quick|paper] [--seed S] [--trace PATH] [--profile]");
+    eprintln!(
+        "usage: ablations [--scale quick|paper] [--seed S] [--trace PATH] [--profile] [--audit PATH] [--metrics-out PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -28,6 +35,8 @@ fn main() {
     let mut seed = 1u64;
     let mut trace: Option<String> = None;
     let mut profile = false;
+    let mut audit_path: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -48,6 +57,14 @@ fn main() {
                 trace = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--profile" => profile = true,
+            "--audit" => {
+                i += 1;
+                audit_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
@@ -55,7 +72,7 @@ fn main() {
 
     // One instrumented representative pass before the (uninstrumented)
     // studies: the datacenter K=3 scenario under default SCDA options.
-    if trace.is_some() || profile {
+    if trace.is_some() || profile || audit_path.is_some() || metrics_out.is_some() {
         if let Some(path) = &trace {
             // Fail before the run, not after: the trace is written at the end.
             if let Err(e) = std::fs::write(path, "") {
@@ -63,9 +80,24 @@ fn main() {
                 std::process::exit(2);
             }
         }
+        for (flag, path) in [("audit", &audit_path), ("metrics", &metrics_out)] {
+            if let Some(path) = path {
+                // Same discipline as --trace: both files are written at the end.
+                if let Err(e) = std::fs::write(path, "") {
+                    eprintln!("error: cannot write {flag} file {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         let obs = Obs::enabled();
+        let audit = if audit_path.is_some() {
+            Audit::enabled()
+        } else {
+            Audit::disabled()
+        };
         let opts = ScdaOptions {
             obs: obs.clone(),
+            audit: audit.clone(),
             snapshot_every: Some(5),
             ..Default::default()
         };
@@ -91,6 +123,21 @@ fn main() {
                 println!("== metrics registry (instrumented pass) ==");
                 println!("{}", reg.to_table());
             }
+        }
+        if let Some(path) = &audit_path {
+            audit
+                .write_jsonl(std::path::Path::new(path))
+                .expect("write audit JSONL");
+            if let Some(report) = audit.report() {
+                println!("== SLA audit report (instrumented pass) ==");
+                println!("{}", report.to_table());
+            }
+            eprintln!("#   wrote SLA audit log to {path}");
+        }
+        if let Some(path) = &metrics_out {
+            let reg = obs.metrics_snapshot().expect("metrics handle is enabled");
+            std::fs::write(path, reg.to_json()).expect("write metrics JSON");
+            eprintln!("#   wrote metrics registry to {path}");
         }
     }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! figures [--fig N]... [--all] [--scale quick|paper] [--seed S] [--out DIR]
-//!         [--trace PATH] [--profile]
+//!         [--trace PATH] [--profile] [--audit PATH] [--metrics-out PATH]
 //! ```
 //!
 //! Prints each figure as a text table (x, RandTCP, SCDA) plus the headline
@@ -10,16 +10,20 @@
 //! for archiving. `--trace PATH` records every SCDA run's control-round,
 //! flow-lifecycle, server-selection and SLA-violation events to a JSONL
 //! file; `--profile` prints the per-phase wall-clock table and the merged
-//! metrics registry after the runs.
+//! metrics registry after the runs; `--audit PATH` writes the SLA audit
+//! log (flow spans, attributed violations, time-to-mitigation episodes)
+//! as JSONL and prints its summary table; `--metrics-out PATH` dumps the
+//! final merged metrics registry as JSON.
 
 use std::collections::BTreeMap;
 
+use scda_audit::Audit;
 use scda_experiments::{aggregate, build_figure, run_seeds, Group, Scale, ScdaOptions};
 use scda_obs::Obs;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [--fig N]... [--all] [--scale quick|paper|full|full100] [--seed S] [--seeds N] [--out DIR] [--trace PATH] [--profile]"
+        "usage: figures [--fig N]... [--all] [--scale quick|paper|full|full100] [--seed S] [--seeds N] [--out DIR] [--trace PATH] [--profile] [--audit PATH] [--metrics-out PATH]"
     );
     std::process::exit(2);
 }
@@ -32,6 +36,8 @@ fn main() {
     let mut out: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut profile = false;
+    let mut audit_path: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -79,6 +85,14 @@ fn main() {
                 trace = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--profile" => profile = true,
+            "--audit" => {
+                i += 1;
+                audit_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
@@ -105,13 +119,20 @@ fn main() {
 
     // One handle across every group: the trace ring is bounded, and the
     // metrics registry merges the runs.
-    let obs = if trace.is_some() || profile {
+    let obs = if trace.is_some() || profile || metrics_out.is_some() {
         Obs::enabled()
     } else {
         Obs::disabled()
     };
+    // One audit handle likewise: spans and episodes merge across groups.
+    let audit = if audit_path.is_some() {
+        Audit::enabled()
+    } else {
+        Audit::disabled()
+    };
     let run_opts = ScdaOptions {
         obs: obs.clone(),
+        audit: audit.clone(),
         snapshot_every: trace.as_ref().map(|_| 5),
         ..Default::default()
     };
@@ -123,6 +144,15 @@ fn main() {
         }
         // The snapshot series is appended per group; start clean.
         let _ = std::fs::remove_file(format!("{path}.snapshots.jsonl"));
+    }
+    for (flag, path) in [("audit", &audit_path), ("metrics", &metrics_out)] {
+        if let Some(path) = path {
+            // Same discipline as --trace: both files are written at exit.
+            if let Err(e) = std::fs::write(path, "") {
+                eprintln!("error: cannot write {flag} file {path}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     for (lead, figures) in by_group {
@@ -226,5 +256,20 @@ fn main() {
             println!("== metrics registry (merged across runs) ==");
             println!("{}", reg.to_table());
         }
+    }
+    if let Some(path) = &audit_path {
+        audit
+            .write_jsonl(std::path::Path::new(path))
+            .expect("write audit JSONL");
+        if let Some(report) = audit.report() {
+            println!("== SLA audit report (merged across runs) ==");
+            println!("{}", report.to_table());
+        }
+        eprintln!("# wrote SLA audit log to {path}");
+    }
+    if let Some(path) = &metrics_out {
+        let reg = obs.metrics_snapshot().expect("metrics handle is enabled");
+        std::fs::write(path, reg.to_json()).expect("write metrics JSON");
+        eprintln!("# wrote metrics registry to {path}");
     }
 }

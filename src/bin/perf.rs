@@ -1,0 +1,477 @@
+//! scda-perf: canonical performance scenarios under the per-phase
+//! profiler, with a machine-checkable regression gate.
+//!
+//! ```text
+//! perf [--full] [--seed S] [--out PATH] [--check BASELINE] [--threshold PCT]
+//! ```
+//!
+//! Runs the repo's canonical cost scenarios and writes one schema'd
+//! `BENCH_<n>.json` (schema `scda-bench-v1`):
+//!
+//! * `control_round_quick` — the τ-periodic RM/RA round (telemetry
+//!   sweep, eq. 2 updates, bottom-up aggregation, server-metric
+//!   refresh) on the unit-test topology, mirroring
+//!   `benches/control_round.rs`;
+//! * `control_round_paper` (`--full` only) — the same round at the
+//!   paper's figure-6 deployment scale (163 racks × 10 servers);
+//! * `engine_drain_10k` — scheduler drain of 10 000 self-rescheduling
+//!   timer events through `run_until_audited`, mirroring
+//!   `benches/engine.rs`;
+//! * `fig7_e2e_quick` — the figure-7 video-trace SCDA run end-to-end
+//!   with observability, audit, and mitigation enabled, reporting
+//!   per-phase microseconds, rounds/s, peak active flows, and the SLA
+//!   violation / mitigation counters.
+//!
+//! `--check BASELINE` re-runs the quick scenarios and compares against a
+//! committed baseline: behaviour fields (counts the deterministic
+//! simulation pins exactly) must match bit-for-bit; timing fields may
+//! regress by at most `--threshold` percent (default 400, sized for
+//! noisy shared CI runners). Exit status 1 on any regression — this is
+//! the `make perf-check` CI gate.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use serde::Value;
+
+use scda_audit::Audit;
+use scda_core::rate_metric::LinkSample;
+use scda_core::tree::{RateCaps, Telemetry};
+use scda_core::{ControlTree, MetricKind, Params, SlaPolicy};
+use scda_experiments::{run_scda, Scale, ScdaOptions, Scenario};
+use scda_obs::{phase, Obs};
+use scda_simnet::builders::ThreeTierConfig;
+use scda_simnet::units::SimTime;
+use scda_simnet::{run_until_audited, LinkId, NodeId, Scheduler, Simulation};
+
+fn usage() -> ! {
+    eprintln!("usage: perf [--full] [--seed S] [--out PATH] [--check BASELINE] [--threshold PCT]");
+    std::process::exit(2);
+}
+
+/// Deterministic moderate load (same shape as `benches/control_round.rs`):
+/// some links queueing, some idle, so the round exercises both the
+/// congested and headroom branches of eq. 2.
+struct MixedLoad;
+
+impl Telemetry for MixedLoad {
+    fn sample(&mut self, l: LinkId) -> LinkSample {
+        LinkSample {
+            queue_bytes: (l.0 % 11) as f64 * 2e4,
+            flow_rate_sum: (l.0 % 17) as f64 * 2e6,
+            arrival_rate: (l.0 % 17) as f64 * 2e6,
+        }
+    }
+    fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
+        RateCaps::default()
+    }
+}
+
+fn scale_config(label: &str) -> ThreeTierConfig {
+    match label {
+        // The unit-test scale (Scenario Quick): 40 servers.
+        "quick" => ThreeTierConfig {
+            racks: 8,
+            servers_per_rack: 5,
+            racks_per_agg: 4,
+            clients: 8,
+            ..Default::default()
+        },
+        // The paper's figure-6 deployment: 163 racks × 10 = 1630 servers.
+        "paper-163x10" => ThreeTierConfig {
+            racks: 163,
+            servers_per_rack: 10,
+            racks_per_agg: 28,
+            clients: 64,
+            ..Default::default()
+        },
+        other => unreachable!("unknown scale {other}"),
+    }
+}
+
+/// One measured scenario: deterministic behaviour counters compared
+/// exactly by `--check`, wall-clock fields held to the threshold.
+struct ScenarioResult {
+    name: &'static str,
+    /// `(key, value)` — exact-match integers.
+    behavior: Vec<(&'static str, u64)>,
+    /// Total wall-clock seconds (gated: lower is better).
+    wall_s: f64,
+    /// `(key, rate)` — throughput fields (gated: higher is better).
+    rates: Vec<(&'static str, f64)>,
+    /// Per-phase microseconds, informational only (not gated).
+    phase_us: BTreeMap<String, f64>,
+}
+
+fn bench_control_round(name: &'static str, label: &str, iters: u64) -> ScenarioResult {
+    let tree = scale_config(label).build();
+    let params = Params::default();
+    let mut ct = ControlTree::from_three_tier(&tree, params.clone(), MetricKind::Full);
+    let mut metrics = Vec::new();
+    let mut now = 0.0;
+    let mut violations_total = 0u64;
+    // Warm one round so lazy allocations don't bill the first sample.
+    now += params.tau;
+    ct.control_round(now, &mut MixedLoad);
+    let obs = Obs::enabled();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        now += params.tau;
+        violations_total += obs.time_phase(phase::CONTROL, || {
+            let v = ct.control_round(now, &mut MixedLoad).len() as u64;
+            ct.server_metrics_into(&mut metrics);
+            v
+        });
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    ScenarioResult {
+        name,
+        behavior: vec![
+            ("iters", iters),
+            ("servers", metrics.len() as u64),
+            ("violations_total", violations_total),
+        ],
+        wall_s,
+        rates: vec![("rounds_per_s", iters as f64 / wall_s.max(1e-12))],
+        phase_us: phase_us_of(&obs),
+    }
+}
+
+/// Per-phase total microseconds from an enabled handle's profiler.
+fn phase_us_of(obs: &Obs) -> BTreeMap<String, f64> {
+    let mut phase_us = BTreeMap::new();
+    if let Some(report) = obs.profile_report() {
+        for (name, s) in &report.phases {
+            phase_us.insert(name.clone(), 1e6 * s.total_s);
+        }
+    }
+    phase_us
+}
+
+/// A self-rescheduling ticker (same shape as `benches/engine.rs`): every
+/// event schedules the next with a small computed delay, so the drain
+/// loop and scheduler dominate.
+struct Ticker {
+    acc: u64,
+}
+enum Tick {
+    At(u64),
+}
+impl Simulation for Ticker {
+    type Event = Tick;
+    fn handle(&mut self, now: SimTime, ev: Tick, sched: &mut Scheduler<Tick>) {
+        let Tick::At(n) = ev;
+        self.acc = self.acc.wrapping_add(n);
+        let jitter = (n % 7) as f64 * 1e-6;
+        sched.at(now + 1e-4 + jitter, Tick::At(n + 1));
+    }
+}
+
+fn bench_engine_drain(reps: u64) -> ScenarioResult {
+    let obs = Obs::enabled();
+    let audit = Audit::enabled();
+    let mut events = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let mut sim = Ticker { acc: 0 };
+        let mut sched = Scheduler::new();
+        sched.at(0.0, Tick::At(0));
+        events += run_until_audited(&mut sim, &mut sched, 10_000.0 * 1e-4, &obs, &audit);
+        std::hint::black_box(sim.acc);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    ScenarioResult {
+        name: "engine_drain_10k",
+        behavior: vec![("reps", reps), ("events", events)],
+        wall_s,
+        rates: vec![("events_per_s", events as f64 / wall_s.max(1e-12))],
+        phase_us: phase_us_of(&obs),
+    }
+}
+
+fn bench_fig7_e2e(seed: u64) -> ScenarioResult {
+    let obs = Obs::enabled();
+    let audit = Audit::enabled();
+    let opts = ScdaOptions {
+        obs: obs.clone(),
+        audit: audit.clone(),
+        mitigation: Some(SlaPolicy::default()),
+        ..Default::default()
+    };
+    let sc = Scenario::video(Scale::Quick, true, seed);
+    let t0 = Instant::now();
+    let r = run_scda(&sc, &opts);
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let peak_active = r
+        .throughput
+        .points()
+        .iter()
+        .map(|p| p.active_flows)
+        .fold(0.0f64, f64::max)
+        .round() as u64;
+    let report = audit.report().expect("audit handle is enabled");
+    let mut phase_us = BTreeMap::new();
+    if let Some(profile) = &r.profile {
+        for (name, s) in &profile.phases {
+            phase_us.insert(name.clone(), 1e6 * s.total_s);
+        }
+    }
+    ScenarioResult {
+        name: "fig7_e2e_quick",
+        behavior: vec![
+            ("requested", r.requested as u64),
+            ("completed", r.completed as u64),
+            ("sla_violations", r.sla_violations as u64),
+            ("control_rounds", r.control_rounds as u64),
+            ("mitigations_applied", r.mitigations_applied as u64),
+            ("peak_active_flows", peak_active),
+            ("audit_violations", report.violations),
+            ("audit_ttm_count", report.time_to_mitigation_s.count()),
+            ("audit_wakeups", report.wakeups),
+        ],
+        wall_s,
+        rates: vec![("rounds_per_s", r.control_rounds as f64 / wall_s.max(1e-12))],
+        phase_us,
+    }
+}
+
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        let mut s = format!("{x:.6}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        if s.ends_with('.') {
+            s.push('0');
+        }
+        s
+    } else {
+        "null".into()
+    }
+}
+
+fn to_json(mode: &str, seed: u64, results: &[ScenarioResult]) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\n  \"schema\": \"scda-bench-v1\",\n  \"mode\": \"{mode}\",\n  \"seed\": {seed},\n  \"scenarios\": {{"
+    );
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\n    \"{}\": {{", r.name);
+        for (k, v) in &r.behavior {
+            let _ = write!(s, "\"{k}\": {v}, ");
+        }
+        let _ = write!(s, "\"wall_s\": {}", jnum(r.wall_s));
+        for (k, v) in &r.rates {
+            let _ = write!(s, ", \"{k}\": {}", jnum(*v));
+        }
+        let _ = write!(s, ", \"phase_us\": {{");
+        for (j, (k, v)) in r.phase_us.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{k}\": {}", jnum(*v));
+        }
+        s.push_str("}}");
+    }
+    s.push_str("\n  }\n}\n");
+    s
+}
+
+/// Behaviour keys: deterministic counts the simulation pins; any drift
+/// is a real behaviour change, not noise, so `--check` compares exactly.
+const BEHAVIOR_KEYS: &[&str] = &[
+    "iters",
+    "servers",
+    "violations_total",
+    "reps",
+    "events",
+    "requested",
+    "completed",
+    "sla_violations",
+    "control_rounds",
+    "mitigations_applied",
+    "peak_active_flows",
+    "audit_violations",
+    "audit_ttm_count",
+    "audit_wakeups",
+];
+
+/// Compare `fresh` against a parsed baseline. Returns regression lines.
+fn check_against(baseline: &Value, fresh: &[ScenarioResult], threshold_pct: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    let factor = 1.0 + threshold_pct / 100.0;
+    let Some(base_scenarios) = baseline.get("scenarios") else {
+        return vec!["baseline has no \"scenarios\" object (schema scda-bench-v1)".into()];
+    };
+    for r in fresh {
+        let Some(base) = base_scenarios.get(r.name) else {
+            // Baseline predates this scenario: informational, not fatal.
+            continue;
+        };
+        for (k, v) in &r.behavior {
+            if !BEHAVIOR_KEYS.contains(k) {
+                continue;
+            }
+            if let Some(b) = base.get(k).and_then(|x| x.as_u64()) {
+                if b != *v {
+                    failures.push(format!(
+                        "{}: behaviour field {k} changed: baseline {b}, now {v}",
+                        r.name
+                    ));
+                }
+            }
+        }
+        if let Some(b) = base.get("wall_s").and_then(|x| x.as_f64()) {
+            if r.wall_s > b * factor {
+                failures.push(format!(
+                    "{}: wall_s regressed: baseline {:.4}s, now {:.4}s (> {:.0}% threshold)",
+                    r.name, b, r.wall_s, threshold_pct
+                ));
+            }
+        }
+        for (k, v) in &r.rates {
+            if let Some(b) = base.get(k).and_then(|x| x.as_f64()) {
+                if *v < b / factor {
+                    failures.push(format!(
+                        "{}: {k} regressed: baseline {:.0}/s, now {:.0}/s (> {:.0}% threshold)",
+                        r.name, b, v, threshold_pct
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Smallest free `BENCH_<n>.json` in the working directory.
+fn next_bench_path() -> String {
+    for n in 0u32.. {
+        let path = format!("BENCH_{n}.json");
+        if !std::path::Path::new(&path).exists() {
+            return path;
+        }
+    }
+    unreachable!("ran out of BENCH_<n>.json slots")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut full = false;
+    let mut seed = 1u64;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut threshold = 400.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => full = true,
+            "--quick" => full = false,
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--check" => {
+                i += 1;
+                check = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let mode = if full { "full" } else { "quick" };
+    eprintln!("# scda-perf: {mode} scenarios, seed {seed}");
+
+    let mut results = Vec::new();
+    eprintln!("#   control_round_quick ...");
+    results.push(bench_control_round("control_round_quick", "quick", 2000));
+    if full {
+        eprintln!("#   control_round_paper (163x10) ...");
+        results.push(bench_control_round(
+            "control_round_paper",
+            "paper-163x10",
+            200,
+        ));
+    }
+    eprintln!("#   engine_drain_10k ...");
+    results.push(bench_engine_drain(50));
+    eprintln!("#   fig7_e2e_quick ...");
+    results.push(bench_fig7_e2e(seed));
+
+    println!(
+        "{:<22} {:>10} {:>14} {:>30}",
+        "scenario", "wall (s)", "rate", "behaviour"
+    );
+    for r in &results {
+        let rate = r
+            .rates
+            .first()
+            .map(|(k, v)| format!("{v:.0} {k}"))
+            .unwrap_or_default();
+        let behaviour = r
+            .behavior
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "{:<22} {:>10.4} {:>14} {:>30}",
+            r.name, r.wall_s, rate, behaviour
+        );
+    }
+
+    if let Some(baseline_path) = &check {
+        let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline: Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("error: baseline {baseline_path} is not valid JSON: {e}");
+            std::process::exit(2);
+        });
+        let schema_ok = matches!(
+            baseline.get("schema"),
+            Some(Value::Str(s)) if s == "scda-bench-v1"
+        );
+        if !schema_ok {
+            eprintln!("error: baseline {baseline_path} is not schema scda-bench-v1");
+            std::process::exit(2);
+        }
+        let failures = check_against(&baseline, &results, threshold);
+        if failures.is_empty() {
+            println!("perf-check OK against {baseline_path} (timing threshold {threshold:.0}%)");
+        } else {
+            eprintln!("perf-check FAILED against {baseline_path}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+
+    if check.is_none() || out.is_some() {
+        let path = out.unwrap_or_else(next_bench_path);
+        std::fs::write(&path, to_json(mode, seed, &results)).expect("write bench JSON");
+        eprintln!("# wrote {path}");
+    }
+}
