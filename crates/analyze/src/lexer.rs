@@ -22,8 +22,10 @@
 //!   punctuation.
 //!
 //! The lexer also collects `// scda-analyze: allow(<lint>, <reason>)`
-//! suppression annotations ([`Allow`]) as it strips line comments —
-//! suppressions are comments, so no later pass could see them.
+//! suppression annotations ([`Allow`]) and
+//! `// scda-analyze: hot(<phase>)` hot-path markers ([`HotTag`]) as it
+//! strips line comments — both are comments, so no later pass could see
+//! them.
 
 /// One lexed token kind. Contents are owned `String`s; linting a whole
 /// workspace is an ~100-file batch job, not a hot path.
@@ -76,16 +78,31 @@ pub struct Allow {
     pub line: u32,
 }
 
-/// Lexer output: the token stream plus any suppression annotations and
-/// annotations too malformed to parse at all.
+/// One `// scda-analyze: hot(<phase>)` marker tagging the next function
+/// as a per-τ hot path of the named observability phase. The
+/// `no-alloc-in-hot-path` lint scans the body of the tagged function for
+/// heap allocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotTag {
+    /// The canonical phase name (validated against `scda_obs::phase` by
+    /// the lint, not the lexer).
+    pub phase: String,
+    /// 1-based line of the annotation.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus any suppression annotations,
+/// hot-path markers, and annotations too malformed to parse at all.
 #[derive(Debug, Default)]
 pub struct Lexed {
     /// Tokens in source order.
     pub tokens: Vec<Token>,
     /// Well-formed-enough `allow(...)` annotations.
     pub allows: Vec<Allow>,
+    /// `hot(<phase>)` hot-path function markers.
+    pub hot_tags: Vec<HotTag>,
     /// Lines with a `scda-analyze:` marker that did not parse as
-    /// `allow(lint, reason)`.
+    /// `allow(lint, reason)` or `hot(phase)`.
     pub malformed_allows: Vec<u32>,
 }
 
@@ -482,14 +499,28 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    /// Parse `scda-analyze: allow(<lint>, <reason>)` out of a line
-    /// comment, if present.
+    /// Parse `scda-analyze: allow(<lint>, <reason>)` or
+    /// `scda-analyze: hot(<phase>)` out of a line comment, if present.
     fn scan_allow(&mut self, comment: &str, line: u32) {
         let text = comment.trim_start_matches('/').trim();
         let Some(rest) = text.strip_prefix(ALLOW_MARKER) else {
             return;
         };
         let rest = rest.trim();
+        if let Some(r) = rest.strip_prefix("hot(") {
+            let parsed = r
+                .rfind(')')
+                .map(|end| r[..end].trim())
+                .filter(|p| !p.is_empty() && !p.contains(char::is_whitespace) && !p.contains(','));
+            match parsed {
+                Some(phase) => self.out.hot_tags.push(HotTag {
+                    phase: phase.to_string(),
+                    line,
+                }),
+                None => self.out.malformed_allows.push(line),
+            }
+            return;
+        }
         let parsed = rest.strip_prefix("allow(").and_then(|r| {
             let inner = r.rfind(')').map(|end| &r[..end])?;
             let (lint, reason) = match inner.split_once(',') {

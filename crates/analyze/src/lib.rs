@@ -18,6 +18,7 @@
 //! | `phase-name-canonical` | phase-name string literals must match `scda_obs::phase` constants |
 //! | `doc-units` | `pub fn`s taking ≥2 raw `f64`s must document units |
 //! | `no-println-in-crates` | no `println!`/`eprintln!` in library crates — bins and tests exempt |
+//! | `no-alloc-in-hot-path` | no `Vec::new`/`.collect()`/`.to_vec()` in functions tagged `// scda-analyze: hot(<phase>)` |
 //!
 //! Findings are suppressed *only* via an inline
 //! `// scda-analyze: allow(<lint>, <reason>)` annotation on the finding's
@@ -34,7 +35,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::path::Path;
 
-use lexer::{lex, Allow, Lexed, Token};
+use lexer::{lex, Allow, HotTag, Lexed, Token};
 use lints::Lint;
 
 /// A lexed source file plus the path-derived and token-derived context
@@ -46,6 +47,8 @@ pub struct SourceFile {
     pub tokens: Vec<Token>,
     /// Suppression annotations found in comments.
     pub allows: Vec<Allow>,
+    /// `hot(<phase>)` hot-path function markers found in comments.
+    pub hot_tags: Vec<HotTag>,
     /// Lines carrying a `scda-analyze:` marker that failed to parse.
     pub malformed_allows: Vec<u32>,
     /// `true` for files under a `tests/`, `examples/` or `benches/`
@@ -62,6 +65,7 @@ impl SourceFile {
         let Lexed {
             tokens,
             allows,
+            hot_tags,
             malformed_allows,
         } = lex(src);
         let is_test_code = path
@@ -72,6 +76,7 @@ impl SourceFile {
             path,
             tokens,
             allows,
+            hot_tags,
             malformed_allows,
             is_test_code,
             test_regions,
@@ -260,7 +265,8 @@ pub fn run_lints(files: &[SourceFile], lints: &[Box<dyn Lint>]) -> Report {
                 line,
                 lint: ALLOW_HYGIENE,
                 message: "unparsable scda-analyze annotation — expected \
-                          `// scda-analyze: allow(<lint>, <reason>)`"
+                          `// scda-analyze: allow(<lint>, <reason>)` or \
+                          `// scda-analyze: hot(<phase>)`"
                     .to_string(),
             });
         }
@@ -318,7 +324,8 @@ pub fn stock_lints(files: &[SourceFile]) -> Vec<Box<dyn Lint>> {
         Box::new(lints::determinism::Determinism),
         Box::new(lints::float_eq::NoFloatEq),
         Box::new(lints::unwrap_hot::NoUnwrapHotPath),
-        Box::new(lints::phase_names::PhaseNameCanonical::new(phases)),
+        Box::new(lints::phase_names::PhaseNameCanonical::new(phases.clone())),
+        Box::new(lints::no_alloc_hot::NoAllocInHotPath::new(phases)),
         Box::new(lints::doc_units::DocUnits),
         Box::new(lints::no_println::NoPrintlnInCrates),
     ]

@@ -17,6 +17,7 @@
 pub mod determinism;
 pub mod doc_units;
 pub mod float_eq;
+pub mod no_alloc_hot;
 pub mod no_println;
 pub mod phase_names;
 pub mod unwrap_hot;

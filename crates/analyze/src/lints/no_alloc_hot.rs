@@ -1,0 +1,170 @@
+//! `no-alloc-in-hot-path` — heap-allocation hygiene on tagged per-τ
+//! functions.
+//!
+//! The hyperscale refactor (DESIGN.md §10) moved the control round, the
+//! flow-driver tick and the event drain onto reused arena storage; a
+//! `Vec::new()` or `.collect()` quietly reintroduced into one of those
+//! bodies puts an allocation back inside the per-τ loop, and nothing in
+//! the test suite notices — throughput just erodes. This lint makes the
+//! contract explicit: a function annotated
+//!
+//! ```text
+//! // scda-analyze: hot(kernel.control)
+//! pub fn control_round(…) { … }
+//! ```
+//!
+//! may not contain `Vec::new(…)`, `.collect(…)` / `.collect::<…>(…)`,
+//! or `.to_vec()` anywhere in its body. The phase name must be one of
+//! the canonical `scda_obs::phase` constants (the same harvested set the
+//! `phase-name-canonical` lint uses), so tags stay in step with the
+//! profiler's phase vocabulary.
+//!
+//! Deliberate allocations — a round's freshly returned `Vec`, a
+//! cold branch — are suppressed the usual way, with
+//! `// scda-analyze: allow(no-alloc-in-hot-path, <reason>)` on or above
+//! the allocating line.
+
+use super::{finding, is_op, is_punct, Lint};
+use crate::lexer::Tok;
+use crate::{Finding, SourceFile};
+
+/// The `no-alloc-in-hot-path` lint; holds the harvested canonical phase
+/// set (empty when `crates/obs` is not in the batch — phase validation
+/// is then skipped, allocation scanning still runs).
+pub struct NoAllocInHotPath {
+    phases: Vec<String>,
+}
+
+impl NoAllocInHotPath {
+    /// A lint instance accepting exactly `phases` in `hot(…)` tags.
+    pub fn new(phases: Vec<String>) -> Self {
+        NoAllocInHotPath { phases }
+    }
+}
+
+/// Token range `(first, one_past_last)` of the body of the first
+/// function whose `fn` keyword sits on or after `line`. `None` when no
+/// such function exists or it has no body (trait method declaration).
+fn fn_body_after(file: &SourceFile, line: u32) -> Option<(usize, usize)> {
+    let toks = &file.tokens;
+    let fn_idx = toks
+        .iter()
+        .position(|t| t.line >= line && matches!(&t.tok, Tok::Ident(s) if s == "fn"))?;
+    let mut i = fn_idx;
+    while i < toks.len() && !is_punct(toks, i, '{') {
+        if is_punct(toks, i, ';') {
+            return None; // bodyless declaration
+        }
+        i += 1;
+    }
+    let open = i;
+    let mut depth = 0usize;
+    while i < toks.len() {
+        match toks[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open + 1, i));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+impl Lint for NoAllocInHotPath {
+    fn name(&self) -> &'static str {
+        "no-alloc-in-hot-path"
+    }
+
+    fn summary(&self) -> &'static str {
+        "bans Vec::new/.collect()/.to_vec() in functions tagged `// scda-analyze: hot(<phase>)`"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.is_test_code {
+            return;
+        }
+        let toks = &file.tokens;
+        for tag in &file.hot_tags {
+            if file.in_test(tag.line) {
+                continue;
+            }
+            if !self.phases.is_empty() && !self.phases.iter().any(|p| p == &tag.phase) {
+                out.push(Finding {
+                    file: file.path.clone(),
+                    line: tag.line,
+                    lint: self.name(),
+                    message: format!(
+                        "hot(…) names phase \"{}\", which is not a `scda_obs::phase` \
+                         constant — tag hot functions with a canonical phase so the \
+                         profiler and the lint agree on the vocabulary",
+                        tag.phase
+                    ),
+                });
+            }
+            let Some((lo, hi)) = fn_body_after(file, tag.line) else {
+                out.push(Finding {
+                    file: file.path.clone(),
+                    line: tag.line,
+                    lint: self.name(),
+                    message: "hot(…) tag is not followed by a function with a body — \
+                              move it directly above the fn it marks"
+                        .to_string(),
+                });
+                continue;
+            };
+            for i in lo..hi {
+                if file.in_test(toks[i].line) {
+                    continue;
+                }
+                let allocation = match &toks[i].tok {
+                    Tok::Ident(s)
+                        if s == "Vec"
+                            && is_op(toks, i + 1, "::")
+                            && matches!(
+                                toks.get(i + 2).map(|t| &t.tok),
+                                Some(Tok::Ident(m)) if m == "new"
+                            )
+                            && is_punct(toks, i + 3, '(') =>
+                    {
+                        Some("`Vec::new()`")
+                    }
+                    Tok::Punct('.')
+                        if matches!(
+                            toks.get(i + 1).map(|t| &t.tok),
+                            Some(Tok::Ident(m)) if m == "collect"
+                        ) && (is_punct(toks, i + 2, '(') || is_op(toks, i + 2, "::")) =>
+                    {
+                        Some("`.collect()`")
+                    }
+                    Tok::Punct('.')
+                        if matches!(
+                            toks.get(i + 1).map(|t| &t.tok),
+                            Some(Tok::Ident(m)) if m == "to_vec"
+                        ) && is_punct(toks, i + 2, '(') =>
+                    {
+                        Some("`.to_vec()`")
+                    }
+                    _ => None,
+                };
+                if let Some(what) = allocation {
+                    out.push(finding(
+                        file,
+                        i,
+                        self.name(),
+                        format!(
+                            "{what} inside the `{}` hot path allocates every τ — reuse \
+                             a caller-held buffer (`*_into` pattern) or justify it with \
+                             an allow",
+                            tag.phase
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -5,8 +5,8 @@
 
 use scda_analyze::lints::{
     determinism::Determinism, doc_units::DocUnits, float_eq::NoFloatEq,
-    no_println::NoPrintlnInCrates, phase_names::PhaseNameCanonical, unwrap_hot::NoUnwrapHotPath,
-    Lint,
+    no_alloc_hot::NoAllocInHotPath, no_println::NoPrintlnInCrates, phase_names::PhaseNameCanonical,
+    unwrap_hot::NoUnwrapHotPath, Lint,
 };
 use scda_analyze::{run_lints, Finding, SourceFile, ALLOW_HYGIENE};
 
@@ -395,4 +395,126 @@ let b = Instant::now();
     assert_eq!(report.suppressed, 1);
     assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
     assert_eq!(report.findings[0].line, 4);
+}
+
+// ---------------------------------------------------- no-alloc-in-hot-path
+
+/// The canonical phase set the hot-path fixtures assume.
+fn hot_phases() -> Vec<String> {
+    vec!["kernel.control".to_string(), "engine.drain".to_string()]
+}
+
+#[test]
+fn no_alloc_hot_fires_on_vec_new_collect_and_to_vec() {
+    let src = "
+// scda-analyze: hot(kernel.control)
+fn round(xs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect();
+    let copy = doubled.to_vec();
+    let turbo = xs.iter().collect::<Vec<_>>();
+    out.extend(copy);
+    out.extend(turbo.into_iter().copied());
+    out
+}
+";
+    let findings = check(&NoAllocInHotPath::new(hot_phases()), HOT_PATH, src);
+    assert_eq!(findings.len(), 4, "{findings:?}");
+    assert!(findings.iter().any(|f| f.message.contains("Vec::new")));
+    assert!(findings.iter().any(|f| f.message.contains("to_vec")));
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.message.contains("collect"))
+            .count(),
+        2,
+        "both plain and turbofish collect: {findings:?}"
+    );
+}
+
+#[test]
+fn no_alloc_hot_scopes_to_the_tagged_function_only() {
+    // Allocations before the tag and in the *next* function stay legal.
+    let src = "
+fn cold_before() -> Vec<u32> { Vec::new() }
+// scda-analyze: hot(engine.drain)
+fn drain(buf: &mut Vec<u32>) {
+    buf.clear();
+    buf.push(1);
+}
+fn cold_after(xs: &[u32]) -> Vec<u32> { xs.to_vec() }
+";
+    let findings = check(&NoAllocInHotPath::new(hot_phases()), HOT_PATH, src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn no_alloc_hot_allow_suppresses_with_reason() {
+    let src = "
+// scda-analyze: hot(kernel.control)
+fn round() -> Vec<u32> {
+    // scda-analyze: allow(no-alloc-in-hot-path, the result Vec is handed to the caller)
+    let out = Vec::new();
+    out
+}
+";
+    let report = drive(Box::new(NoAllocInHotPath::new(hot_phases())), HOT_PATH, src);
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn no_alloc_hot_rejects_unknown_phase() {
+    let src = "
+// scda-analyze: hot(kernel.made-up)
+fn round() {}
+";
+    let findings = check(&NoAllocInHotPath::new(hot_phases()), HOT_PATH, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("kernel.made-up"));
+    // With no harvested set (obs crate absent), validation is skipped.
+    let findings = check(&NoAllocInHotPath::new(Vec::new()), HOT_PATH, src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn no_alloc_hot_flags_a_dangling_tag() {
+    let src = "
+// scda-analyze: hot(kernel.control)
+const X: u32 = 1;
+";
+    let findings = check(&NoAllocInHotPath::new(hot_phases()), HOT_PATH, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("not followed by a function"));
+}
+
+#[test]
+fn no_alloc_hot_exempts_test_code() {
+    let src = "
+// scda-analyze: hot(kernel.control)
+fn helper() -> Vec<u32> { Vec::new() }
+";
+    let findings = check(
+        &NoAllocInHotPath::new(hot_phases()),
+        "crates/core/tests/fixture.rs",
+        src,
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn malformed_hot_tag_is_a_finding() {
+    // Empty phase, and a phase with a stray comma, both fail to parse.
+    let src = "
+// scda-analyze: hot()
+fn a() {}
+// scda-analyze: hot(kernel.control, extra)
+fn b() {}
+";
+    let report = drive(Box::new(NoAllocInHotPath::new(hot_phases())), HOT_PATH, src);
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.lint == ALLOW_HYGIENE && f.message.contains("unparsable")));
 }

@@ -77,7 +77,11 @@ fn bench_server_metrics(c: &mut Criterion) {
         let tree = ThreeTierConfig::default().build();
         let mut ct = ControlTree::from_three_tier(&tree, Params::default(), MetricKind::Full);
         ct.control_round(0.0, &mut SyntheticLoad);
-        b.iter(|| ct.server_metrics())
+        let mut buf = Vec::new();
+        b.iter(|| {
+            ct.server_metrics_into(&mut buf);
+            buf.len()
+        })
     });
 }
 

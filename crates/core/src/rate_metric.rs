@@ -121,26 +121,7 @@ impl LinkAllocator {
     /// keeps the `S/R` iteration alive through idle periods, the ceiling
     /// keeps a nearly-idle link from advertising more than the wire.
     pub fn update(&mut self, sample: &LinkSample, params: &Params) -> f64 {
-        let cap_term = params.capacity_term(self.capacity, sample.queue_bytes);
-        let r = match self.kind {
-            MetricKind::Full => {
-                // N̂ = S / R(t−τ); an idle link (S = 0) sees N̂ < 1 flow and
-                // offers the whole capacity term.
-                let n_eff = (sample.flow_rate_sum / self.r_prev).max(1.0);
-                cap_term / n_eff
-            }
-            MetricKind::Simplified => {
-                if sample.arrival_rate <= 0.0 {
-                    cap_term
-                } else {
-                    cap_term * self.r_prev / sample.arrival_rate
-                }
-            }
-        };
-        // A degraded link may offer less than the configured floor (e.g. a
-        // failed port); the floor then collapses to the capacity itself.
-        let floor = params.min_rate.min(self.capacity);
-        self.r_prev = r.clamp(floor, self.capacity);
+        self.r_prev = update_rate(self.capacity, self.r_prev, self.kind, sample, params);
         self.r_prev
     }
 
@@ -151,6 +132,41 @@ impl LinkAllocator {
             MetricKind::Simplified => sample.arrival_rate / self.r_prev,
         }
     }
+}
+
+/// Stateless core of [`LinkAllocator::update`]: one eq. 2/5 step from
+/// explicit `capacity` and `r_prev` state, both in bytes/s. The control
+/// tree stores per-link allocator state in struct-of-arrays columns and
+/// calls this directly; [`LinkAllocator`] delegates here, so the two
+/// forms are the same floating-point computation, bit for bit.
+#[inline]
+pub fn update_rate(
+    capacity: f64,
+    r_prev: f64,
+    kind: MetricKind,
+    sample: &LinkSample,
+    params: &Params,
+) -> f64 {
+    let cap_term = params.capacity_term(capacity, sample.queue_bytes);
+    let r = match kind {
+        MetricKind::Full => {
+            // N̂ = S / R(t−τ); an idle link (S = 0) sees N̂ < 1 flow and
+            // offers the whole capacity term.
+            let n_eff = (sample.flow_rate_sum / r_prev).max(1.0);
+            cap_term / n_eff
+        }
+        MetricKind::Simplified => {
+            if sample.arrival_rate <= 0.0 {
+                cap_term
+            } else {
+                cap_term * r_prev / sample.arrival_rate
+            }
+        }
+    };
+    // A degraded link may offer less than the configured floor (e.g. a
+    // failed port); the floor then collapses to the capacity itself.
+    let floor = params.min_rate.min(capacity);
+    r.clamp(floor, capacity)
 }
 
 /// Eq. 4: a flow's rate is the minimum of its end-to-end link allocation

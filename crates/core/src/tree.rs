@@ -6,7 +6,7 @@
 //! toward the core. Every control interval τ the tree runs one *round*:
 //!
 //! 1. every RM/RA samples its links (queue `Q`, flow-rate sum `S` or
-//!    arrival rate `Λ`) and updates its [`LinkAllocator`] — eqs. 2-5;
+//!    arrival rate `Λ`) and updates its allocator state — eqs. 2-5;
 //! 2. an **upward pass** (figure 2, left) folds the best per-subtree rates
 //!    `R̂` toward the root: an RM's `R̂⁰ = min(R⁰, R_other)`; an RA's
 //!    `R̂ʰ = min(max_children R̂ʰ⁻¹, Rʰ)`, remembering *which* block server
@@ -21,15 +21,31 @@
 //! Directions follow the paper: **down** carries data toward the servers
 //! (client writes), **up** carries data from servers toward clients
 //! (reads). Every node therefore monitors a `(down, up)` link pair.
+//!
+//! # Data layout (hyperscale refactor)
+//!
+//! The tree stores **no per-node structs**: all hot state lives in
+//! struct-of-arrays columns indexed by [`CtrlId`] (see DESIGN.md §10).
+//! Per direction there is one contiguous `f64` column each for capacity,
+//! allocator iteration state, this/previous round's own-link rate and the
+//! subtree-best `R̂`; the child lists are one flat CSR array; the per-RM
+//! cumulative `Ř` vectors are one level-major array
+//! (`r_check[h · n_rms + rm_pos]`), so the downward pass writes each
+//! level contiguously; and the server→RM lookup is a dense `NodeId`-
+//! indexed table instead of a `BTreeMap`. On trees past
+//! [`ControlTree::PAR_MIN_NODES`] nodes the upward fold additionally
+//! fans the per-RA child aggregation out over the vendored `rayon` pool
+//! — results are collected in input order and written back serially, so
+//! the first-wins tie-breaking is bit-identical to the serial pass.
 
-use std::collections::BTreeMap;
+use rayon::prelude::*;
 
 use scda_simnet::builders::ThreeTierTree;
 use scda_simnet::{LinkId, NodeId};
 use serde::{Deserialize, Serialize};
 
 use crate::params::Params;
-use crate::rate_metric::{LinkAllocator, LinkSample, MetricKind};
+use crate::rate_metric::{LinkSample, MetricKind};
 use crate::sla::{SlaViolation, ViolationSite};
 
 /// Index of a node in the control tree (not a network node!).
@@ -90,59 +106,242 @@ pub struct NodeSpec {
     pub up_link: LinkId,
 }
 
-/// Per-direction computed state of a control node.
-#[derive(Debug, Clone)]
-struct DirState {
-    alloc: LinkAllocator,
-    /// This round's own-link allocation `R`.
-    r_own: f64,
-    /// Previous round's `R` (for the Δ-reporting overhead model).
-    r_prev_round: f64,
-    /// Best subtree rate `R̂` (up pass).
-    r_hat: f64,
-    /// Block server achieving `r_hat`.
-    best_bs: Option<NodeId>,
+/// Column sentinel for "no parent" / "not an RM" / "unknown server".
+const NONE: u32 = u32::MAX;
+
+/// One direction's per-node state, stored as parallel columns indexed by
+/// [`CtrlId`]. `r_alloc` is the allocator's `R(t−τ)` iteration state
+/// (what [`crate::rate_metric::LinkAllocator`] keeps as `r_prev`);
+/// `r_own` is this round's published own-link allocation, which starts
+/// at 0 until the first round runs — the two only coincide after a round.
+struct DirColumns {
+    link: Vec<LinkId>,
+    cap: Vec<f64>,
+    r_alloc: Vec<f64>,
+    r_own: Vec<f64>,
+    r_prev_round: Vec<f64>,
+    r_hat: Vec<f64>,
+    best_bs: Vec<Option<NodeId>>,
 }
 
-/// A control node: an RM (leaf) or RA (interior).
-struct CtrlNode {
-    level: u8,
-    parent: Option<CtrlId>,
-    children: Vec<CtrlId>,
-    server: Option<NodeId>,
-    down_link: LinkId,
-    up_link: LinkId,
-    down: DirState,
-    up: DirState,
-    /// Best over the subtree of `min(R̂_d, R̂_u)` with the achieving BS —
-    /// the interactive-content selection metric (§VII-A).
-    best_inter: Option<(f64, NodeId)>,
-    /// RMs only: cumulative bottleneck `Ř` to each level, index = level
-    /// (0 = own link only, h_max = whole path). Empty for RAs.
-    r_check_down: Vec<f64>,
-    r_check_up: Vec<f64>,
+impl DirColumns {
+    fn with_capacity(n: usize) -> Self {
+        DirColumns {
+            link: Vec::with_capacity(n),
+            cap: Vec::with_capacity(n),
+            r_alloc: Vec::with_capacity(n),
+            r_own: Vec::with_capacity(n),
+            r_prev_round: Vec::with_capacity(n),
+            r_hat: Vec::with_capacity(n),
+            best_bs: Vec::with_capacity(n),
+        }
+    }
+
+    /// Append one node's state, mirroring `LinkAllocator::new`: the
+    /// iteration starts optimistically at `R(0) = α·C`.
+    fn push_node(&mut self, link: LinkId, capacity: f64, params: &Params) {
+        assert!(capacity > 0.0, "capacity must be positive");
+        self.link.push(link);
+        self.cap.push(capacity);
+        self.r_alloc.push(params.alpha * capacity);
+        self.r_own.push(0.0);
+        self.r_prev_round.push(0.0);
+        self.r_hat.push(0.0);
+        self.best_bs.push(None);
+    }
+
+    /// Pass-0 numeric sweep: one eq. 2/5 allocator step for *every* node
+    /// at once, reading the telemetry gathered in `scratch` and filling
+    /// `scratch.cap_term`/`scratch.load` for the violation sweep behind
+    /// it. Each element runs the exact floating-point op sequence of
+    /// [`crate::rate_metric::update_rate`] (the `capacity_term` is
+    /// computed once and shared
+    /// with the violation check — same formula, same operands), so the
+    /// results are bit-identical to the scalar per-node form. Hoisting
+    /// the metric-kind branch out of the loop and keeping the bodies
+    /// branch-free is what lets the compiler vectorize the divisions —
+    /// the round's dominant cost at paper scale and beyond.
+    fn update_all(
+        &mut self,
+        scratch: &mut DirScratch,
+        metric: MetricKind,
+        params: &Params,
+        observing: bool,
+    ) {
+        let n = self.cap.len();
+        let cap = &self.cap[..n];
+        let r_alloc = &mut self.r_alloc[..n];
+        let r_own = &mut self.r_own[..n];
+        let r_prev_round = &mut self.r_prev_round[..n];
+        let queue = &scratch.queue[..n];
+        let flow = &scratch.flow[..n];
+        let arrival = &scratch.arrival[..n];
+        let cap_term = &mut scratch.cap_term[..n];
+        let load = &mut scratch.load[..n];
+        match metric {
+            MetricKind::Full => {
+                for i in 0..n {
+                    let ct = params.capacity_term(cap[i], queue[i]);
+                    cap_term[i] = ct;
+                    load[i] = flow[i].max(arrival[i]);
+                    r_prev_round[i] = r_own[i];
+                    // N̂ = S / R(t−τ); an idle link offers the whole term.
+                    let n_eff = (flow[i] / r_alloc[i]).max(1.0);
+                    let floor = params.min_rate.min(cap[i]);
+                    // max-then-min, not `clamp`: same result for the
+                    // non-NaN finite rates this sweep produces, but
+                    // without clamp's `min <= max` panic path, which
+                    // would keep the loop scalar.
+                    let r = (ct / n_eff).max(floor).min(cap[i]);
+                    r_alloc[i] = r;
+                    r_own[i] = r;
+                }
+            }
+            MetricKind::Simplified => {
+                for i in 0..n {
+                    let ct = params.capacity_term(cap[i], queue[i]);
+                    cap_term[i] = ct;
+                    load[i] = flow[i].max(arrival[i]);
+                    r_prev_round[i] = r_own[i];
+                    let r = if arrival[i] <= 0.0 {
+                        ct
+                    } else {
+                        ct * r_alloc[i] / arrival[i]
+                    };
+                    let floor = params.min_rate.min(cap[i]);
+                    let r = r.max(floor).min(cap[i]);
+                    r_alloc[i] = r;
+                    r_own[i] = r;
+                }
+            }
+        }
+        if observing {
+            // Per-link utilization for the round's metrics flush — one
+            // vectorized division sweep instead of a scalar divide per
+            // link inside the observation loop.
+            let util = &mut scratch.util[..n];
+            for i in 0..n {
+                util[i] = if cap[i] > 0.0 { load[i] / cap[i] } else { 0.0 };
+            }
+        }
+    }
 }
 
-/// The assembled RM/RA tree.
+/// Reused pass-0 scratch columns for one direction: raw telemetry
+/// (`queue`/`flow`/`arrival`, filled by the sample sweep) and derived
+/// values (`cap_term`/`load`, plus `util` on observed trees, filled by
+/// [`DirColumns::update_all`] and read by the violation/observation
+/// sweep and [`ControlTree::observe_round`]). Allocated once at
+/// construction so control rounds stay allocation-free.
+struct DirScratch {
+    queue: Vec<f64>,
+    flow: Vec<f64>,
+    arrival: Vec<f64>,
+    cap_term: Vec<f64>,
+    load: Vec<f64>,
+    util: Vec<f64>,
+}
+
+impl DirScratch {
+    fn with_len(n: usize) -> Self {
+        DirScratch {
+            queue: vec![0.0; n],
+            flow: vec![0.0; n],
+            arrival: vec![0.0; n],
+            cap_term: vec![0.0; n],
+            load: vec![0.0; n],
+            util: vec![0.0; n],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, id: usize, s: &LinkSample) {
+        self.queue[id] = s.queue_bytes;
+        self.flow[id] = s.flow_rate_sum;
+        self.arrival[id] = s.arrival_rate;
+    }
+}
+
+/// One RA's child aggregation result (upward pass): best write-path,
+/// read-path and interactive `(R̂, block server)` over its children.
+#[derive(Debug, Clone, Copy)]
+struct ChildFold {
+    down: Option<(f64, NodeId)>,
+    up: Option<(f64, NodeId)>,
+    inter: Option<(f64, NodeId)>,
+}
+
+/// The assembled RM/RA tree. All per-node state lives in index-keyed
+/// columns — see the module docs for the layout.
 pub struct ControlTree {
     params: Params,
-    nodes: Vec<CtrlNode>,
-    /// Leaves (RMs), in construction order.
-    rms: Vec<CtrlId>,
+    metric: MetricKind,
+    /// Tree level per node: 0 for RMs, 1..=h_max for RAs.
+    levels: Vec<u8>,
+    /// CSR offsets into `child_list`, length `len() + 1`.
+    child_start: Vec<u32>,
+    /// Flat child lists, grouped per node in construction order.
+    child_list: Vec<u32>,
+    /// Monitored block server per node (RMs only).
+    servers: Vec<Option<NodeId>>,
+    down: DirColumns,
+    up: DirColumns,
+    down_scratch: DirScratch,
+    up_scratch: DirScratch,
+    /// Best over the subtree of `min(R̂_d, R̂_u)` with the achieving BS —
+    /// the interactive-content selection metric (§VII-A).
+    best_inter: Vec<Option<(f64, NodeId)>>,
+    /// Node index → RM position (index into the RM-ordered columns);
+    /// [`NONE`] for RAs.
+    rm_pos: Vec<u32>,
+    /// Per RM position: length of its root chain (1 + #ancestors) —
+    /// the number of meaningful `Ř` entries.
+    rm_depth: Vec<u8>,
+    /// Flat ancestor chains, stride `hmax`: entry
+    /// `rm_anc[pos · hmax + (h−1)]` is the node at chain position `h`.
+    rm_anc: Vec<u32>,
+    /// Maximal runs of consecutive RM positions sharing one level-`h`
+    /// ancestor, level-major: `(start, end, anc)` covers positions
+    /// `start..end`; `anc == NONE` marks chains that ended below `h`
+    /// (their `Ř` copies through). Sibling RMs are adjacent in
+    /// construction order, so the downward pass degenerates to a few
+    /// slice-vs-scalar `min` sweeps per level instead of a per-RM
+    /// ancestor gather.
+    anc_runs: Vec<(u32, u32, u32)>,
+    /// `anc_runs[anc_run_offsets[h−1]..anc_run_offsets[h]]` are level
+    /// `h`'s runs (`1 ≤ h ≤ hmax`); length `hmax + 1`.
+    anc_run_offsets: Vec<u32>,
+    /// Level-major cumulative bottleneck `Ř_d`:
+    /// `r_check_down[h · n_rms + pos]` (valid for `h < rm_depth[pos]`
+    /// once a round has run).
+    r_check_down: Vec<f64>,
+    /// Level-major cumulative bottleneck `Ř_u` (same layout).
+    r_check_up: Vec<f64>,
+    /// Dense server → RM-node lookup indexed by `NodeId.0`.
+    rm_of_server: Vec<u32>,
     root: CtrlId,
-    /// Bottom-up evaluation order (children strictly before parents).
+    /// Bottom-up evaluation order: stable level sort, so each level's
+    /// slice is in construction order.
     order: Vec<CtrlId>,
+    /// `order[level_offsets[h]..level_offsets[h + 1]]` are the level-`h`
+    /// nodes; length `hmax + 2`.
+    level_offsets: Vec<usize>,
     hmax: u8,
-    rm_by_server: BTreeMap<NodeId, CtrlId>,
-    /// Rounds executed so far (trace correlation id).
+    /// Rounds executed so far (trace correlation id; also the "has the
+    /// first round filled `Ř`?" flag).
     round: u64,
+    /// Node-count threshold for the parallel upward fold.
+    par_min_nodes: usize,
     /// Observability sink (disabled by default).
     obs: scda_obs::Obs,
 }
 
-/// Maximum tree depth the per-server level cache covers (the paper's
-/// three-tier tree uses 4 levels: the RM plus three RA tiers).
-pub const MAX_LEVELS: usize = 8;
+/// Maximum tree depth the per-server level cache covers — exactly the
+/// paper's three-tier tree (the RM plus three RA tiers). Sized to fit:
+/// [`ServerMetrics`] is copied out per server per round on the hot
+/// selection path, and every unused slot is pure memory-bandwidth waste
+/// (deeper trees cap `n_levels` and keep the deepest entry as padding).
+pub const MAX_LEVELS: usize = 4;
 
 /// Read-only per-server metrics after a control round, used by the server
 /// selection strategies.
@@ -173,6 +372,17 @@ pub struct ServerMetrics {
 }
 
 impl ControlTree {
+    /// Node count above which the upward pass fans each wide level's
+    /// child folds out over the `rayon` pool. Sized so the paper's
+    /// 163×10 deployment (≈1800 nodes, ~10² µs rounds) stays serial —
+    /// scoped-thread spawn would cost more than it saves — while 10×
+    /// topologies (10,000+ servers) parallelize.
+    pub const PAR_MIN_NODES: usize = 4096;
+
+    /// Minimum level width worth a parallel fold: narrower levels are
+    /// folded serially even on huge trees (spawn overhead dominates).
+    const PAR_MIN_WIDTH: usize = 64;
+
     /// Build a tree from node specs. `capacity_of` maps a link to its
     /// capacity in **bytes/s**.
     ///
@@ -189,11 +399,15 @@ impl ControlTree {
         // scda-analyze: allow(no-unwrap-hot-path, construction-time input validation with a documented "# Panics" contract; never reached per-τ)
         params.validate().expect("invalid params");
         assert!(!specs.is_empty(), "control tree needs at least one node");
-        let mut nodes = Vec::with_capacity(specs.len());
-        let mut rms = Vec::new();
+        let n = specs.len();
+        let mut levels = Vec::with_capacity(n);
+        let mut parents: Vec<u32> = Vec::with_capacity(n);
+        let mut servers = Vec::with_capacity(n);
+        let mut down = DirColumns::with_capacity(n);
+        let mut up = DirColumns::with_capacity(n);
         let mut root = None;
-        let mut rm_by_server = BTreeMap::new();
-        let mut hmax = 0;
+        let mut hmax = 0u8;
+        let mut max_server = None::<u32>;
         for (i, s) in specs.iter().enumerate() {
             if let Some(p) = s.parent {
                 assert!(p < i, "parents must precede children in the spec list");
@@ -207,57 +421,143 @@ impl ControlTree {
             }
             if s.level == 0 {
                 assert!(s.server.is_some(), "RMs (level 0) must name a server");
-                rms.push(CtrlId(i));
-                rm_by_server.insert(
-                    s.server
-                        .expect("invariant: asserted is_some immediately above"),
-                    CtrlId(i),
-                );
+                let srv = s
+                    .server
+                    .expect("invariant: asserted is_some immediately above");
+                max_server = Some(max_server.map_or(srv.0, |m: u32| m.max(srv.0)));
             } else {
                 assert!(s.server.is_none(), "RAs must not name a server");
             }
             hmax = hmax.max(s.level);
-            let mk_dir = |link: LinkId, cap_of: &mut dyn FnMut(LinkId) -> f64| DirState {
-                alloc: LinkAllocator::new(cap_of(link), metric, &params),
-                r_own: 0.0,
-                r_prev_round: 0.0,
-                r_hat: 0.0,
-                best_bs: None,
-            };
-            nodes.push(CtrlNode {
-                level: s.level,
-                parent: s.parent.map(CtrlId),
-                children: Vec::new(),
-                server: s.server,
-                down_link: s.down_link,
-                up_link: s.up_link,
-                down: mk_dir(s.down_link, &mut capacity_of),
-                up: mk_dir(s.up_link, &mut capacity_of),
-                best_inter: None,
-                r_check_down: Vec::new(),
-                r_check_up: Vec::new(),
-            });
+            levels.push(s.level);
+            parents.push(s.parent.map_or(NONE, |p| p as u32));
+            servers.push(s.server);
+            down.push_node(s.down_link, capacity_of(s.down_link), &params);
+            up.push_node(s.up_link, capacity_of(s.up_link), &params);
         }
         let root =
             root.expect("invariant: spec[0] cannot name an earlier parent, so a root exists");
-        for i in 0..nodes.len() {
-            if let Some(p) = nodes[i].parent {
-                nodes[p.0].children.push(CtrlId(i));
+
+        // Children as one flat CSR array (construction order per parent,
+        // like the old per-node `Vec<CtrlId>` push order).
+        let mut child_count = vec![0u32; n];
+        for &p in &parents {
+            if p != NONE {
+                child_count[p as usize] += 1;
             }
         }
+        let mut child_start = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        for &c in &child_count {
+            child_start.push(acc);
+            acc += c;
+        }
+        child_start.push(acc);
+        let mut cursor = child_start[..n].to_vec();
+        let mut child_list = vec![0u32; acc as usize];
+        for (i, &p) in parents.iter().enumerate() {
+            if p != NONE {
+                let slot = &mut cursor[p as usize];
+                child_list[*slot as usize] = i as u32;
+                *slot += 1;
+            }
+        }
+
         // Bottom-up order: stable sort by level (children are strictly
-        // lower-level than parents).
-        let mut order: Vec<CtrlId> = (0..nodes.len()).map(CtrlId).collect();
-        order.sort_by_key(|&id| nodes[id.0].level);
+        // lower-level than parents), plus per-level offsets.
+        let mut order: Vec<CtrlId> = (0..n).map(CtrlId).collect();
+        order.sort_by_key(|&id| levels[id.0]);
+        let mut level_offsets = vec![0usize; hmax as usize + 2];
+        for &l in &levels {
+            level_offsets[l as usize + 1] += 1;
+        }
+        for h in 0..=hmax as usize {
+            level_offsets[h + 1] += level_offsets[h];
+        }
+
+        // RM-ordered columns: position map, ancestor chains, depths.
+        let nr = level_offsets[1];
+        let stride = hmax as usize;
+        let mut rm_pos = vec![NONE; n];
+        let mut rm_depth = vec![0u8; nr];
+        let mut rm_anc = vec![NONE; nr * stride];
+        let mut rm_of_server = vec![NONE; max_server.map_or(0, |m| m as usize + 1)];
+        for (pos, &rm) in order[..nr].iter().enumerate() {
+            rm_pos[rm.0] = pos as u32;
+            let mut depth = 1u8;
+            let mut cur = parents[rm.0];
+            while cur != NONE {
+                rm_anc[pos * stride + (depth as usize - 1)] = cur;
+                depth += 1;
+                cur = parents[cur as usize];
+            }
+            rm_depth[pos] = depth;
+            if let Some(s) = servers[rm.0] {
+                rm_of_server[s.0 as usize] = rm.0 as u32;
+            }
+        }
+
+        // Group RM positions into per-level ancestor runs (see the
+        // `anc_runs` field docs). Worst case — no two neighbours share a
+        // parent — degenerates to one run per RM, i.e. the plain gather.
+        let mut anc_runs: Vec<(u32, u32, u32)> = Vec::new();
+        let mut anc_run_offsets = vec![0u32; stride + 1];
+        for h in 1..=stride {
+            let key_at = |pos: usize| {
+                if h < rm_depth[pos] as usize {
+                    rm_anc[pos * stride + (h - 1)]
+                } else {
+                    NONE
+                }
+            };
+            let mut pos = 0;
+            while pos < nr {
+                let key = key_at(pos);
+                let start = pos;
+                pos += 1;
+                while pos < nr && key_at(pos) == key {
+                    pos += 1;
+                }
+                anc_runs.push((start as u32, pos as u32, key));
+            }
+            anc_run_offsets[h] = anc_runs.len() as u32;
+        }
+
+        // An RM's best block server is itself, forever — pin it now so
+        // the upward pass only refreshes the rate columns.
+        for &rm in &order[..nr] {
+            if let Some(s) = servers[rm.0] {
+                down.best_bs[rm.0] = Some(s);
+                up.best_bs[rm.0] = Some(s);
+            }
+        }
+
         ControlTree {
             params,
-            nodes,
-            rms,
+            metric,
+            levels,
+            child_start,
+            child_list,
+            servers,
+            down,
+            up,
+            down_scratch: DirScratch::with_len(n),
+            up_scratch: DirScratch::with_len(n),
+            best_inter: vec![None; n],
+            rm_pos,
+            rm_depth,
+            rm_anc,
+            anc_runs,
+            anc_run_offsets,
+            r_check_down: vec![0.0; (hmax as usize + 1) * nr],
+            r_check_up: vec![0.0; (hmax as usize + 1) * nr],
+            rm_of_server,
             root,
             order,
+            level_offsets,
             hmax,
-            rm_by_server,
             round: 0,
+            par_min_nodes: Self::PAR_MIN_NODES,
             obs: scda_obs::Obs::disabled(),
         }
     }
@@ -267,6 +567,13 @@ impl ControlTree {
     /// `ctrl.*` metrics.
     pub fn set_obs(&mut self, obs: scda_obs::Obs) {
         self.obs = obs;
+    }
+
+    /// Override the node-count threshold above which the upward fold
+    /// runs in parallel (benchmark/equivalence-test hook; the default is
+    /// [`ControlTree::PAR_MIN_NODES`]).
+    pub fn set_parallel_threshold(&mut self, min_nodes: usize) {
+        self.par_min_nodes = min_nodes;
     }
 
     /// Build the canonical tree for the paper's figure-1/figure-6 topology:
@@ -329,23 +636,37 @@ impl ControlTree {
     /// Number of control nodes (RMs + RAs).
     #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.levels.len()
     }
 
     /// Whether the tree is empty (never true for a built tree).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.levels.is_empty()
+    }
+
+    /// Number of RMs (leaves).
+    #[inline]
+    fn n_rms(&self) -> usize {
+        self.level_offsets[1]
+    }
+
+    /// The RMs in construction order (the level-0 prefix of the stable
+    /// level sort).
+    #[inline]
+    fn rms(&self) -> &[CtrlId] {
+        &self.order[..self.level_offsets[1]]
     }
 
     /// The RM responsible for `server`.
     pub fn rm_of(&self, server: NodeId) -> Option<CtrlId> {
-        self.rm_by_server.get(&server).copied()
+        let idx = *self.rm_of_server.get(server.0 as usize)?;
+        (idx != NONE).then_some(CtrlId(idx as usize))
     }
 
     /// The block server a control node monitors (None for RAs).
     pub fn server_of(&self, node: CtrlId) -> Option<NodeId> {
-        self.nodes.get(node.0).and_then(|n| n.server)
+        self.servers.get(node.0).copied().flatten()
     }
 
     /// The binding max-min bottleneck for `server` in direction `dir`: the
@@ -356,31 +677,31 @@ impl ControlTree {
     /// `None` before the first control round or for unknown servers.
     pub fn bottleneck_of(&self, server: NodeId, dir: Direction) -> Option<(u8, LinkId)> {
         let rm = self.rm_of(server)?;
-        let n = &self.nodes[rm.0];
-        let levels = match dir {
-            Direction::Down => &n.r_check_down,
-            Direction::Up => &n.r_check_up,
+        if self.round == 0 {
+            return None;
+        }
+        let pos = self.rm_pos[rm.0] as usize;
+        let depth = self.rm_depth[pos] as usize;
+        let nr = self.n_rms();
+        let (r_check, links) = match dir {
+            Direction::Down => (&self.r_check_down, &self.down.link),
+            Direction::Up => (&self.r_check_up, &self.up.link),
         };
-        let path_rate = *levels.last()?;
+        let path_rate = r_check[(depth - 1) * nr + pos];
         let mut level = 0usize;
-        for (h, &v) in levels.iter().enumerate() {
-            if v <= path_rate * (1.0 + 1e-9) {
+        for h in 0..depth {
+            if r_check[h * nr + pos] <= path_rate * (1.0 + 1e-9) {
                 level = h;
                 break;
             }
         }
-        // Walk the ancestor chain to the node at `level` (entry h of the
-        // Ř vector is the h-th node on the RM→root chain).
-        let mut cur = rm;
-        for _ in 0..level {
-            cur = self.nodes[cur.0].parent?;
-        }
-        let node = &self.nodes[cur.0];
-        let link = match dir {
-            Direction::Down => node.down_link,
-            Direction::Up => node.up_link,
+        // Entry h of the Ř vector is the h-th node on the RM→root chain.
+        let node = if level == 0 {
+            rm.0
+        } else {
+            self.rm_anc[pos * self.hmax as usize + (level - 1)] as usize
         };
-        Some((level as u8, link))
+        Some((level as u8, links[node]))
     }
 
     /// The params this tree runs with.
@@ -391,7 +712,9 @@ impl ControlTree {
 
     /// Run one control round at simulation time `now`, sampling links via
     /// `telemetry`. Returns detected SLA violations.
+    // scda-analyze: hot(kernel.control)
     pub fn control_round(&mut self, now: f64, telemetry: &mut impl Telemetry) -> Vec<SlaViolation> {
+        // scda-analyze: allow(no-alloc-in-hot-path, the violations Vec is this round's return value; empty rounds allocate nothing)
         let mut violations = Vec::new();
         let round = self.round;
         self.round += 1;
@@ -402,159 +725,214 @@ impl ControlTree {
             self.obs
                 .emit(scda_obs::TraceEvent::CtrlRoundBegin { now, round });
         }
-        // Per-link (queue, utilization) samples, batched into the metrics
-        // registry at round end so the observed path locks once, not per
-        // link.
-        let mut link_obs: Vec<(f64, f64)> = Vec::new();
-
-        // Pass 0: sample links, update allocators, detect violations.
-        for id in 0..self.nodes.len() {
-            let (down_link, up_link, level) = (
-                self.nodes[id].down_link,
-                self.nodes[id].up_link,
-                self.nodes[id].level,
-            );
-            for (dir, link) in [(Direction::Down, down_link), (Direction::Up, up_link)] {
-                let sample = telemetry.sample(link);
-                let state = match dir {
-                    Direction::Down => &mut self.nodes[id].down,
-                    Direction::Up => &mut self.nodes[id].up,
-                };
-                let cap = state.alloc.capacity();
-                let cap_term = self.params.capacity_term(cap, sample.queue_bytes);
-                let load = sample.flow_rate_sum.max(sample.arrival_rate);
-                if observing {
-                    link_obs.push((sample.queue_bytes, if cap > 0.0 { load / cap } else { 0.0 }));
-                }
-                if load > cap_term {
+        // Pass 0, three column sweeps: (a) gather telemetry in the
+        // canonical order (ascending id, down before up — a stateful
+        // telemetry source sees the same call sequence as ever); (b) the
+        // vectorizable eq. 2/5 update over each direction's columns
+        // (plus the per-link utilization column on observed trees);
+        // (c) violation detection, re-reading the shared cap_term/load
+        // scratch so both agree with the update. The round-end metrics
+        // flush reads the same scratch columns.
+        let n = self.levels.len();
+        for id in 0..n {
+            let sample = telemetry.sample(self.down.link[id]);
+            self.down_scratch.set(id, &sample);
+            let sample = telemetry.sample(self.up.link[id]);
+            self.up_scratch.set(id, &sample);
+        }
+        self.down
+            .update_all(&mut self.down_scratch, self.metric, &self.params, observing);
+        self.up
+            .update_all(&mut self.up_scratch, self.metric, &self.params, observing);
+        for id in 0..n {
+            for (dir, cols, scr) in [
+                (Direction::Down, &self.down, &self.down_scratch),
+                (Direction::Up, &self.up, &self.up_scratch),
+            ] {
+                if scr.load[id] > scr.cap_term[id] {
                     violations.push(SlaViolation {
                         time: now,
                         site: ViolationSite {
                             node: CtrlId(id),
-                            level,
-                            link,
+                            level: self.levels[id],
+                            link: cols.link[id],
                             direction: dir,
                         },
-                        demand: load,
-                        capacity_term: cap_term,
+                        demand: scr.load[id],
+                        capacity_term: scr.cap_term[id],
                     });
                 }
-                state.r_prev_round = state.r_own;
-                state.r_own = state.alloc.update(&sample, &self.params);
             }
         }
 
-        // Pass 1 (upward, figure 2 left): R̂ and bests, children first.
-        for &id in &self.order {
-            let node = &self.nodes[id.0];
-            if node.level == 0 {
-                let server = node
-                    .server
-                    .expect("invariant: RMs (level 0) are constructed with a server");
-                let caps = telemetry.rate_caps(server);
-                let n = &mut self.nodes[id.0];
-                n.down.r_hat = n.down.r_own.min(caps.recv);
-                n.down.best_bs = Some(server);
-                n.up.r_hat = n.up.r_own.min(caps.send);
-                n.up.best_bs = Some(server);
-                n.best_inter = Some((n.down.r_hat.min(n.up.r_hat), server));
+        // Pass 1 (upward, figure 2 left): R̂ and bests, level by level
+        // (the stable level sort guarantees children come first).
+        for &rm in &self.order[..self.level_offsets[1]] {
+            let id = rm.0;
+            let server =
+                self.servers[id].expect("invariant: RMs (level 0) are constructed with a server");
+            let caps = telemetry.rate_caps(server);
+            // best_bs is pinned to `server` at construction — only the
+            // rate columns move round to round.
+            let rd = self.down.r_own[id].min(caps.recv);
+            let ru = self.up.r_own[id].min(caps.send);
+            self.down.r_hat[id] = rd;
+            self.up.r_hat[id] = ru;
+            self.best_inter[id] = Some((rd.min(ru), server));
+        }
+        for h in 1..=self.hmax as usize {
+            let (lo, hi) = (self.level_offsets[h], self.level_offsets[h + 1]);
+            let width = hi - lo;
+            if self.levels.len() >= self.par_min_nodes && width >= Self::PAR_MIN_WIDTH {
+                // Parallel subtree fold: each RA's child aggregation is
+                // independent (children live on already-final lower
+                // levels). Results come back in input order and are
+                // written back serially, so the first-wins tie-breaking
+                // below is bit-identical to the serial arm.
+                let folds: Vec<ChildFold> = {
+                    let this: &ControlTree = &*self;
+                    let fold_iter = this.order[lo..hi]
+                        .par_iter()
+                        .map(|&ra| this.fold_children(ra.0));
+                    // scda-analyze: allow(no-alloc-in-hot-path, the parallel fold gathers per-RA results; only taken on ≥PAR_MIN_NODES trees where the round dwarfs one Vec)
+                    fold_iter.collect()
+                };
+                for (k, fold) in folds.into_iter().enumerate() {
+                    let id = self.order[lo + k].0;
+                    self.apply_fold(id, fold);
+                }
             } else {
-                // Gather child bests (children already evaluated).
-                let mut best_down: Option<(f64, NodeId)> = None;
-                let mut best_up: Option<(f64, NodeId)> = None;
-                let mut best_inter: Option<(f64, NodeId)> = None;
-                for &c in &self.nodes[id.0].children {
-                    let ch = &self.nodes[c.0];
-                    if let Some(bs) = ch.down.best_bs {
-                        if best_down.is_none_or(|(v, _)| ch.down.r_hat > v) {
-                            best_down = Some((ch.down.r_hat, bs));
-                        }
-                    }
-                    if let Some(bs) = ch.up.best_bs {
-                        if best_up.is_none_or(|(v, _)| ch.up.r_hat > v) {
-                            best_up = Some((ch.up.r_hat, bs));
-                        }
-                    }
-                    if let Some((v, bs)) = ch.best_inter {
-                        if best_inter.is_none_or(|(bv, _)| v > bv) {
-                            best_inter = Some((v, bs));
-                        }
-                    }
+                for i in lo..hi {
+                    let id = self.order[i].0;
+                    let fold = self.fold_children(id);
+                    self.apply_fold(id, fold);
                 }
-                let n = &mut self.nodes[id.0];
-                match best_down {
-                    Some((v, bs)) => {
-                        n.down.r_hat = v.min(n.down.r_own);
-                        n.down.best_bs = Some(bs);
-                    }
-                    None => {
-                        n.down.r_hat = n.down.r_own;
-                        n.down.best_bs = None;
-                    }
-                }
-                match best_up {
-                    Some((v, bs)) => {
-                        n.up.r_hat = v.min(n.up.r_own);
-                        n.up.best_bs = Some(bs);
-                    }
-                    None => {
-                        n.up.r_hat = n.up.r_own;
-                        n.up.best_bs = None;
-                    }
-                }
-                n.best_inter = best_inter.map(|(v, bs)| (v.min(n.down.r_own).min(n.up.r_own), bs));
             }
         }
 
         // Pass 2 (downward, figure 2 right): every RM's cumulative Ř per
-        // level. Ancestor chains are ≤ h_max long, so walking up per RM is
-        // cheap; each RM's Ř vectors are taken out, refilled in place and
-        // put back, so steady-state rounds allocate nothing.
-        for i in 0..self.rms.len() {
-            let rm = self.rms[i];
-            let mut down = std::mem::take(&mut self.nodes[rm.0].r_check_down);
-            let mut up = std::mem::take(&mut self.nodes[rm.0].r_check_up);
-            down.clear();
-            up.clear();
-            let n = &self.nodes[rm.0];
-            let mut cum_down = n.down.r_hat;
-            let mut cum_up = n.up.r_hat;
-            down.push(cum_down);
-            up.push(cum_up);
-            let mut cur = n.parent;
-            while let Some(p) = cur {
-                let pn = &self.nodes[p.0];
-                cum_down = cum_down.min(pn.down.r_own);
-                cum_up = cum_up.min(pn.up.r_own);
-                down.push(cum_down);
-                up.push(cum_up);
-                cur = pn.parent;
+        // level, filled level-major — level h is one contiguous slice,
+        // computed from level h−1 and the h-th ancestor's own rate.
+        let nr = self.n_rms();
+        for pos in 0..nr {
+            let rm = self.order[pos].0;
+            self.r_check_down[pos] = self.down.r_hat[rm];
+            self.r_check_up[pos] = self.up.r_hat[rm];
+        }
+        for h in 1..=self.hmax as usize {
+            let (done_d, rest_d) = self.r_check_down.split_at_mut(h * nr);
+            let prev_d = &done_d[(h - 1) * nr..];
+            let cur_d = &mut rest_d[..nr];
+            let (done_u, rest_u) = self.r_check_up.split_at_mut(h * nr);
+            let prev_u = &done_u[(h - 1) * nr..];
+            let cur_u = &mut rest_u[..nr];
+            let runs = &self.anc_runs
+                [self.anc_run_offsets[h - 1] as usize..self.anc_run_offsets[h] as usize];
+            for &(start, end, anc) in runs {
+                let (s, e) = (start as usize, end as usize);
+                if anc == NONE {
+                    // Chains ended below h: padding, guarded by rm_depth
+                    // everywhere it could be read.
+                    cur_d[s..e].copy_from_slice(&prev_d[s..e]);
+                    cur_u[s..e].copy_from_slice(&prev_u[s..e]);
+                } else {
+                    // One shared ancestor for the whole run: a pair of
+                    // slice-vs-scalar min sweeps the compiler vectorizes.
+                    let own_d = self.down.r_own[anc as usize];
+                    let own_u = self.up.r_own[anc as usize];
+                    for pos in s..e {
+                        cur_d[pos] = prev_d[pos].min(own_d);
+                    }
+                    for pos in s..e {
+                        cur_u[pos] = prev_u[pos].min(own_u);
+                    }
+                }
             }
-            let n = &mut self.nodes[rm.0];
-            n.r_check_down = down;
-            n.r_check_up = up;
         }
 
         if let Some(t0) = t0 {
-            self.observe_round(now, round, &violations, link_obs, t0.elapsed());
+            self.observe_round(now, round, &violations, t0.elapsed());
         }
         violations
     }
 
+    /// Gather one RA's child bests (children already evaluated). The
+    /// strictly-greater comparisons keep the *first* child in
+    /// construction order on ties — the serial and parallel upward
+    /// passes both rely on this.
+    fn fold_children(&self, id: usize) -> ChildFold {
+        let mut best_down: Option<(f64, NodeId)> = None;
+        let mut best_up: Option<(f64, NodeId)> = None;
+        let mut best_inter: Option<(f64, NodeId)> = None;
+        let start = self.child_start[id] as usize;
+        let end = self.child_start[id + 1] as usize;
+        for &c in &self.child_list[start..end] {
+            let c = c as usize;
+            if let Some(bs) = self.down.best_bs[c] {
+                if best_down.is_none_or(|(v, _)| self.down.r_hat[c] > v) {
+                    best_down = Some((self.down.r_hat[c], bs));
+                }
+            }
+            if let Some(bs) = self.up.best_bs[c] {
+                if best_up.is_none_or(|(v, _)| self.up.r_hat[c] > v) {
+                    best_up = Some((self.up.r_hat[c], bs));
+                }
+            }
+            if let Some((v, bs)) = self.best_inter[c] {
+                if best_inter.is_none_or(|(bv, _)| v > bv) {
+                    best_inter = Some((v, bs));
+                }
+            }
+        }
+        ChildFold {
+            down: best_down,
+            up: best_up,
+            inter: best_inter,
+        }
+    }
+
+    /// Write one RA's fold result back: `R̂ʰ = min(best child R̂, Rʰ)`.
+    fn apply_fold(&mut self, id: usize, fold: ChildFold) {
+        match fold.down {
+            Some((v, bs)) => {
+                self.down.r_hat[id] = v.min(self.down.r_own[id]);
+                self.down.best_bs[id] = Some(bs);
+            }
+            None => {
+                self.down.r_hat[id] = self.down.r_own[id];
+                self.down.best_bs[id] = None;
+            }
+        }
+        match fold.up {
+            Some((v, bs)) => {
+                self.up.r_hat[id] = v.min(self.up.r_own[id]);
+                self.up.best_bs[id] = Some(bs);
+            }
+            None => {
+                self.up.r_hat[id] = self.up.r_own[id];
+                self.up.best_bs[id] = None;
+            }
+        }
+        self.best_inter[id] = fold
+            .inter
+            .map(|(v, bs)| (v.min(self.down.r_own[id]).min(self.up.r_own[id]), bs));
+    }
+
     /// Flush one observed round into the trace ring and metrics registry:
     /// per-level propagation summaries, per-violation events, the round
-    /// envelope and the `ctrl.*` / `link.*` metrics.
+    /// envelope and the `ctrl.*` / `link.*` metrics (the latter read
+    /// straight from the pass-0 scratch columns).
     fn observe_round(
         &self,
         now: f64,
         round: u64,
         violations: &[SlaViolation],
-        link_obs: Vec<(f64, f64)>,
         elapsed: std::time::Duration,
     ) {
         use scda_obs::TraceEvent;
         let changed_dirs = self.changed_nodes(0.05) as u32;
         let duration_us = 1e6 * elapsed.as_secs_f64();
+        let nr = self.n_rms();
         self.obs.with_core(|c| {
             for v in violations {
                 c.tracer.push(TraceEvent::SlaViolationDetected {
@@ -572,19 +950,20 @@ impl ControlTree {
             for h in 0..=self.hmax {
                 let mut hat_down = f64::NEG_INFINITY;
                 let mut hat_up = f64::NEG_INFINITY;
-                for n in self.nodes.iter().filter(|n| n.level == h) {
-                    hat_down = hat_down.max(n.down.r_hat);
-                    hat_up = hat_up.max(n.up.r_hat);
+                let (lo, hi) = (
+                    self.level_offsets[h as usize],
+                    self.level_offsets[h as usize + 1],
+                );
+                for &id in &self.order[lo..hi] {
+                    hat_down = hat_down.max(self.down.r_hat[id.0]);
+                    hat_up = hat_up.max(self.up.r_hat[id.0]);
                 }
                 let mut check_down = f64::INFINITY;
                 let mut check_up = f64::INFINITY;
-                for &rm in &self.rms {
-                    let n = &self.nodes[rm.0];
-                    if let Some(&v) = n.r_check_down.get(h as usize) {
-                        check_down = check_down.min(v);
-                    }
-                    if let Some(&v) = n.r_check_up.get(h as usize) {
-                        check_up = check_up.min(v);
+                for pos in 0..nr {
+                    if (h as usize) < self.rm_depth[pos] as usize {
+                        check_down = check_down.min(self.r_check_down[h as usize * nr + pos]);
+                        check_up = check_up.min(self.r_check_up[h as usize * nr + pos]);
                     }
                 }
                 c.tracer.push(TraceEvent::RatePropagation {
@@ -611,31 +990,41 @@ impl ControlTree {
                 .counter_add(scda_obs::metric::CTRL_CHANGED_DIRS, changed_dirs as u64);
             c.metrics
                 .observe(scda_obs::metric::CTRL_ROUND_DURATION_US, duration_us);
-            for (queue, util) in link_obs {
-                c.metrics.observe(scda_obs::metric::LINK_QUEUE_BYTES, queue);
-                c.metrics.observe(scda_obs::metric::LINK_UTILIZATION, util);
+            for id in 0..self.levels.len() {
+                for scr in [&self.down_scratch, &self.up_scratch] {
+                    c.metrics
+                        .observe(scda_obs::metric::LINK_QUEUE_BYTES, scr.queue[id]);
+                    c.metrics
+                        .observe(scda_obs::metric::LINK_UTILIZATION, scr.util[id]);
+                }
             }
         });
     }
 
     /// The RAs at a given tree level, in construction order (level 1 =
     /// one per rack in the three-tier tree).
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a Vec per query; use `ras_at_iter` on hot paths"
+    )]
     pub fn ras_at(&self, level: u8) -> Vec<CtrlId> {
         self.ras_at_iter(level).collect()
     }
 
-    /// Iterator form of [`ras_at`]: the RAs at a given tree level in
+    /// Iterator form of `ras_at`: the RAs at a given tree level in
     /// construction order, without allocating a `Vec` per query (the NNS
     /// asks for rack-level RAs on hot selection paths).
-    ///
-    /// [`ras_at`]: ControlTree::ras_at
     pub fn ras_at_iter(&self, level: u8) -> impl Iterator<Item = CtrlId> + '_ {
         assert!(level >= 1, "level 0 holds RMs, not RAs");
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(move |(_, n)| n.level == level)
-            .map(|(i, _)| CtrlId(i))
+        let (lo, hi) = if level <= self.hmax {
+            (
+                self.level_offsets[level as usize],
+                self.level_offsets[level as usize + 1],
+            )
+        } else {
+            (0, 0)
+        };
+        self.order[lo..hi].iter().copied()
     }
 
     /// The best block server *under a specific RA* — §VI: "If the NNS
@@ -643,18 +1032,17 @@ impl ControlTree {
     /// level 1 of the corresponding rack for the best server in that
     /// rack."
     pub fn best_server_at(&self, ra: CtrlId, dir: Direction) -> Option<(NodeId, f64)> {
-        let n = &self.nodes[ra.0];
-        let s = match dir {
-            Direction::Down => &n.down,
-            Direction::Up => &n.up,
+        let cols = match dir {
+            Direction::Down => &self.down,
+            Direction::Up => &self.up,
         };
-        s.best_bs.map(|bs| (bs, s.r_hat))
+        cols.best_bs[ra.0].map(|bs| (bs, cols.r_hat[ra.0]))
     }
 
     /// The best interactive-content server under a specific RA
     /// (max of `min(R̂_d, R̂_u)` over its subtree).
     pub fn best_server_interactive_at(&self, ra: CtrlId) -> Option<(NodeId, f64)> {
-        self.nodes[ra.0].best_inter.map(|(v, bs)| (bs, v))
+        self.best_inter[ra.0].map(|(v, bs)| (bs, v))
     }
 
     /// Number of nodes whose own-link allocation moved by more than
@@ -662,72 +1050,85 @@ impl ControlTree {
     /// optimization sends updates only for these ("it can send the
     /// difference ... if there is a change in the rate values").
     pub fn changed_nodes(&self, rel_eps: f64) -> usize {
-        self.nodes
-            .iter()
-            .flat_map(|n| [&n.down, &n.up])
-            .filter(|d| {
-                let prev = d.r_prev_round;
-                let cur = d.r_own;
-                (cur - prev).abs() > rel_eps * prev.max(1.0)
+        let changed =
+            |prev: f64, cur: f64| usize::from((cur - prev).abs() > rel_eps * prev.max(1.0));
+        (0..self.levels.len())
+            .map(|i| {
+                changed(self.down.r_prev_round[i], self.down.r_own[i])
+                    + changed(self.up.r_prev_round[i], self.up.r_own[i])
             })
-            .count()
+            .sum()
     }
 
     /// The best block server in the whole cloud by direction — what the NNS
     /// gets when it asks the level-`h_max` RA (global write placement).
     pub fn best_server_global(&self, dir: Direction) -> Option<(NodeId, f64)> {
-        let s = match dir {
-            Direction::Down => &self.nodes[self.root.0].down,
-            Direction::Up => &self.nodes[self.root.0].up,
-        };
-        s.best_bs.map(|bs| (bs, s.r_hat))
+        self.best_server_at(self.root, dir)
     }
 
     /// The best server for interactive content: global argmax of
     /// `min(R̂_d, R̂_u)` (§VII-A).
     pub fn best_server_interactive(&self) -> Option<(NodeId, f64)> {
-        self.nodes[self.root.0].best_inter.map(|(v, bs)| (bs, v))
+        self.best_inter[self.root.0].map(|(v, bs)| (bs, v))
     }
 
     /// Per-server metrics for filtered selection (replica placement with
     /// exclusions, dormancy filters, power-aware ranking). RMs in
     /// construction order — deterministic.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a Vec per query; use `server_metrics_into` with a reused buffer"
+    )]
     pub fn server_metrics(&self) -> Vec<ServerMetrics> {
         let mut out = Vec::new();
         self.server_metrics_into(&mut out);
         out
     }
 
-    /// Allocation-free variant of [`server_metrics`]: clears and refills
-    /// `out`, so hot per-arrival selection paths can reuse one buffer.
-    ///
-    /// [`server_metrics`]: ControlTree::server_metrics
+    /// Allocation-free per-server metrics: clears and refills `out`, so
+    /// hot per-arrival selection paths can reuse one buffer.
     pub fn server_metrics_into(&self, out: &mut Vec<ServerMetrics>) {
         out.clear();
-        out.reserve(self.rms.len());
-        for &rm in &self.rms {
-            let n = &self.nodes[rm.0];
-            let fill = |levels: &Vec<f64>, fallback: f64| {
-                let mut arr = [fallback; MAX_LEVELS];
-                let mut last = fallback;
-                for (i, slot) in arr.iter_mut().enumerate() {
-                    if let Some(&v) = levels.get(i) {
-                        last = v;
-                    }
-                    *slot = last;
-                }
-                arr
+        let nr = self.n_rms();
+        out.reserve(nr);
+        for (pos, &rm) in self.rms().iter().enumerate() {
+            let id = rm.0;
+            let r0_down = self.down.r_hat[id];
+            let r0_up = self.up.r_hat[id];
+            // Before the first round the Ř columns are unfilled — every
+            // level falls back to R̂⁰, like the old empty per-RM vectors.
+            let depth = if self.round > 0 {
+                self.rm_depth[pos] as usize
+            } else {
+                0
             };
-            let down_levels = fill(&n.r_check_down, n.down.r_hat);
-            let up_levels = fill(&n.r_check_up, n.up.r_hat);
+            let mut down_levels = [r0_down; MAX_LEVELS];
+            let mut up_levels = [r0_up; MAX_LEVELS];
+            let mut last_d = r0_down;
+            let mut last_u = r0_up;
+            for (h, (slot_d, slot_u)) in down_levels.iter_mut().zip(&mut up_levels).enumerate() {
+                if h < depth {
+                    last_d = self.r_check_down[h * nr + pos];
+                    last_u = self.r_check_up[h * nr + pos];
+                }
+                *slot_d = last_d;
+                *slot_u = last_u;
+            }
+            let (path_down, path_up) = if depth > 0 {
+                (
+                    self.r_check_down[(depth - 1) * nr + pos],
+                    self.r_check_up[(depth - 1) * nr + pos],
+                )
+            } else {
+                (r0_down, r0_up)
+            };
             out.push(ServerMetrics {
-                server: n
-                    .server
+                server: self.servers[id]
                     .expect("invariant: RMs (level 0) are constructed with a server"),
-                r0_down: n.down.r_hat,
-                r0_up: n.up.r_hat,
-                path_down: n.r_check_down.last().copied().unwrap_or(n.down.r_hat),
-                path_up: n.r_check_up.last().copied().unwrap_or(n.up.r_hat),
+                r0_down,
+                r0_up,
+                path_down,
+                path_up,
                 down_levels,
                 up_levels,
                 n_levels: (self.hmax + 1).min(MAX_LEVELS as u8),
@@ -740,12 +1141,26 @@ impl ControlTree {
     /// server's own link.
     pub fn rate_to_level(&self, server: NodeId, level: u8, dir: Direction) -> Option<f64> {
         let rm = self.rm_of(server)?;
-        let n = &self.nodes[rm.0];
-        let v = match dir {
-            Direction::Down => &n.r_check_down,
-            Direction::Up => &n.r_check_up,
-        };
-        v.get(level as usize).copied()
+        if self.round == 0 {
+            return None;
+        }
+        let pos = self.rm_pos[rm.0] as usize;
+        if level as usize >= self.rm_depth[pos] as usize {
+            return None;
+        }
+        let nr = self.n_rms();
+        Some(match dir {
+            Direction::Down => self.r_check_down[level as usize * nr + pos],
+            Direction::Up => self.r_check_up[level as usize * nr + pos],
+        })
+    }
+
+    /// A level-0 RM's ancestor chain (node indices, nearest first).
+    fn ancestors_of(&self, rm: CtrlId) -> &[u32] {
+        let pos = self.rm_pos[rm.0] as usize;
+        let stride = self.hmax as usize;
+        let n_anc = self.rm_depth[pos] as usize - 1;
+        &self.rm_anc[pos * stride..pos * stride + n_anc]
     }
 
     /// The lowest tree level at which two servers share an ancestor RA
@@ -757,18 +1172,11 @@ impl ControlTree {
             return Some(0);
         }
         let (ra, rb) = (self.rm_of(a)?, self.rm_of(b)?);
-        let mut anc_a = Vec::new();
-        let mut cur = self.nodes[ra.0].parent;
-        while let Some(p) = cur {
-            anc_a.push(p);
-            cur = self.nodes[p.0].parent;
-        }
-        let mut cur = self.nodes[rb.0].parent;
-        while let Some(p) = cur {
+        let anc_a = self.ancestors_of(ra);
+        for &p in self.ancestors_of(rb) {
             if anc_a.contains(&p) {
-                return Some(self.nodes[p.0].level);
+                return Some(self.levels[p as usize]);
             }
-            cur = self.nodes[p.0].parent;
         }
         None
     }
@@ -793,28 +1201,21 @@ impl ControlTree {
     /// "offloaded to an external server ... for data mining").
     pub fn snapshot(&self, now: f64) -> crate::diagnostics::TreeSnapshot {
         use crate::diagnostics::{DirSnapshot, NodeSnapshot, TreeSnapshot};
+        let dir_snap = |cols: &DirColumns, i: usize| DirSnapshot {
+            link: cols.link[i],
+            capacity: cols.cap[i],
+            rate: cols.r_alloc[i],
+            r_hat: cols.r_hat[i],
+            best_bs: cols.best_bs[i],
+        };
         TreeSnapshot {
             time: now,
-            nodes: self
-                .nodes
-                .iter()
-                .map(|n| NodeSnapshot {
-                    level: n.level,
-                    server: n.server,
-                    down: DirSnapshot {
-                        link: n.down_link,
-                        capacity: n.down.alloc.capacity(),
-                        rate: n.down.alloc.rate(),
-                        r_hat: n.down.r_hat,
-                        best_bs: n.down.best_bs,
-                    },
-                    up: DirSnapshot {
-                        link: n.up_link,
-                        capacity: n.up.alloc.capacity(),
-                        rate: n.up.alloc.rate(),
-                        r_hat: n.up.r_hat,
-                        best_bs: n.up.best_bs,
-                    },
+            nodes: (0..self.levels.len())
+                .map(|i| NodeSnapshot {
+                    level: self.levels[i],
+                    server: self.servers[i],
+                    down: dir_snap(&self.down, i),
+                    up: dir_snap(&self.up, i),
                 })
                 .collect(),
         }
@@ -824,13 +1225,15 @@ impl ControlTree {
     /// plane applied reserve bandwidth and the allocator must agree.
     /// Returns `false` if no control node monitors `link`.
     pub fn set_link_capacity(&mut self, link: LinkId, capacity_bytes_per_s: f64) -> bool {
-        for n in &mut self.nodes {
-            if n.down_link == link {
-                n.down.alloc.set_capacity(capacity_bytes_per_s);
+        for i in 0..self.levels.len() {
+            if self.down.link[i] == link {
+                assert!(capacity_bytes_per_s > 0.0, "capacity must stay positive");
+                self.down.cap[i] = capacity_bytes_per_s;
                 return true;
             }
-            if n.up_link == link {
-                n.up.alloc.set_capacity(capacity_bytes_per_s);
+            if self.up.link[i] == link {
+                assert!(capacity_bytes_per_s > 0.0, "capacity must stay positive");
+                self.up.cap[i] = capacity_bytes_per_s;
                 return true;
             }
         }
@@ -868,6 +1271,13 @@ mod tests {
         (tree, ct)
     }
 
+    /// `server_metrics` into a fresh buffer (test convenience).
+    fn metrics_of(ct: &ControlTree) -> Vec<ServerMetrics> {
+        let mut out = Vec::new();
+        ct.server_metrics_into(&mut out);
+        out
+    }
+
     #[test]
     fn construction_counts_nodes() {
         let (tree, ct) = small_tree();
@@ -884,7 +1294,7 @@ mod tests {
         let (tree, mut ct) = small_tree();
         let v = ct.control_round(0.0, &mut Idle);
         assert!(v.is_empty(), "idle cloud has no SLA violations");
-        let m = ct.server_metrics();
+        let m = metrics_of(&ct);
         assert_eq!(m.len(), 12);
         let x = mbps(500.0) / 8.0;
         for sm in &m {
@@ -971,8 +1381,7 @@ mod tests {
         }
         let slow = tree.servers[0][0];
         ct.control_round(0.0, &mut SlowDisk { slow });
-        let m = ct
-            .server_metrics()
+        let m = metrics_of(&ct)
             .into_iter()
             .find(|sm| sm.server == slow)
             .unwrap();
@@ -1085,7 +1494,7 @@ mod tests {
     fn level_cache_matches_rate_to_level() {
         let (tree, mut ct) = small_tree();
         ct.control_round(0.0, &mut Idle);
-        for m in ct.server_metrics() {
+        for m in metrics_of(&ct) {
             assert_eq!(m.n_levels, 4);
             for h in 0..=ct.hmax() {
                 let down = ct.rate_to_level(m.server, h, Direction::Down).unwrap();
@@ -1115,18 +1524,31 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_allocating_forms_match_the_replacements() {
+        // The deprecated `server_metrics`/`ras_at` must stay exact
+        // wrappers of the `_into`/iterator forms until they are removed.
+        let (_tree, mut ct) = small_tree();
+        ct.control_round(0.0, &mut Idle);
+        let owned = ct.server_metrics();
+        let reused = metrics_of(&ct);
+        assert_eq!(owned.len(), reused.len());
+        for (a, b) in owned.iter().zip(&reused) {
+            assert_eq!(a.server, b.server);
+            assert_eq!(a.r0_down.to_bits(), b.r0_down.to_bits());
+            assert_eq!(a.path_up.to_bits(), b.path_up.to_bits());
+        }
+        assert_eq!(ct.ras_at(1), ct.ras_at_iter(1).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn rack_local_selection_stays_in_rack() {
         // §VI: the NNS can ask a level-1 RA for the best server *in that
         // rack*.
         let (tree, mut ct) = small_tree();
         ct.control_round(0.0, &mut Idle);
-        let racks = ct.ras_at(1);
+        let racks: Vec<CtrlId> = ct.ras_at_iter(1).collect();
         assert_eq!(racks.len(), 4, "one level-1 RA per rack");
-        assert_eq!(
-            ct.ras_at_iter(1).collect::<Vec<_>>(),
-            racks,
-            "iterator form matches the collecting form"
-        );
         for (r, &ra) in racks.iter().enumerate() {
             let (bs, rate) = ct
                 .best_server_at(ra, Direction::Down)
@@ -1136,8 +1558,9 @@ mod tests {
             let (ibs, _) = ct.best_server_interactive_at(ra).expect("rack has servers");
             assert!(tree.servers[r].contains(&ibs));
         }
-        assert_eq!(ct.ras_at(2).len(), 2);
-        assert_eq!(ct.ras_at(3).len(), 1);
+        assert_eq!(ct.ras_at_iter(2).count(), 2);
+        assert_eq!(ct.ras_at_iter(3).count(), 1);
+        assert_eq!(ct.ras_at_iter(7).count(), 0, "levels past hmax are empty");
     }
 
     #[test]
@@ -1272,12 +1695,73 @@ mod tests {
             plain.control_round(i as f64 * 0.05, &mut Idle);
             observed.control_round(i as f64 * 0.05, &mut Idle);
         }
-        let a = plain.server_metrics();
-        let b = observed.server_metrics();
+        let a = metrics_of(&plain);
+        let b = metrics_of(&observed);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.r0_down, y.r0_down);
             assert_eq!(x.path_up, y.path_up);
         }
+    }
+
+    #[test]
+    fn parallel_fold_is_bit_identical_to_serial() {
+        // A tree wide enough for the parallel arm (level-1 width ≥
+        // PAR_MIN_WIDTH), driven by skewed telemetry so ties and
+        // near-ties exercise the first-wins merge. The parallel twin
+        // must reproduce the serial results bit for bit.
+        let cfg = ThreeTierConfig {
+            racks: 100,
+            servers_per_rack: 2,
+            racks_per_agg: 10,
+            clients: 4,
+            ..Default::default()
+        };
+        struct Mixed;
+        impl Telemetry for Mixed {
+            fn sample(&mut self, l: LinkId) -> LinkSample {
+                LinkSample {
+                    queue_bytes: (l.0 % 11) as f64 * 2e4,
+                    flow_rate_sum: (l.0 % 17) as f64 * 2e6,
+                    arrival_rate: (l.0 % 17) as f64 * 2e6,
+                }
+            }
+            fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
+                RateCaps::default()
+            }
+        }
+        let tree = cfg.build();
+        let mut serial = ControlTree::from_three_tier(&tree, Params::default(), MetricKind::Full);
+        let mut parallel = ControlTree::from_three_tier(&tree, Params::default(), MetricKind::Full);
+        serial.set_parallel_threshold(usize::MAX);
+        parallel.set_parallel_threshold(0);
+        for i in 0..6 {
+            let now = i as f64 * 0.05;
+            let vs = serial.control_round(now, &mut Mixed);
+            let vp = parallel.control_round(now, &mut Mixed);
+            assert_eq!(vs.len(), vp.len(), "round {i}: violation counts");
+        }
+        let (ms, mp) = (metrics_of(&serial), metrics_of(&parallel));
+        assert_eq!(ms.len(), mp.len());
+        for (a, b) in ms.iter().zip(&mp) {
+            assert_eq!(a.server, b.server);
+            assert_eq!(a.r0_down.to_bits(), b.r0_down.to_bits());
+            assert_eq!(a.r0_up.to_bits(), b.r0_up.to_bits());
+            assert_eq!(a.path_down.to_bits(), b.path_down.to_bits());
+            assert_eq!(a.path_up.to_bits(), b.path_up.to_bits());
+            for h in 0..MAX_LEVELS {
+                assert_eq!(a.down_levels[h].to_bits(), b.down_levels[h].to_bits());
+                assert_eq!(a.up_levels[h].to_bits(), b.up_levels[h].to_bits());
+            }
+        }
+        assert_eq!(
+            serial.best_server_global(Direction::Down),
+            parallel.best_server_global(Direction::Down),
+            "first-wins tie-breaking must survive the parallel fold"
+        );
+        assert_eq!(
+            serial.best_server_interactive(),
+            parallel.best_server_interactive()
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ use scda_core::{
 use scda_metrics::{FctStats, FlowRecord};
 use scda_simnet::builders::ThreeTierConfig;
 use scda_simnet::{FlowId, LinkId, Network, NodeId};
-use scda_transport::{AnyTransport, FlowDriver, ScdaWindow, Transport};
+use scda_transport::{AnyTransport, FlowDriver, ScdaWindow};
 
 use crate::runner::SelectionPolicy;
 
@@ -208,6 +208,9 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
     let mut reads_skipped = 0usize;
 
     let mut link_loads = vec![0.0_f64; n_links];
+    // Reused across every selection below — `server_metrics_into` refills
+    // it without reallocating, so per-arrival placement stays alloc-free.
+    let mut metrics_buf = Vec::new();
     {
         let loads = link_loads.clone();
         let mut tel = Tel {
@@ -255,8 +258,8 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
             // the emptier disk — "balance load among all data ... servers
             // automatically" (§XII). The 5%-per-object discount is far
             // smaller than any real rate differential.
-            let mut metrics = ct.server_metrics();
-            for m in &mut metrics {
+            ct.server_metrics_into(&mut metrics_buf);
+            for m in &mut metrics_buf {
                 let k = stores
                     .get(&m.server)
                     .map(BlockServer::object_count)
@@ -265,7 +268,7 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
                 m.path_down /= tie_break;
                 m.r0_down /= tie_break;
             }
-            let sel = Selector::new(&metrics, None, &selector_cfg);
+            let sel = Selector::new(&metrics_buf, None, &selector_cfg);
             let primary = match cfg.selection {
                 SelectionPolicy::BestRate => {
                     sel.write_target(ContentClass::SemiInteractiveRead, &[])
@@ -324,14 +327,14 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
             let meta = ns.lookup_mut(content).expect("registered");
             meta.stats.record_read(now);
             let holders = meta.holders();
-            let mut metrics = ct.server_metrics();
-            for m in &mut metrics {
+            ct.server_metrics_into(&mut metrics_buf);
+            for m in &mut metrics_buf {
                 if let Some(&k) = outstanding_reads.get(&m.server) {
                     m.path_up /= 1.0 + k as f64;
                     m.r0_up /= 1.0 + k as f64;
                 }
             }
-            let sel = Selector::new(&metrics, None, &selector_cfg);
+            let sel = Selector::new(&metrics_buf, None, &selector_cfg);
             let holder = match cfg.selection {
                 SelectionPolicy::BestRate => sel.read_source(&holders).expect("holders exist").0,
                 SelectionPolicy::Random => holders[rng.random_range(0..holders.len())],
@@ -379,14 +382,7 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
         // --- control round ---
         if now + 1e-12 >= next_ctrl {
             next_ctrl += cfg.tau;
-            link_loads.fill(0.0);
-            for (id, _, _) in driver.active_flows() {
-                let rtt = driver.net().rtt(id);
-                let rate = driver.transport(id).expect("active").offered_rate(rtt);
-                for &l in &driver.net().flow(id).path {
-                    link_loads[l.index()] += rate;
-                }
-            }
+            driver.offered_loads_into(&mut link_loads);
             {
                 let loads = std::mem::take(&mut link_loads);
                 let mut tel = Tel {
@@ -434,8 +430,8 @@ pub fn run_content(cfg: &ContentRunConfig) -> ContentRunResult {
                     });
                     // Replicate per §VIII-B.
                     let meta = ns.lookup(content).expect("registered");
-                    let metrics = ct.server_metrics();
-                    let sel = Selector::new(&metrics, None, &selector_cfg);
+                    ct.server_metrics_into(&mut metrics_buf);
+                    let sel = Selector::new(&metrics_buf, None, &selector_cfg);
                     // Restrict candidates to the primary's rack when the
                     // scope says so — exclude everything outside it.
                     let out_of_scope: Vec<NodeId> = match cfg.replica_scope {

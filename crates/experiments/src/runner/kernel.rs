@@ -132,6 +132,15 @@ impl SimKernel {
         &mut self.driver
     }
 
+    /// Pre-size the pending-start heap, the start table, and the driver's
+    /// flow columns for `n` flows, so hyperscale runs build their arrival
+    /// schedule without doubling reallocations.
+    pub fn reserve_flows(&mut self, n: usize) {
+        self.pending.reserve(n);
+        self.starts.reserve(n);
+        self.driver.reserve_flows(n);
+    }
+
     /// Schedule a flow: allocate the next id, park the start on the heap.
     fn schedule(&mut self, start: f64, build: impl FnOnce(FlowId) -> PendingStart) -> FlowId {
         let id = FlowId(self.next_id);

@@ -20,6 +20,14 @@ pub trait Simulation {
 /// Drain events in order until the queue empties or the next event is
 /// strictly after `deadline`. Events exactly at the deadline still run.
 /// Returns the number of events processed.
+///
+/// The drain pops same-timestamp runs as one batch (see
+/// [`Scheduler::pop_batch_until`] for the order-equivalence argument), so
+/// tick-synchronized workloads — 100k flows all rescheduled at the same τ
+/// boundary — pay one peek/clock-advance per timestamp instead of one
+/// heap rebalance per event. The batch buffer lives in the scheduler and
+/// is only borrowed here, so steady-state drains allocate nothing.
+// scda-analyze: hot(engine.drain)
 #[inline(always)]
 pub fn run_until<S: Simulation>(
     sim: &mut S,
@@ -27,14 +35,14 @@ pub fn run_until<S: Simulation>(
     deadline: SimTime,
 ) -> u64 {
     let mut processed = 0;
-    while let Some(t) = sched.peek_time() {
-        if t > deadline {
-            break;
+    let mut batch = sched.take_batch();
+    while let Some(now) = sched.pop_batch_until(deadline, &mut batch) {
+        processed += batch.len() as u64;
+        for ev in batch.drain(..) {
+            sim.handle(now, ev, sched);
         }
-        let (now, ev) = sched.pop().expect("peeked event must pop");
-        sim.handle(now, ev, sched);
-        processed += 1;
     }
+    sched.put_batch(batch);
     processed
 }
 

@@ -5,12 +5,11 @@
 //! who updates the transports between ticks (SCDA's control plane installs
 //! fresh rate allocations every τ; TCP updates itself from loss feedback).
 
-use std::collections::BTreeMap;
-
 use scda_audit::Audit;
 use scda_obs::{metric, Obs, TraceEvent};
 use scda_simnet::{FlowId, Network, NodeId};
 
+use crate::arena::FlowArena;
 use crate::flow::FlowProgress;
 use crate::{AnyTransport, Transport};
 
@@ -49,17 +48,13 @@ pub struct TickSummary {
     pub delivered_bytes: f64,
 }
 
-struct ActiveFlow {
-    progress: FlowProgress,
-    transport: AnyTransport,
-    src: NodeId,
-    dst: NodeId,
-}
-
 /// Drives a set of flows over a [`Network`] tick by tick.
 pub struct FlowDriver {
     net: Network,
-    active: BTreeMap<FlowId, ActiveFlow>,
+    /// Active flows as struct-of-arrays columns (see [`FlowArena`]);
+    /// iteration stays in ascending id order, like the `BTreeMap` this
+    /// replaced.
+    active: FlowArena,
     /// Scratch buffer of (flow, offered rate) pairs reused across ticks.
     offered: Vec<(FlowId, f64)>,
     /// Observability sink (disabled by default: every emit is one branch).
@@ -73,11 +68,19 @@ impl FlowDriver {
     pub fn new(net: Network) -> Self {
         FlowDriver {
             net,
-            active: BTreeMap::new(),
+            active: FlowArena::new(),
             offered: Vec::new(),
             obs: Obs::disabled(),
             audit: Audit::disabled(),
         }
+    }
+
+    /// Pre-size the flow columns (and the offered-rate scratch buffer)
+    /// for `n` concurrent flows, so hyperscale scenarios skip the
+    /// doubling reallocations on their way to 100k+ live flows.
+    pub fn reserve_flows(&mut self, n: usize) {
+        self.active.reserve(n);
+        self.offered.reserve(n);
     }
 
     /// Attach an observability handle: flow starts and completions are
@@ -126,16 +129,13 @@ impl FlowDriver {
         now: f64,
     ) {
         self.net.insert_flow(id, src, dst);
-        let prev = self.active.insert(
+        self.active.insert(
             id,
-            ActiveFlow {
-                progress: FlowProgress::new(id, size_bytes, now),
-                transport,
-                src,
-                dst,
-            },
+            FlowProgress::new(id, size_bytes, now),
+            transport,
+            src,
+            dst,
         );
-        assert!(prev.is_none(), "flow id {id} already driven");
         self.obs.emit_with(|| TraceEvent::FlowStarted {
             now,
             flow: id.0,
@@ -170,46 +170,45 @@ impl FlowDriver {
             let f = self.net.flow(id);
             (f.src, f.dst)
         };
-        let prev = self.active.insert(
+        self.active.insert(
             id,
-            ActiveFlow {
-                progress: FlowProgress::new(id, size_bytes, now),
-                transport,
-                src,
-                dst,
-            },
+            FlowProgress::new(id, size_bytes, now),
+            transport,
+            src,
+            dst,
         );
-        assert!(prev.is_none(), "flow id {id} already driven");
         self.audit.opened(now, id.0);
     }
 
     /// Abort an in-flight transfer (SLA mitigation may migrate a flow to a
     /// different server: abort + restart).
     pub fn abort_flow(&mut self, id: FlowId) -> Option<FlowProgress> {
-        let f = self.active.remove(&id)?;
+        let p = self.active.remove(id)?;
         self.net.remove_flow(id);
-        Some(f.progress)
+        Some(p)
     }
 
     /// The transport of an active flow (the SCDA control plane uses this
     /// to install per-τ rate allocations).
     pub fn transport_mut(&mut self, id: FlowId) -> Option<&mut AnyTransport> {
-        self.active.get_mut(&id).map(|f| &mut f.transport)
+        self.active.transport_mut(id)
     }
 
     /// Read-only transport access (telemetry sums current offered rates).
     pub fn transport(&self, id: FlowId) -> Option<&AnyTransport> {
-        self.active.get(&id).map(|f| &f.transport)
+        self.active.transport(id)
     }
 
     /// Progress of an active flow.
     pub fn progress(&self, id: FlowId) -> Option<&FlowProgress> {
-        self.active.get(&id).map(|f| &f.progress)
+        self.active.progress(id)
     }
 
     /// Iterate over active flow ids with their endpoints, in id order.
     pub fn active_flows(&self) -> impl Iterator<Item = (FlowId, NodeId, NodeId)> + '_ {
-        self.active.iter().map(|(&id, f)| (id, f.src, f.dst))
+        self.active
+            .iter()
+            .map(|(id, _, _, src, dst)| (id, src, dst))
     }
 
     /// Current queueing-inflated RTT of an active flow.
@@ -226,11 +225,12 @@ impl FlowDriver {
     /// # Panics
     ///
     /// Panics if `loads` is shorter than the topology's link count.
+    // scda-analyze: hot(kernel.control)
     pub fn offered_loads_into(&self, loads: &mut [f64]) {
         loads.fill(0.0);
-        for (&id, f) in &self.active {
+        for (id, _, transport, _, _) in self.active.iter() {
             let rtt = self.net.rtt(id);
-            let rate = f.transport.offered_rate(rtt);
+            let rate = transport.offered_rate(rtt);
             for &l in &self.net.flow(id).path {
                 loads[l.index()] += rate;
             }
@@ -242,14 +242,15 @@ impl FlowDriver {
     /// Each transport offers `min(its rate, remaining/dt)`; the network
     /// resolves contention; transports digest the outcome; completed flows
     /// are removed and reported.
+    // scda-analyze: hot(kernel.tick)
     pub fn tick(&mut self, now: f64, dt: f64) -> TickSummary {
         self.offered.clear();
-        for (&id, f) in &self.active {
+        // The offered-rate scan reads only the progress/transport columns,
+        // in id order — the arena's contiguous layout is what makes this
+        // pass cache-friendly at 100k flows.
+        for (id, progress, transport, _, _) in self.active.iter() {
             let rtt = self.net.rtt(id);
-            let rate = f
-                .transport
-                .offered_rate(rtt)
-                .min(f.progress.remaining() / dt);
+            let rate = transport.offered_rate(rtt).min(progress.remaining() / dt);
             self.offered.push((id, rate));
         }
 
@@ -258,31 +259,30 @@ impl FlowDriver {
         let tick_end = now + dt;
         let mut summary = TickSummary::default();
         for (ft, &(_, rate)) in report.flows.iter().zip(&self.offered) {
-            let f = self
+            let (progress, transport) = self
                 .active
-                .get_mut(&ft.flow)
+                .entry_mut(ft.flow)
                 .expect("invariant: the network only reports flows the driver started");
-            f.transport
-                .on_tick(now, ft.goodput_bytes, rate * dt, ft.loss_frac, ft.rtt);
+            transport.on_tick(now, ft.goodput_bytes, rate * dt, ft.loss_frac, ft.rtt);
             summary.delivered_bytes += ft.goodput_bytes;
-            if f.progress.on_delivered(ft.goodput_bytes, tick_end) {
+            if progress.on_delivered(ft.goodput_bytes, tick_end) {
                 // The fluid model streams bytes with zero transit time; the
                 // last byte really lands one forward-propagation later
                 // (validated against the packet-level simulator in
                 // tests/fluid_vs_packet.rs).
-                let one_way = self.net.flow(ft.flow).base_rtt / 2.0;
+                let f = self.net.flow(ft.flow);
                 summary.completed.push(CompletedFlow {
                     id: ft.flow,
-                    size_bytes: f.progress.size_bytes,
-                    start: f.progress.start,
-                    finish: tick_end + one_way,
+                    size_bytes: progress.size_bytes,
+                    start: progress.start,
+                    finish: tick_end + f.base_rtt / 2.0,
                     src: f.src,
                     dst: f.dst,
                 });
             }
         }
         for c in &summary.completed {
-            self.active.remove(&c.id);
+            self.active.remove(c.id);
             self.net.remove_flow(c.id);
         }
         if self.obs.is_enabled() && !summary.completed.is_empty() {

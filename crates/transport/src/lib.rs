@@ -20,11 +20,13 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod driver;
 pub mod flow;
 pub mod scda;
 pub mod tcp;
 
+pub use arena::{FlowArena, FlowHandle};
 pub use driver::{CompletedFlow, FlowDriver};
 pub use flow::FlowProgress;
 pub use scda::ScdaWindow;

@@ -1,0 +1,131 @@
+//! Property tests for the generational flow arena: the slab layout must
+//! be observationally identical to the `BTreeMap<FlowId, ActiveFlow>` it
+//! replaced, and slot recycling must never let a stale handle alias a
+//! live flow.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use scda_simnet::{FlowId, NodeId};
+use scda_transport::arena::{FlowArena, FlowHandle};
+use scda_transport::{AnyTransport, FlowProgress, Reno};
+
+/// One step of a random flow lifecycle.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Start flow `id` (skipped if already live).
+    Insert(u64),
+    /// Abort flow `id` (skipped if not live).
+    Remove(u64),
+    /// Deliver all remaining bytes to flow `id` and remove it, like the
+    /// driver's completion sweep (skipped if not live).
+    Complete(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small id universe forces heavy slot reuse and id collisions.
+    prop_oneof![
+        (0u64..24).prop_map(Op::Insert),
+        (0u64..24).prop_map(Op::Remove),
+        (0u64..24).prop_map(Op::Complete),
+    ]
+}
+
+fn transport() -> AnyTransport {
+    AnyTransport::Tcp(Reno::default())
+}
+
+proptest! {
+    /// Iteration order and contents match a `BTreeMap` model after any
+    /// insert/remove/complete sequence — the determinism contract every
+    /// downstream float accumulation relies on.
+    #[test]
+    fn iteration_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut arena = FlowArena::new();
+        let mut model: BTreeMap<FlowId, f64> = BTreeMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            let size = 1000.0 + i as f64;
+            match *op {
+                Op::Insert(id) => {
+                    let id = FlowId(id);
+                    if let std::collections::btree_map::Entry::Vacant(slot) = model.entry(id) {
+                        arena.insert(
+                            id,
+                            FlowProgress::new(id, size, 0.0),
+                            transport(),
+                            NodeId(1),
+                            NodeId(2),
+                        );
+                        slot.insert(size);
+                    }
+                }
+                Op::Remove(id) => {
+                    let id = FlowId(id);
+                    let removed = arena.remove(id);
+                    prop_assert_eq!(removed.is_some(), model.remove(&id).is_some());
+                }
+                Op::Complete(id) => {
+                    let id = FlowId(id);
+                    if model.contains_key(&id) {
+                        let (progress, _) = arena.entry_mut(id).expect("model says live");
+                        let remaining = progress.remaining();
+                        prop_assert!(progress.on_delivered(remaining, 1.0));
+                        arena.remove(id);
+                        model.remove(&id);
+                    }
+                }
+            }
+            // After every step: same ids, same order, same sizes.
+            prop_assert_eq!(arena.len(), model.len());
+            let got: Vec<(FlowId, f64)> =
+                arena.iter().map(|(id, p, _, _, _)| (id, p.size_bytes)).collect();
+            let want: Vec<(FlowId, f64)> = model.iter().map(|(&id, &s)| (id, s)).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Slot reuse never aliases: a handle taken at insert time resolves
+    /// to its own flow exactly while that flow is live, and never to any
+    /// later occupant of the recycled slot.
+    #[test]
+    fn stale_handles_never_alias_live_generations(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut arena = FlowArena::new();
+        // Every handle ever issued, with the id it was issued for and
+        // whether that incarnation is still live.
+        let mut issued: Vec<(FlowHandle, FlowId, bool)> = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(id) => {
+                    let id = FlowId(id);
+                    if arena.progress(id).is_none() {
+                        let h = arena.insert(
+                            id,
+                            FlowProgress::new(id, 1000.0, 0.0),
+                            transport(),
+                            NodeId(1),
+                            NodeId(2),
+                        );
+                        issued.push((h, id, true));
+                    }
+                }
+                Op::Remove(id) | Op::Complete(id) => {
+                    let id = FlowId(id);
+                    if arena.remove(id).is_some() {
+                        for e in issued.iter_mut().filter(|e| e.1 == id) {
+                            e.2 = false;
+                        }
+                    }
+                }
+            }
+            for &(h, id, live) in &issued {
+                if live {
+                    prop_assert_eq!(arena.resolve(h), Some(id), "live handle must resolve");
+                } else {
+                    prop_assert_eq!(arena.resolve(h), None, "stale handle must not alias");
+                }
+            }
+        }
+    }
+}

@@ -72,7 +72,8 @@ fn main() {
         }
     });
 
-    let metrics = ct.server_metrics();
+    let mut metrics = Vec::new();
+    ct.server_metrics_into(&mut metrics);
     println!("per-server available uplink (fraction of X):");
     for m in &metrics {
         println!(

@@ -136,7 +136,8 @@ fn main() {
 
     // NNS reassignment: the selector now sends reads for rack-0 content to
     // the replica in rack 1.
-    let metrics = ct.server_metrics();
+    let mut metrics = Vec::new();
+    ct.server_metrics_into(&mut metrics);
     let cfg = SelectorConfig {
         r_scale: f64::INFINITY,
         power_aware: false,

@@ -14,6 +14,12 @@
 //!   `benches/control_round.rs`;
 //! * `control_round_paper` (`--full` only) — the same round at the
 //!   paper's figure-6 deployment scale (163 racks × 10 servers);
+//! * `control_round_hyperscale` — the arena-layout stress scenario
+//!   (DESIGN.md §10): a 1,000-rack × 10-server tree carrying 100 000
+//!   concurrent SCDA flows, where every iteration runs a full driver
+//!   tick, the offered-load telemetry sweep, the RM/RA control round and
+//!   the server-metric refresh on reused arena storage (`--full` runs
+//!   more iterations; the quick variant is CI's canary);
 //! * `engine_drain_10k` — scheduler drain of 10 000 self-rescheduling
 //!   timer events through `run_until_audited`, mirroring
 //!   `benches/engine.rs`;
@@ -43,7 +49,8 @@ use scda_experiments::{run_scda, Scale, ScdaOptions, Scenario};
 use scda_obs::{phase, Obs};
 use scda_simnet::builders::ThreeTierConfig;
 use scda_simnet::units::SimTime;
-use scda_simnet::{run_until_audited, LinkId, NodeId, Scheduler, Simulation};
+use scda_simnet::{run_until_audited, FlowId, LinkId, Network, NodeId, Scheduler, Simulation};
+use scda_transport::{AnyTransport, FlowDriver, ScdaWindow};
 
 fn usage() -> ! {
     eprintln!("usage: perf [--full] [--seed S] [--out PATH] [--check BASELINE] [--threshold PCT]");
@@ -84,6 +91,16 @@ fn scale_config(label: &str) -> ThreeTierConfig {
             servers_per_rack: 10,
             racks_per_agg: 28,
             clients: 64,
+            ..Default::default()
+        },
+        // The hyperscale arena scenario (DESIGN.md §10): 10 000 servers,
+        // ~11k control nodes — wide enough that the control tree's
+        // parallel subtree fold engages at the ToR level.
+        "hyper-1000x10" => ThreeTierConfig {
+            racks: 1000,
+            servers_per_rack: 10,
+            racks_per_agg: 40,
+            clients: 128,
             ..Default::default()
         },
         other => unreachable!("unknown scale {other}"),
@@ -131,6 +148,113 @@ fn bench_control_round(name: &'static str, label: &str, iters: u64) -> ScenarioR
             ("iters", iters),
             ("servers", metrics.len() as u64),
             ("violations_total", violations_total),
+        ],
+        wall_s,
+        rates: vec![("rounds_per_s", iters as f64 / wall_s.max(1e-12))],
+        phase_us: phase_us_of(&obs),
+    }
+}
+
+/// The hyperscale arena scenario: 1,000 racks × 10 servers carrying
+/// `flows` concurrent SCDA transfers. Sources are one server per rack
+/// (bounding the routing cache to one Dijkstra per rack); destinations
+/// sweep the whole fleet, so paths cross ToR, aggregation and core
+/// levels. Transfer sizes are effectively infinite — the point is a
+/// steady ≥100k-concurrent-flow regime, not completions. Setup (tree
+/// build, routing, flow admission) is excluded from the timed window.
+fn bench_hyperscale(flows: u64, iters: u64) -> ScenarioResult {
+    let tree = scale_config("hyper-1000x10").build();
+    let servers = tree.all_servers();
+    let n = servers.len();
+    let n_links = tree.topo.link_count();
+    let params = Params::default();
+    let mut ct = ControlTree::from_three_tier(&tree, params.clone(), MetricKind::Full);
+    let racks = tree.server_links.len();
+
+    let mut driver = FlowDriver::new(Network::new(tree.topo));
+    driver.reserve_flows(flows as usize);
+    for i in 0..flows {
+        // One source server per rack; destinations stride the fleet with
+        // a prime so consecutive flows land on different subtrees.
+        let src = servers[(i as usize % racks) * (n / racks)];
+        let mut dst = servers[(i as usize * 7919 + n / 2) % n];
+        if dst == src {
+            dst = servers[(i as usize * 7919 + n / 2 + 1) % n];
+        }
+        driver.start_flow(
+            FlowId(i),
+            src,
+            dst,
+            1e15,
+            AnyTransport::Scda(ScdaWindow::new(1e6, 1e6, 1e-3)),
+            0.0,
+        );
+    }
+
+    struct LoadTel<'a> {
+        net: &'a mut Network,
+        loads: &'a [f64],
+        tau: f64,
+    }
+    impl Telemetry for LoadTel<'_> {
+        fn sample(&mut self, l: LinkId) -> LinkSample {
+            LinkSample {
+                queue_bytes: self.net.link_state(l).queue_bytes,
+                flow_rate_sum: self.loads[l.index()],
+                arrival_rate: self.net.link_state_mut(l).take_arrived() / self.tau,
+            }
+        }
+        fn rate_caps(&mut self, _s: NodeId) -> RateCaps {
+            RateCaps::default()
+        }
+    }
+
+    let mut link_loads = vec![0.0_f64; n_links];
+    let mut metrics = Vec::new();
+    let mut now = 0.0;
+    let mut violations_total = 0u64;
+    let mut completed = 0u64;
+    // Warm one super-step so lazy allocations don't bill the first sample.
+    now += params.tau;
+    driver.tick(now, params.tau);
+    driver.offered_loads_into(&mut link_loads);
+    {
+        let mut tel = LoadTel {
+            net: driver.net_mut(),
+            loads: &link_loads,
+            tau: params.tau,
+        };
+        ct.control_round(now, &mut tel);
+    }
+    let obs = Obs::enabled();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        now += params.tau;
+        completed += obs.time_phase(phase::TICK, || {
+            driver.tick(now, params.tau).completed.len() as u64
+        });
+        violations_total += obs.time_phase(phase::CONTROL, || {
+            driver.offered_loads_into(&mut link_loads);
+            let mut tel = LoadTel {
+                net: driver.net_mut(),
+                loads: &link_loads,
+                tau: params.tau,
+            };
+            let v = ct.control_round(now, &mut tel).len() as u64;
+            ct.server_metrics_into(&mut metrics);
+            v
+        });
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    ScenarioResult {
+        name: "control_round_hyperscale",
+        behavior: vec![
+            ("iters", iters),
+            ("flows", flows),
+            ("servers", metrics.len() as u64),
+            ("violations_total", violations_total),
+            ("completed", completed),
+            ("active_end", driver.active_count() as u64),
         ],
         wall_s,
         rates: vec![("rounds_per_s", iters as f64 / wall_s.max(1e-12))],
@@ -289,6 +413,8 @@ const BEHAVIOR_KEYS: &[&str] = &[
     "iters",
     "servers",
     "violations_total",
+    "flows",
+    "active_end",
     "reps",
     "events",
     "requested",
@@ -410,9 +536,15 @@ fn main() {
         results.push(bench_control_round(
             "control_round_paper",
             "paper-163x10",
-            200,
+            1000,
         ));
     }
+    // Same iteration count in both modes: `violations_total` feeds back
+    // through the queues nonlinearly, so a quick gate run must replay
+    // the exact round count its full-mode baseline recorded.
+    let hyper_iters = 5;
+    eprintln!("#   control_round_hyperscale (1000x10, 100k flows) ...");
+    results.push(bench_hyperscale(100_000, hyper_iters));
     eprintln!("#   engine_drain_10k ...");
     results.push(bench_engine_drain(50));
     eprintln!("#   fig7_e2e_quick ...");

@@ -51,7 +51,8 @@ fn write_replicate_read_round_trip() {
         .map(|s| BlockServer::new(s, 1e12))
         .collect();
 
-    let metrics = ct.server_metrics();
+    let mut metrics = Vec::new();
+    ct.server_metrics_into(&mut metrics);
     let cfg = SelectorConfig {
         r_scale: f64::INFINITY,
         power_aware: false,

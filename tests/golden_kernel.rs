@@ -14,6 +14,15 @@
 //! `cargo run --release --example golden_capture -p scda-experiments`
 //! and say so in the PR. An unintentional diff here is a determinism or
 //! equivalence bug.
+//!
+//! These pins also survived the hyperscale struct-of-arrays refactor
+//! (DESIGN.md §10) *without regeneration*: flattening the control
+//! tree's per-node state into columns, columnizing the eq. 2/5 pass,
+//! run-compressing the downward Ř pass and rehousing transport flows
+//! in a generational arena all reproduce the monolith's outputs
+//! bit-for-bit. Keep it that way — columnized loops may reorder which
+//! element is processed when, but must preserve each element's exact
+//! floating-point op sequence.
 
 use scda_core::{PriorityPolicy, ResourceProfile, SelectorConfig, SlaPolicy};
 use scda_experiments::runner::{

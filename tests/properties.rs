@@ -58,7 +58,9 @@ proptest! {
                 prop_assert!(v.shortfall() > 0.0);
             }
         }
-        for m in ct.server_metrics() {
+        let mut metrics = Vec::new();
+        ct.server_metrics_into(&mut metrics);
+        for m in metrics {
             for r in [m.r0_down, m.r0_up, m.path_down, m.path_up] {
                 prop_assert!(r.is_finite() && r >= 0.0);
                 prop_assert!(r <= 6.0 * x_bytes + 1e-6, "rate {r} above any link");
