@@ -44,7 +44,7 @@ perf:
 # Refresh the committed regression baseline in place (full mode, so the
 # baseline also carries the paper-scale and hyperscale scenarios).
 perf-baseline:
-	cargo run --release --bin perf -- --full --out BENCH_2.json
+	cargo run --release --bin perf -- --full --out BENCH_3.json
 
 # CI regression gate: re-run the quick scenarios — including the
 # 1,000-rack hyperscale control round — and compare against the
@@ -53,7 +53,7 @@ perf-baseline:
 # sized for noisy shared runners — override with THRESHOLD=<pct>).
 THRESHOLD ?= 400
 perf-check:
-	cargo run --release --bin perf -- --check BENCH_2.json --threshold $(THRESHOLD)
+	cargo run --release --bin perf -- --check BENCH_3.json --threshold $(THRESHOLD)
 
 clean:
 	cargo clean

@@ -7,7 +7,7 @@ use scda_core::rate_metric::LinkSample;
 use scda_core::tree::{RateCaps, Telemetry};
 use scda_core::{ControlTree, MetricKind, Params};
 use scda_simnet::builders::ThreeTierConfig;
-use scda_simnet::{max_min_rates, FluidFlow, LinkId, NodeId};
+use scda_simnet::{max_min_rates_into, FluidFlow, LinkId, NodeId};
 
 fn bench_water_filling(c: &mut Criterion) {
     let mut g = c.benchmark_group("maxmin/water_filling");
@@ -30,7 +30,11 @@ fn bench_water_filling(c: &mut Criterion) {
                     }
                 })
                 .collect();
-            b.iter(|| max_min_rates(&caps, &flows))
+            let mut rates = Vec::with_capacity(n);
+            b.iter(|| {
+                max_min_rates_into(&caps, &flows, &mut rates);
+                rates.len()
+            })
         });
     }
     g.finish();

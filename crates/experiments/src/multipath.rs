@@ -19,7 +19,7 @@ use serde::Serialize;
 
 use scda_metrics::{jain_index, FctStats, FlowRecord, Utilization};
 use scda_simnet::builders::clos;
-use scda_simnet::{max_min_rates, EcmpRoutes, FlowId, FluidFlow, LinkId, Network};
+use scda_simnet::{EcmpRoutes, FlowId, LinkId, Network};
 use scda_transport::{AnyTransport, FlowDriver, Reno, RenoConfig, ScdaWindow, Transport};
 
 /// How paths and rates are chosen on the Clos.
@@ -116,6 +116,9 @@ pub fn run_multipath(cfg: &MultipathConfig, policy: PathPolicy) -> MultipathResu
     let n_links = topo.link_count();
     let mut ecmp = EcmpRoutes::new(&topo);
     let mut fd = FlowDriver::new(Network::new(topo));
+    if policy == PathPolicy::MaxMinRoute {
+        fd.net_mut().enable_max_min();
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Pre-draw arrivals.
@@ -134,11 +137,9 @@ pub fn run_multipath(cfg: &MultipathConfig, policy: PathPolicy) -> MultipathResu
     }
     let offered = arrivals.len();
 
-    // Paths chosen at admission; rate bookkeeping for the max/min policy.
-    struct Placed {
-        path: Vec<LinkId>,
-    }
-    let mut placed: std::collections::BTreeMap<FlowId, Placed> = Default::default();
+    // Flows placed and still in flight (the max/min policy re-levels
+    // exactly this set each τ via the network's embedded solver).
+    let mut placed: std::collections::BTreeSet<FlowId> = Default::default();
 
     let mut fct = FctStats::new();
     let mut per_flow_rate: Vec<(f64, f64)> = Vec::new(); // (bytes, fct) for fairness
@@ -171,7 +172,7 @@ pub fn run_multipath(cfg: &MultipathConfig, policy: PathPolicy) -> MultipathResu
                 for (fid, _, _) in fd.active_flows() {
                     let rtt = fd.net().rtt(fid);
                     let rate = fd.transport(fid).expect("active").offered_rate(rtt);
-                    for &l in &fd.net().flow(fid).path {
+                    for &l in fd.net().flow(fid).path() {
                         committed[l.index()] += rate;
                     }
                 }
@@ -229,26 +230,18 @@ pub fn run_multipath(cfg: &MultipathConfig, policy: PathPolicy) -> MultipathResu
                 }
             };
             fd.start_preinserted_flow(id, cfg.flow_bytes, transport, now);
-            placed.insert(id, Placed { path });
+            placed.insert(id);
         }
 
-        // Global water-filling re-allocation for the max/min policy.
+        // Incremental water-filling re-allocation for the max/min policy:
+        // the network's embedded solver tracked every placement/completion
+        // since the last τ, so solving re-levels only what changed.
         if policy == PathPolicy::MaxMinRoute && now + 1e-12 >= next_ctrl {
             next_ctrl += cfg.tau;
-            let ids: Vec<FlowId> = placed.keys().copied().collect();
-            let flows: Vec<FluidFlow> = ids
-                .iter()
-                .filter(|id| fd.progress(**id).is_some())
-                .map(|id| FluidFlow::new(placed[id].path.clone()))
-                .collect();
-            let live: Vec<FlowId> = ids
-                .iter()
-                .copied()
-                .filter(|id| fd.progress(*id).is_some())
-                .collect();
-            let rates = max_min_rates(&link_caps, &flows);
-            for (id, rate) in live.iter().zip(rates) {
-                if let Some(AnyTransport::Scda(w)) = fd.transport_mut(*id) {
+            fd.net_mut().max_min_solve();
+            for &id in placed.iter() {
+                let rate = fd.net().max_min_rate(id);
+                if let Some(AnyTransport::Scda(w)) = fd.transport_mut(id) {
                     w.set_rates(0.95 * rate, 0.95 * rate);
                 }
             }
@@ -259,7 +252,7 @@ pub fn run_multipath(cfg: &MultipathConfig, policy: PathPolicy) -> MultipathResu
         for (fid, _, _) in fd.active_flows() {
             let rtt = fd.net().rtt(fid);
             let rate = fd.transport(fid).expect("active").offered_rate(rtt);
-            for &l in &fd.net().flow(fid).path {
+            for &l in fd.net().flow(fid).path() {
                 offered_now[l.index()] += rate;
             }
         }

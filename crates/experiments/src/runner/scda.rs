@@ -503,7 +503,7 @@ impl ControlPolicy for ScdaControl {
                 let mut endpoints: Vec<NodeId> = Vec::new();
                 let mut counts: BTreeMap<AuditClass, u32> = BTreeMap::new();
                 for (fid, src, dst) in driver.active_flows() {
-                    if driver.net().flow(fid).path.contains(&v.site.link) {
+                    if driver.net().flow(fid).path().contains(&v.site.link) {
                         affected.push(fid.0);
                         endpoints.push(src);
                         endpoints.push(dst);

@@ -43,6 +43,7 @@ impl Network {
     pub fn set_link_capacity(&mut self, l: LinkId, new_bps: f64) {
         assert!(new_bps > 0.0, "capacity must stay positive");
         self.topo_mut_internal().link_mut(l).capacity_bps = new_bps;
+        self.refresh_link_columns();
         self.invalidate_routes();
     }
 
@@ -177,12 +178,12 @@ mod tests {
         let (topo, servers) = clos(2, 1, 2, 1, mbps(100.0), 0.001, 1e6);
         let mut net = Network::new(topo);
         net.insert_flow(FlowId(1), servers[0][0], servers[1][0]);
-        let path1 = net.flow(FlowId(1)).path.clone();
+        let path1 = net.flow(FlowId(1)).path().to_vec();
         // Fail the edge->agg fabric hop (the server's access link has no
         // alternative); a fresh flow must route via the other agg.
         net.fail_link(path1[1]);
         net.insert_flow(FlowId(2), servers[0][0], servers[1][0]);
-        let path2 = net.flow(FlowId(2)).path.clone();
+        let path2 = net.flow(FlowId(2)).path().to_vec();
         assert!(
             !path2.contains(&path1[1]),
             "rerouted path still uses failed link"

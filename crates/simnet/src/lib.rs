@@ -63,10 +63,12 @@ pub use builders::{ThreeTierConfig, ThreeTierTree};
 pub use ecmp::EcmpRoutes;
 pub use engine::{run_to_completion, run_until, run_until_audited, run_until_observed, Simulation};
 pub use event::Scheduler;
-pub use fluid::{max_min_rates, FluidFlow};
+#[allow(deprecated)]
+pub use fluid::max_min_rates;
+pub use fluid::{max_min_rates_into, FluidFlow, IncrementalMaxMin, SolveStats};
 pub use ids::{FlowId, LinkId, NodeId};
 pub use link::LinkState;
-pub use network::{FlowTick, Network, TickReport};
+pub use network::{FlowRef, FlowTick, Network, TickReport};
 pub use packet::{simulate_packets, PacketFlow, PacketSimResult, SourceModel};
 pub use routing::Routes;
 pub use topology::{Link, Node, NodeKind, Topology};

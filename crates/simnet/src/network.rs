@@ -2,22 +2,35 @@
 //!
 //! [`Network`] owns the topology, the routing cache, one [`LinkState`] per
 //! directed link and the set of active flows. A transport layer drives it:
-//! every tick it hands [`Network::advance`] the instantaneous offered rate
-//! of each flow, and gets back per-flow goodput, loss fraction and the
-//! queueing-inflated RTT — everything a window-based transport (TCP) or an
-//! explicit-rate transport (SCDA) needs to react.
+//! every tick it hands [`Network::advance_slots_into`] the instantaneous
+//! offered rate of each flow, and gets back per-flow goodput, loss
+//! fraction and the queueing-inflated RTT — everything a window-based
+//! transport (TCP) or an explicit-rate transport (SCDA) needs to react.
+//!
+//! Flows live in a slot arena (DESIGN.md §10/§11): ids resolve through a
+//! `BTreeMap` once at insert, and the hot tick path works on dense
+//! `u32` slots with all per-flow paths packed into one CSR arena. Link
+//! capacities and queueing delays are cached in columns so the per-tick
+//! flow loops never touch the topology or recompute a division per
+//! flow-link visit.
+//!
+//! The network can optionally host an [`IncrementalMaxMin`] solver
+//! ([`Network::enable_max_min`]) that mirrors the active flow set and
+//! re-levels max-min fair rates incrementally each control interval.
 //!
 //! The network layer deliberately knows nothing about windows, SLAs or
 //! server selection; those live in `scda-transport` and `scda-core`.
 
 use std::collections::BTreeMap;
 
+use crate::fluid::IncrementalMaxMin;
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::link::LinkState;
 use crate::routing::Routes;
 use crate::topology::Topology;
 
-/// An active flow: its endpoints, routed path and propagation RTT.
+/// An active flow materialized out of the arena (the by-value form
+/// [`Network::remove_flow`] returns).
 #[derive(Debug, Clone)]
 pub struct NetFlow {
     /// Sending node.
@@ -28,6 +41,27 @@ pub struct NetFlow {
     pub path: Vec<LinkId>,
     /// Propagation-only round-trip time (no queueing) in seconds.
     pub base_rtt: f64,
+}
+
+/// A borrowed view of an active flow (what [`Network::flow`] returns —
+/// the path stays in the CSR arena instead of being cloned).
+#[derive(Debug, Clone, Copy)]
+pub struct FlowRef<'a> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Propagation-only round-trip time (no queueing) in seconds.
+    pub base_rtt: f64,
+    path: &'a [LinkId],
+}
+
+impl<'a> FlowRef<'a> {
+    /// Directed links from `src` to `dst`.
+    #[inline]
+    pub fn path(&self) -> &'a [LinkId] {
+        self.path
+    }
 }
 
 /// Per-flow outcome of one tick.
@@ -56,12 +90,46 @@ pub struct Network {
     topo: Topology,
     routes: Routes,
     links: Vec<LinkState>,
-    flows: BTreeMap<FlowId, NetFlow>,
-    /// Scratch: per-link aggregate offered rate (bytes/s) for the current
-    /// tick.
+
+    // ---- cached per-link columns (refreshed via the faults funnel) ----
+    /// Capacity in bytes/s (`topo.link(l).capacity_bytes()`).
+    cap_bytes: Vec<f64>,
+    /// Queue capacity in bytes.
+    queue_cap: Vec<f64>,
+    /// Current queueing delay (`links[l].queueing_delay(cap_bytes[l])`);
+    /// valid because queues change only inside `advance_slots_into` and
+    /// capacities only through `faults::set_link_capacity`.
+    qd: Vec<f64>,
+    /// Scratch: per-link aggregate offered rate (bytes/s) this tick.
     offered: Vec<f64>,
-    /// Scratch: per-link drop fraction for the current tick.
-    drop_frac: Vec<f64>,
+    /// Scratch: per-link survival factor `1 - drop_frac` this tick.
+    keep: Vec<f64>,
+    /// Scratch: per-link service share (`cap/offered` when overloaded,
+    /// else exactly 1.0) this tick.
+    serv: Vec<f64>,
+
+    // ---- flow slot arena ----
+    index: BTreeMap<FlowId, u32>,
+    slot_id: Vec<FlowId>,
+    srcs: Vec<NodeId>,
+    dsts: Vec<NodeId>,
+    base_rtt: Vec<f64>,
+    path_start: Vec<u32>,
+    path_len: Vec<u32>,
+    path_data: Vec<LinkId>,
+    path_garbage: usize,
+    live: Vec<bool>,
+    free: Vec<u32>,
+    /// Scratch for the `advance` compat wrapper (id → slot resolution).
+    slot_offered: Vec<(u32, f64)>,
+
+    // ---- optional embedded max-min solver ----
+    solver: Option<IncrementalMaxMin>,
+    /// Per network slot: the mirroring solver slot (when enabled).
+    solver_slot: Vec<u32>,
+    /// Per solver slot: the owning network slot.
+    net_of_solver: Vec<u32>,
+
     /// Failed links with their pre-failure (capacity, delay) (see
     /// `faults`).
     failed: Vec<(LinkId, f64, f64)>,
@@ -72,13 +140,33 @@ impl Network {
     pub fn new(topo: Topology) -> Self {
         let routes = Routes::new(&topo);
         let n_links = topo.link_count();
+        let cap_bytes: Vec<f64> = topo.links().iter().map(|l| l.capacity_bytes()).collect();
+        let queue_cap: Vec<f64> = topo.links().iter().map(|l| l.queue_cap_bytes).collect();
         Network {
             topo,
             routes,
             links: vec![LinkState::new(); n_links],
-            flows: BTreeMap::new(),
+            cap_bytes,
+            queue_cap,
+            qd: vec![0.0; n_links],
             offered: vec![0.0; n_links],
-            drop_frac: vec![0.0; n_links],
+            keep: vec![1.0; n_links],
+            serv: vec![1.0; n_links],
+            index: BTreeMap::new(),
+            slot_id: Vec::new(),
+            srcs: Vec::new(),
+            dsts: Vec::new(),
+            base_rtt: Vec::new(),
+            path_start: Vec::new(),
+            path_len: Vec::new(),
+            path_data: Vec::new(),
+            path_garbage: 0,
+            live: Vec::new(),
+            free: Vec::new(),
+            slot_offered: Vec::new(),
+            solver: None,
+            solver_slot: Vec::new(),
+            net_of_solver: Vec::new(),
             failed: Vec::new(),
         }
     }
@@ -104,6 +192,24 @@ impl Network {
         &mut self.topo
     }
 
+    /// Internal: re-derive the cached link columns (and the solver's
+    /// link caps) from the topology after the `faults` module changed
+    /// it. The queueing-delay cache is recomputed against the new
+    /// capacities so `rtt` never reads a stale division.
+    pub(crate) fn refresh_link_columns(&mut self) {
+        for i in 0..self.links.len() {
+            let link = &self.topo.links()[i];
+            self.cap_bytes[i] = link.capacity_bytes();
+            self.queue_cap[i] = link.queue_cap_bytes;
+            self.qd[i] = self.links[i].queueing_delay(self.cap_bytes[i]);
+        }
+        if let Some(solver) = &mut self.solver {
+            for i in 0..self.cap_bytes.len() {
+                solver.set_link_cap(LinkId(i as u32), self.cap_bytes[i]);
+            }
+        }
+    }
+
     /// The underlying topology.
     #[inline]
     pub fn topo(&self) -> &Topology {
@@ -123,24 +229,13 @@ impl Network {
     /// Panics if the id is already active, the destination is unreachable,
     /// or `src == dst` (zero-length paths carry no network traffic — model
     /// local transfers outside the network).
-    pub fn insert_flow(&mut self, id: FlowId, src: NodeId, dst: NodeId) -> &NetFlow {
+    pub fn insert_flow(&mut self, id: FlowId, src: NodeId, dst: NodeId) -> FlowRef<'_> {
         assert!(src != dst, "flow endpoints must differ");
         let path = self
             .routes
             .path(&self.topo, src, dst)
             .unwrap_or_else(|| panic!("no route {src} -> {dst}"));
-        let base_rtt: f64 = 2.0 * path.iter().map(|&l| self.topo.link(l).delay_s).sum::<f64>();
-        let prev = self.flows.insert(
-            id,
-            NetFlow {
-                src,
-                dst,
-                path,
-                base_rtt,
-            },
-        );
-        assert!(prev.is_none(), "flow id {id} already active");
-        &self.flows[&id]
+        self.insert_slot(id, src, dst, &path)
     }
 
     /// Register a flow over an explicit `path` (e.g. an ECMP candidate or
@@ -157,7 +252,7 @@ impl Network {
         src: NodeId,
         dst: NodeId,
         path: Vec<LinkId>,
-    ) -> &NetFlow {
+    ) -> FlowRef<'_> {
         assert!(!path.is_empty(), "explicit path must have links");
         assert_eq!(self.topo.link(path[0]).src, src, "path must leave src");
         assert_eq!(
@@ -172,18 +267,83 @@ impl Network {
                 "path must be contiguous"
             );
         }
+        self.insert_slot(id, src, dst, &path)
+    }
+
+    /// Arena insert shared by both registration paths.
+    fn insert_slot(
+        &mut self,
+        id: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        path: &[LinkId],
+    ) -> FlowRef<'_> {
         let base_rtt: f64 = 2.0 * path.iter().map(|&l| self.topo.link(l).delay_s).sum::<f64>();
-        let prev = self.flows.insert(
-            id,
-            NetFlow {
-                src,
-                dst,
-                path,
-                base_rtt,
-            },
-        );
+        self.maybe_compact_paths(path.len());
+        let start = self.path_data.len() as u32;
+        self.path_data.extend_from_slice(path);
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = slot as usize;
+                self.slot_id[s] = id;
+                self.srcs[s] = src;
+                self.dsts[s] = dst;
+                self.base_rtt[s] = base_rtt;
+                self.path_start[s] = start;
+                self.path_len[s] = path.len() as u32;
+                self.live[s] = true;
+                slot
+            }
+            None => {
+                let slot = self.slot_id.len() as u32;
+                self.slot_id.push(id);
+                self.srcs.push(src);
+                self.dsts.push(dst);
+                self.base_rtt.push(base_rtt);
+                self.path_start.push(start);
+                self.path_len.push(path.len() as u32);
+                self.live.push(true);
+                self.solver_slot.push(u32::MAX);
+                slot
+            }
+        };
+        let prev = self.index.insert(id, slot);
         assert!(prev.is_none(), "flow id {id} already active");
-        &self.flows[&id]
+        if let Some(solver) = &mut self.solver {
+            let ss = solver.add_flow(path, None);
+            self.solver_slot[slot as usize] = ss;
+            if ss as usize >= self.net_of_solver.len() {
+                self.net_of_solver.resize(ss as usize + 1, u32::MAX);
+            }
+            self.net_of_solver[ss as usize] = slot;
+        }
+        let s = slot as usize;
+        FlowRef {
+            src,
+            dst,
+            base_rtt,
+            path: &self.path_data[start as usize..start as usize + self.path_len[s] as usize],
+        }
+    }
+
+    /// Compact `path_data` once removed flows' paths outweigh live ones.
+    fn maybe_compact_paths(&mut self, extra: usize) {
+        if self.path_garbage <= self.path_data.len().saturating_sub(self.path_garbage) + extra {
+            return;
+        }
+        let live: usize = self.path_data.len() - self.path_garbage;
+        let mut fresh = Vec::with_capacity(live + extra);
+        for s in 0..self.path_start.len() {
+            if !self.live[s] {
+                continue;
+            }
+            let (start, len) = (self.path_start[s] as usize, self.path_len[s] as usize);
+            let new_start = fresh.len() as u32;
+            fresh.extend_from_slice(&self.path_data[start..start + len]);
+            self.path_start[s] = new_start;
+        }
+        self.path_data = fresh;
+        self.path_garbage = 0;
     }
 
     /// Deregister a completed/aborted flow.
@@ -192,27 +352,93 @@ impl Network {
     ///
     /// Panics if the flow is not active (double-removal is a harness bug).
     pub fn remove_flow(&mut self, id: FlowId) -> NetFlow {
-        self.flows
+        let slot = self
+            .index
             .remove(&id)
-            .unwrap_or_else(|| panic!("flow {id} not active"))
+            .unwrap_or_else(|| panic!("flow {id} not active"));
+        let s = slot as usize;
+        let (start, len) = (self.path_start[s] as usize, self.path_len[s] as usize);
+        let flow = NetFlow {
+            src: self.srcs[s],
+            dst: self.dsts[s],
+            path: self.path_data[start..start + len].to_vec(),
+            base_rtt: self.base_rtt[s],
+        };
+        self.path_garbage += len;
+        self.path_len[s] = 0;
+        self.live[s] = false;
+        self.free.push(slot);
+        if let Some(solver) = &mut self.solver {
+            let ss = self.solver_slot[s];
+            solver.remove_flow(ss);
+            self.net_of_solver[ss as usize] = u32::MAX;
+            self.solver_slot[s] = u32::MAX;
+        }
+        flow
     }
 
     /// The active flow behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is not active.
     #[inline]
-    pub fn flow(&self, id: FlowId) -> &NetFlow {
-        &self.flows[&id]
+    pub fn flow(&self, id: FlowId) -> FlowRef<'_> {
+        let slot = *self
+            .index
+            .get(&id)
+            .unwrap_or_else(|| panic!("flow {id} not active"));
+        self.flow_at(slot)
+    }
+
+    /// The arena slot behind an active flow id (resolve once, then use
+    /// the `*_of_slot` accessors on the hot path).
+    #[inline]
+    pub fn flow_slot(&self, id: FlowId) -> u32 {
+        *self
+            .index
+            .get(&id)
+            .unwrap_or_else(|| panic!("flow {id} not active"))
+    }
+
+    /// The flow occupying `slot` (must be live).
+    #[inline]
+    pub fn flow_at(&self, slot: u32) -> FlowRef<'_> {
+        let s = slot as usize;
+        debug_assert!(self.live[s], "flow slot {slot} not live");
+        let start = self.path_start[s] as usize;
+        FlowRef {
+            src: self.srcs[s],
+            dst: self.dsts[s],
+            base_rtt: self.base_rtt[s],
+            path: &self.path_data[start..start + self.path_len[s] as usize],
+        }
+    }
+
+    /// A live slot's routed path.
+    #[inline]
+    pub fn path_of_slot(&self, slot: u32) -> &[LinkId] {
+        let s = slot as usize;
+        let start = self.path_start[s] as usize;
+        &self.path_data[start..start + self.path_len[s] as usize]
+    }
+
+    /// A live slot's propagation-only RTT in seconds.
+    #[inline]
+    pub fn base_rtt_of_slot(&self, slot: u32) -> f64 {
+        self.base_rtt[slot as usize]
     }
 
     /// Whether `id` is currently active.
     #[inline]
     pub fn contains_flow(&self, id: FlowId) -> bool {
-        self.flows.contains_key(&id)
+        self.index.contains_key(&id)
     }
 
     /// Number of active flows.
     #[inline]
     pub fn flow_count(&self) -> usize {
-        self.flows.len()
+        self.index.len()
     }
 
     /// Propagation-only RTT between two nodes over the routed path (used
@@ -225,11 +451,19 @@ impl Network {
     /// ACKs are modeled as unqueued, which matches the paper's asymmetric
     /// write/read traffic).
     pub fn rtt(&self, id: FlowId) -> f64 {
-        let f = &self.flows[&id];
-        f.base_rtt
-            + f.path
+        self.rtt_of_slot(self.flow_slot(id))
+    }
+
+    /// Queueing-inflated RTT by arena slot (the hot-path form: no id
+    /// lookup, queueing delays read from the per-link cache).
+    #[inline]
+    pub fn rtt_of_slot(&self, slot: u32) -> f64 {
+        let s = slot as usize;
+        let start = self.path_start[s] as usize;
+        self.base_rtt[s]
+            + self.path_data[start..start + self.path_len[s] as usize]
                 .iter()
-                .map(|&l| self.links[l.index()].queueing_delay(self.topo.link(l).capacity_bytes()))
+                .map(|&l| self.qd[l.index()])
                 .sum::<f64>()
     }
 
@@ -240,7 +474,8 @@ impl Network {
     }
 
     /// Mutable link state (the resource monitors use this to sample-and-
-    /// reset arrival counters).
+    /// reset arrival counters; queue state itself only changes inside
+    /// `advance_slots_into`, so the cached queueing delays stay valid).
     #[inline]
     pub fn link_state_mut(&mut self, l: LinkId) -> &mut LinkState {
         &mut self.links[l.index()]
@@ -252,35 +487,64 @@ impl Network {
     /// **bytes/second**; flows not listed offer zero. Every link (even
     /// idle ones) integrates its queue, so queues drain during lulls.
     ///
+    /// Compatibility wrapper: resolves ids to arena slots and allocates a
+    /// fresh report. Hot callers resolve slots once and keep a reusable
+    /// report via [`Network::advance_slots_into`].
+    ///
     /// # Panics
     ///
-    /// Panics (in debug) on unknown flow ids or negative rates.
+    /// Panics on unknown flow ids; panics (in debug) on negative rates.
     pub fn advance(&mut self, dt: f64, offered: &[(FlowId, f64)]) -> TickReport {
+        let mut slots = std::mem::take(&mut self.slot_offered);
+        slots.clear();
+        for &(id, rate) in offered {
+            slots.push((self.flow_slot(id), rate));
+        }
+        let mut report = TickReport::default();
+        self.advance_slots_into(dt, &slots, &mut report);
+        self.slot_offered = slots;
+        report
+    }
+
+    /// Advance the whole network by `dt` seconds, slot-addressed.
+    ///
+    /// `offered` lists `(arena slot, bytes/second)`; `report` is cleared
+    /// and refilled with one [`FlowTick`] per offered flow, in offered
+    /// order. Arithmetic is bit-identical to the historical per-flow
+    /// formulation: the per-link survival/service/queueing factors are
+    /// hoisted into columns, and an underloaded link's service factor is
+    /// exactly 1.0 (multiplying by it reproduces the old skipped branch
+    /// bit-for-bit).
+    // scda-analyze: hot(kernel.tick)
+    pub fn advance_slots_into(&mut self, dt: f64, offered: &[(u32, f64)], report: &mut TickReport) {
         debug_assert!(dt > 0.0);
         self.offered.fill(0.0);
-        for &(id, rate) in offered {
-            debug_assert!(rate >= 0.0, "negative offered rate for {id}");
-            let f = &self.flows[&id];
-            for &l in &f.path {
+        for &(slot, rate) in offered {
+            let s = slot as usize;
+            debug_assert!(self.live[s], "flow slot {slot} not live");
+            debug_assert!(rate >= 0.0, "negative offered rate for {}", self.slot_id[s]);
+            let start = self.path_start[s] as usize;
+            for &l in &self.path_data[start..start + self.path_len[s] as usize] {
                 self.offered[l.index()] += rate;
             }
         }
 
         for (i, state) in self.links.iter_mut().enumerate() {
-            let link = &self.topo.links()[i];
-            self.drop_frac[i] = state.advance(
-                self.offered[i],
-                link.capacity_bytes(),
-                link.queue_cap_bytes,
-                dt,
-            );
+            let cap = self.cap_bytes[i];
+            let drop_frac = state.advance(self.offered[i], cap, self.queue_cap[i], dt);
+            self.keep[i] = 1.0 - drop_frac;
+            self.serv[i] = if self.offered[i] > cap {
+                cap / self.offered[i]
+            } else {
+                1.0
+            };
+            self.qd[i] = state.queueing_delay(cap);
         }
 
-        let mut report = TickReport {
-            flows: Vec::with_capacity(offered.len()),
-        };
-        for &(id, rate) in offered {
-            let f = &self.flows[&id];
+        report.flows.clear();
+        report.flows.reserve(offered.len());
+        for &(slot, rate) in offered {
+            let s = slot as usize;
             // Delivery is limited by each link's service share: a FIFO link
             // offered A > C delivers each flow's bytes scaled by C/A (the
             // rest sits in the queue as delay, or is dropped once the
@@ -289,23 +553,123 @@ impl Network {
             let mut survive = 1.0;
             let mut service = 1.0;
             let mut qdelay = 0.0;
-            for &l in &f.path {
+            let start = self.path_start[s] as usize;
+            for &l in &self.path_data[start..start + self.path_len[s] as usize] {
                 let i = l.index();
-                survive *= 1.0 - self.drop_frac[i];
-                let cap = self.topo.link(l).capacity_bytes();
-                if self.offered[i] > cap {
-                    service *= cap / self.offered[i];
-                }
-                qdelay += self.links[i].queueing_delay(cap);
+                survive *= self.keep[i];
+                service *= self.serv[i];
+                qdelay += self.qd[i];
             }
             report.flows.push(FlowTick {
-                flow: id,
+                flow: self.slot_id[s],
                 goodput_bytes: rate * dt * service,
                 loss_frac: 1.0 - survive,
-                rtt: f.base_rtt + qdelay,
+                rtt: self.base_rtt[s] + qdelay,
             });
         }
-        report
+    }
+
+    // ---- embedded incremental max-min solver ----
+
+    /// Attach an [`IncrementalMaxMin`] solver mirroring the active flow
+    /// set (idempotent). From here on, every insert/remove/link-capacity
+    /// change patches the solver, and [`Network::max_min_solve`]
+    /// re-levels fair rates incrementally. Costs nothing when never
+    /// called — the tick path is unaffected either way.
+    pub fn enable_max_min(&mut self) {
+        if self.solver.is_some() {
+            return;
+        }
+        let mut solver = IncrementalMaxMin::new(&self.cap_bytes);
+        solver.reserve_flows(self.index.len().max(16), 4);
+        self.solver_slot.clear();
+        self.solver_slot.resize(self.slot_id.len(), u32::MAX);
+        self.net_of_solver.clear();
+        for (_, &slot) in self.index.iter() {
+            let s = slot as usize;
+            let start = self.path_start[s] as usize;
+            let ss = solver.add_flow(
+                &self.path_data[start..start + self.path_len[s] as usize],
+                None,
+            );
+            self.solver_slot[s] = ss;
+            if ss as usize >= self.net_of_solver.len() {
+                self.net_of_solver.resize(ss as usize + 1, u32::MAX);
+            }
+            self.net_of_solver[ss as usize] = slot;
+        }
+        self.solver = Some(solver);
+    }
+
+    /// Whether [`Network::enable_max_min`] has been called.
+    #[inline]
+    pub fn max_min_enabled(&self) -> bool {
+        self.solver.is_some()
+    }
+
+    /// Set or clear a flow's external rate cap (bytes/s) in the embedded
+    /// solver — the `R_other` bottleneck of the paper's eq. 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver is not enabled or the flow is not active.
+    pub fn set_flow_rate_cap(&mut self, id: FlowId, cap: Option<f64>) {
+        let slot = self.flow_slot(id);
+        let ss = self.solver_slot[slot as usize];
+        self.solver
+            .as_mut()
+            .expect("invariant: set_flow_rate_cap requires enable_max_min")
+            .set_flow_cap(ss, cap);
+    }
+
+    /// Re-level the embedded solver (no-op when nothing changed) and
+    /// return how many flows were re-leveled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver is not enabled.
+    pub fn max_min_solve(&mut self) -> usize {
+        let solver = self
+            .solver
+            .as_mut()
+            .expect("invariant: max_min_solve requires enable_max_min");
+        solver.solve();
+        solver.last_releveled().len()
+    }
+
+    /// The max-min fair rate (bytes/s) of an active flow, as of the last
+    /// [`Network::max_min_solve`].
+    pub fn max_min_rate(&self, id: FlowId) -> f64 {
+        let slot = self.flow_slot(id);
+        self.solver
+            .as_ref()
+            .expect("invariant: max_min_rate requires enable_max_min")
+            .rate(self.solver_slot[slot as usize])
+    }
+
+    /// Flows whose fair rate may have moved in the last
+    /// [`Network::max_min_solve`], as `(id, rate)` in solver-slot order.
+    pub fn releveled_flows(&self) -> impl Iterator<Item = (FlowId, f64)> + '_ {
+        let solver = self
+            .solver
+            .as_ref()
+            .expect("invariant: releveled_flows requires enable_max_min");
+        solver.last_releveled().iter().map(move |&ss| {
+            let net_slot = self.net_of_solver[ss as usize];
+            (self.slot_id[net_slot as usize], solver.rates()[ss as usize])
+        })
+    }
+
+    /// The embedded solver's re-level statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver is not enabled.
+    pub fn max_min_stats(&self) -> crate::fluid::SolveStats {
+        self.solver
+            .as_ref()
+            .expect("invariant: max_min_stats requires enable_max_min")
+            .stats()
     }
 }
 
@@ -430,5 +794,89 @@ mod tests {
             last_goodput <= cap * 1.05,
             "steady-state goodput {last_goodput} must not exceed bottleneck {cap}"
         );
+    }
+
+    #[test]
+    fn slot_accessors_match_id_accessors() {
+        let (mut n, s, r, _) = net();
+        n.insert_flow(FlowId(7), s[0], r[0]);
+        let slot = n.flow_slot(FlowId(7));
+        assert_eq!(n.rtt(FlowId(7)).to_bits(), n.rtt_of_slot(slot).to_bits());
+        assert_eq!(n.flow(FlowId(7)).path(), n.path_of_slot(slot));
+        assert_eq!(
+            n.flow(FlowId(7)).base_rtt.to_bits(),
+            n.base_rtt_of_slot(slot).to_bits()
+        );
+    }
+
+    #[test]
+    fn slot_reuse_after_removal() {
+        let (mut n, s, r, _) = net();
+        n.insert_flow(FlowId(1), s[0], r[0]);
+        let slot1 = n.flow_slot(FlowId(1));
+        n.remove_flow(FlowId(1));
+        n.insert_flow(FlowId(2), s[1], r[1]);
+        assert_eq!(n.flow_slot(FlowId(2)), slot1, "freed slot is recycled");
+        let f = n.flow(FlowId(2));
+        assert_eq!(f.src, s[1]);
+        assert!(!f.path().is_empty());
+    }
+
+    #[test]
+    fn advance_slots_into_matches_advance() {
+        let (mut n1, s, r, _) = net();
+        let (mut n2, ..) = net();
+        for i in 0..3u64 {
+            n1.insert_flow(FlowId(i), s[i as usize], r[i as usize]);
+            n2.insert_flow(FlowId(i), s[i as usize], r[i as usize]);
+        }
+        let offered_ids: Vec<_> = (0..3u64).map(|i| (FlowId(i), 9e6)).collect();
+        let offered_slots: Vec<_> = (0..3u64).map(|i| (n2.flow_slot(FlowId(i)), 9e6)).collect();
+        let mut report = TickReport::default();
+        for _ in 0..50 {
+            let rep1 = n1.advance(0.005, &offered_ids);
+            n2.advance_slots_into(0.005, &offered_slots, &mut report);
+            for (a, b) in rep1.flows.iter().zip(&report.flows) {
+                assert_eq!(a.flow, b.flow);
+                assert_eq!(a.goodput_bytes.to_bits(), b.goodput_bytes.to_bits());
+                assert_eq!(a.loss_frac.to_bits(), b.loss_frac.to_bits());
+                assert_eq!(a.rtt.to_bits(), b.rtt.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_max_min_relevels_incrementally() {
+        let (mut n, s, r, _) = net();
+        n.enable_max_min();
+        n.insert_flow(FlowId(1), s[0], r[0]);
+        n.insert_flow(FlowId(2), s[1], r[1]);
+        assert!(n.max_min_solve() >= 2);
+        let cap = mbps(80.0) / 8.0; // shared bottleneck, bytes/s
+        assert!((n.max_min_rate(FlowId(1)) - cap / 2.0).abs() < 1.0);
+        // Cap flow 1 well below its fair share; flow 2 absorbs the rest.
+        n.set_flow_rate_cap(FlowId(1), Some(1e6));
+        n.max_min_solve();
+        assert!((n.max_min_rate(FlowId(1)) - 1e6).abs() < 1.0);
+        assert!((n.max_min_rate(FlowId(2)) - (cap - 1e6)).abs() < 1.0);
+        // A clean solve re-levels nothing.
+        assert_eq!(n.max_min_solve(), 0);
+        let ids: Vec<FlowId> = n.releveled_flows().map(|(id, _)| id).collect();
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn enable_max_min_registers_existing_flows() {
+        let (mut n, s, r, _) = net();
+        n.insert_flow(FlowId(1), s[0], r[0]);
+        n.insert_flow(FlowId(2), s[1], r[1]);
+        n.enable_max_min();
+        n.max_min_solve();
+        let total = n.max_min_rate(FlowId(1)) + n.max_min_rate(FlowId(2));
+        let cap = mbps(80.0) / 8.0;
+        assert!((total - cap).abs() < 1.0, "shared bottleneck fully used");
+        n.remove_flow(FlowId(1));
+        n.max_min_solve();
+        assert!((n.max_min_rate(FlowId(2)) - cap).abs() < 1.0);
     }
 }

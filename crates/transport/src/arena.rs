@@ -52,6 +52,10 @@ pub struct FlowArena {
     gens: Vec<u32>,
     /// Whether the slot currently holds a flow.
     live: Vec<bool>,
+    /// The network arena slot mirroring each flow (set via
+    /// [`FlowArena::set_net_slot`]; `u32::MAX` until then). Lets the
+    /// driver's tick read RTTs and paths without per-flow id lookups.
+    net_slots: Vec<u32>,
     /// Freed slots awaiting reuse (LIFO).
     free: Vec<u32>,
     /// Id → slot; iteration order (and thus every downstream float
@@ -75,6 +79,7 @@ impl FlowArena {
             dsts: Vec::new(),
             gens: Vec::new(),
             live: Vec::new(),
+            net_slots: Vec::new(),
             free: Vec::new(),
             index: BTreeMap::new(),
         }
@@ -97,6 +102,7 @@ impl FlowArena {
         self.dsts.reserve(additional);
         self.gens.reserve(additional);
         self.live.reserve(additional);
+        self.net_slots.reserve(additional);
     }
 
     /// Number of live flows.
@@ -133,6 +139,7 @@ impl FlowArena {
                 self.srcs[s] = src;
                 self.dsts[s] = dst;
                 self.live[s] = true;
+                self.net_slots[s] = u32::MAX;
                 slot
             }
             None => {
@@ -143,6 +150,7 @@ impl FlowArena {
                 self.dsts.push(dst);
                 self.gens.push(0);
                 self.live.push(true);
+                self.net_slots.push(u32::MAX);
                 slot
             }
         };
@@ -228,6 +236,80 @@ impl FlowArena {
     /// Live flow ids in ascending order (test/diagnostic convenience).
     pub fn ids(&self) -> impl Iterator<Item = FlowId> + '_ {
         self.index.keys().copied()
+    }
+
+    /// Record the network arena slot mirroring flow `id` (the driver sets
+    /// this once at start; the tick then never resolves ids).
+    pub fn set_net_slot(&mut self, id: FlowId, net_slot: u32) {
+        let slot = *self
+            .index
+            .get(&id)
+            .expect("invariant: net slot set only for driven flows");
+        self.net_slots[slot as usize] = net_slot;
+    }
+
+    /// Live `(id, slot)` pairs in ascending id order — the slot-level
+    /// form of [`FlowArena::iter`] for loops that index columns directly.
+    pub fn iter_slots(&self) -> impl Iterator<Item = (FlowId, u32)> + '_ {
+        self.index.iter().map(|(&id, &slot)| (id, slot))
+    }
+
+    /// Append every live slot in ascending id order (the tick's slot
+    /// work-list; `out` is not cleared).
+    pub fn live_slots_into(&self, out: &mut Vec<u32>) {
+        out.extend(self.index.values().copied());
+    }
+
+    /// The progress column, slot-indexed (dead slots hold stale entries —
+    /// pair with [`FlowArena::live_col`] or a live slot list).
+    #[inline]
+    pub fn progress_col(&self) -> &[FlowProgress] {
+        &self.progress
+    }
+
+    /// The transport column, slot-indexed.
+    #[inline]
+    pub fn transports_col(&self) -> &[AnyTransport] {
+        &self.transports
+    }
+
+    /// The source-node column, slot-indexed.
+    #[inline]
+    pub fn srcs_col(&self) -> &[NodeId] {
+        &self.srcs
+    }
+
+    /// The destination-node column, slot-indexed.
+    #[inline]
+    pub fn dsts_col(&self) -> &[NodeId] {
+        &self.dsts
+    }
+
+    /// The network-slot column, slot-indexed.
+    #[inline]
+    pub fn net_slots_col(&self) -> &[u32] {
+        &self.net_slots
+    }
+
+    /// Per-slot liveness flags.
+    #[inline]
+    pub fn live_col(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// Split mutable access to the progress and transport columns plus
+    /// the shared liveness flags — the shape the parallel tick apply
+    /// needs (chunked mutation of both columns, liveness read-only).
+    pub fn columns_mut(&mut self) -> (&mut [FlowProgress], &mut [AnyTransport], &[bool]) {
+        (&mut self.progress, &mut self.transports, &self.live)
+    }
+
+    /// Mutable progress + transport access by slot (no id lookup).
+    #[inline]
+    pub fn entry_mut_slot(&mut self, slot: u32) -> (&mut FlowProgress, &mut AnyTransport) {
+        let s = slot as usize;
+        debug_assert!(self.live[s], "flow slot {slot} not live");
+        (&mut self.progress[s], &mut self.transports[s])
     }
 }
 

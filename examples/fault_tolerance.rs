@@ -90,7 +90,7 @@ fn main() {
             for (id, _, _) in driver.active_flows() {
                 let rtt = driver.net().rtt(id);
                 let rate = driver.transport(id).expect("active").offered_rate(rtt);
-                for &l in &driver.net().flow(id).path {
+                for &l in driver.net().flow(id).path() {
                     loads[l.index()] += rate;
                 }
             }

@@ -20,6 +20,10 @@
 //!   tick, the offered-load telemetry sweep, the RM/RA control round and
 //!   the server-metric refresh on reused arena storage (`--full` runs
 //!   more iterations; the quick variant is CI's canary);
+//! * `tick_hyperscale` — the incremental max-min stress scenario
+//!   (DESIGN.md §11): 100 000 rack-local SCDA flows with the embedded
+//!   solver enabled, 64 flow caps re-pinned per iteration, reporting the
+//!   `simnet.waterfill` / `simnet.apply` / `kernel.tick` phase split;
 //! * `engine_drain_10k` — scheduler drain of 10 000 self-rescheduling
 //!   timer events through `run_until_audited`, mirroring
 //!   `benches/engine.rs`;
@@ -262,6 +266,91 @@ fn bench_hyperscale(flows: u64, iters: u64) -> ScenarioResult {
     }
 }
 
+/// The incremental-solver stress scenario: `flows` rack-local SCDA
+/// transfers on the 1,000-rack tree with the embedded max-min solver
+/// enabled. Rack-local paths keep the link–flow incidence graph in
+/// ~1,000 disjoint components, so each iteration's cap churn (64 flow
+/// caps re-pinned round-robin) dirties a handful of components and the
+/// solver re-levels only those; the driver tick itself runs the chunked
+/// parallel read/apply passes (well above `PAR_MIN_FLOWS`). Phases:
+/// `simnet.waterfill` (the incremental solve), `simnet.apply`
+/// (installing re-leveled rates into the transports), `kernel.tick`.
+fn bench_tick_hyperscale(flows: u64, iters: u64) -> ScenarioResult {
+    let tree = scale_config("hyper-1000x10").build();
+    let racks = tree.server_links.len();
+    let per_rack = tree.servers[0].len();
+
+    let mut driver = FlowDriver::new(Network::new(tree.topo));
+    driver.reserve_flows(flows as usize);
+    driver.net_mut().enable_max_min();
+    for i in 0..flows as usize {
+        // Flows stay inside one rack (src server → ToR → dst server), so
+        // racks are independent solver components.
+        let rack = i % racks;
+        let p = i / racks;
+        let src_idx = p % per_rack;
+        let dst_idx = (src_idx + 1 + (p / per_rack) % (per_rack - 1)) % per_rack;
+        driver.start_flow(
+            FlowId(i as u64),
+            tree.servers[rack][src_idx],
+            tree.servers[rack][dst_idx],
+            1e15,
+            AnyTransport::Scda(ScdaWindow::new(1e6, 1e6, 1e-3)),
+            0.0,
+        );
+    }
+
+    let tau = Params::default().tau;
+    let mut releveled_buf: Vec<(FlowId, f64)> = Vec::new();
+    let mut now = 0.0;
+    let mut completed = 0u64;
+    let mut releveled_total = 0u64;
+    // Warm one solve + tick so one-time allocations don't bill the window.
+    driver.net_mut().max_min_solve();
+    now += tau;
+    driver.tick(now, tau);
+    let obs = Obs::enabled();
+    let t0 = Instant::now();
+    for it in 0..iters {
+        // Deterministic cap churn: re-pin 64 flow caps to fresh values.
+        for k in 0..64u64 {
+            let j = (it * 64 + k) % flows;
+            let cap = 2e5 + ((it * 64 + k) % 97) as f64 * 1e3;
+            driver.net_mut().set_flow_rate_cap(FlowId(j), Some(cap));
+        }
+        releveled_total += obs.time_phase(phase::SIMNET_WATERFILL, || {
+            driver.net_mut().max_min_solve() as u64
+        });
+        obs.time_phase(phase::SIMNET_APPLY, || {
+            releveled_buf.clear();
+            releveled_buf.extend(driver.net().releveled_flows());
+            for &(id, rate) in &releveled_buf {
+                if let Some(AnyTransport::Scda(w)) = driver.transport_mut(id) {
+                    w.set_rates(0.95 * rate, 0.95 * rate);
+                }
+            }
+        });
+        now += tau;
+        completed += obs.time_phase(phase::TICK, || driver.tick(now, tau).completed.len() as u64);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = driver.net().max_min_stats();
+    ScenarioResult {
+        name: "tick_hyperscale",
+        behavior: vec![
+            ("iters", iters),
+            ("flows", flows),
+            ("releveled_total", releveled_total),
+            ("full_solves", stats.full_solves),
+            ("completed", completed),
+            ("active_end", driver.active_count() as u64),
+        ],
+        wall_s,
+        rates: vec![("rounds_per_s", iters as f64 / wall_s.max(1e-12))],
+        phase_us: phase_us_of(&obs),
+    }
+}
+
 /// Per-phase total microseconds from an enabled handle's profiler.
 fn phase_us_of(obs: &Obs) -> BTreeMap<String, f64> {
     let mut phase_us = BTreeMap::new();
@@ -415,6 +504,8 @@ const BEHAVIOR_KEYS: &[&str] = &[
     "violations_total",
     "flows",
     "active_end",
+    "releveled_total",
+    "full_solves",
     "reps",
     "events",
     "requested",
@@ -545,6 +636,8 @@ fn main() {
     let hyper_iters = 5;
     eprintln!("#   control_round_hyperscale (1000x10, 100k flows) ...");
     results.push(bench_hyperscale(100_000, hyper_iters));
+    eprintln!("#   tick_hyperscale (1000x10, 100k rack-local flows) ...");
+    results.push(bench_tick_hyperscale(100_000, hyper_iters));
     eprintln!("#   engine_drain_10k ...");
     results.push(bench_engine_drain(50));
     eprintln!("#   fig7_e2e_quick ...");

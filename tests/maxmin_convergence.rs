@@ -11,7 +11,7 @@ use scda::core::rate_metric::LinkSample;
 use scda::core::tree::{RateCaps, Telemetry};
 use scda::core::{ControlTree, Direction, MetricKind, Params};
 use scda::simnet::builders::{ThreeTierConfig, ThreeTierTree};
-use scda::simnet::{max_min_rates, FluidFlow, LinkId, NodeId};
+use scda::simnet::{max_min_rates_into, FluidFlow, LinkId, NodeId};
 
 /// A synthetic flow: reads from `server` toward the clients (up) with an
 /// optional external cap.
@@ -117,7 +117,8 @@ fn run_convergence(flows: &[TestFlow]) -> (Vec<f64>, Vec<f64>) {
             cap: f.cap,
         })
         .collect();
-    let reference = max_min_rates(&caps, &fluid);
+    let mut reference = Vec::new();
+    max_min_rates_into(&caps, &fluid, &mut reference);
     (rates, reference)
 }
 

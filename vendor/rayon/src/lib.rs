@@ -96,6 +96,71 @@ where
     }
 }
 
+/// Worker threads the scoped executors will use for a workload of `n`
+/// items: one per available core, capped by item count.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// Mutate `xs` in parallel over fixed-size contiguous chunks: `f` is
+/// called once per chunk with the chunk's base index into `xs` and the
+/// chunk itself. Chunk boundaries depend only on `chunk`, never on the
+/// thread count, so any chunk-local arithmetic is machine-independent.
+/// Runs inline when one thread (or one chunk) suffices.
+pub fn for_each_chunk_mut<T, F>(xs: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let n = xs.len();
+    if n == 0 {
+        return;
+    }
+    if current_num_threads() <= 1 || n <= chunk {
+        for (k, c) in xs.chunks_mut(chunk).enumerate() {
+            f(k * chunk, c);
+        }
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (k, c) in xs.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || f(k * chunk, c));
+        }
+    });
+}
+
+/// Like [`for_each_chunk_mut`] but locksteps two equal-length slices:
+/// `f` receives the base index and the matching chunk of each slice.
+pub fn for_each_chunk_mut2<A, B, F>(xs: &mut [A], ys: &mut [B], chunk: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    assert_eq!(xs.len(), ys.len(), "locksteped slices must match in length");
+    let n = xs.len();
+    if n == 0 {
+        return;
+    }
+    if current_num_threads() <= 1 || n <= chunk {
+        for (k, (cx, cy)) in xs.chunks_mut(chunk).zip(ys.chunks_mut(chunk)).enumerate() {
+            f(k * chunk, cx, cy);
+        }
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (k, (cx, cy)) in xs.chunks_mut(chunk).zip(ys.chunks_mut(chunk)).enumerate() {
+            scope.spawn(move || f(k * chunk, cx, cy));
+        }
+    });
+}
+
 /// Collection types a parallel map can collect into.
 pub trait FromParallelIterator<R> {
     /// Build the collection from results already in input order.
@@ -131,5 +196,48 @@ mod tests {
         let xs = [1u32, 2, 3];
         let ys: Vec<u32> = xs[..].par_iter().map(|&x| x + 1).collect();
         assert_eq!(ys, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn chunk_mut_covers_every_index_once() {
+        let mut xs = vec![0u64; 10_000];
+        crate::for_each_chunk_mut(&mut xs, 4096, |base, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x += (base + i) as u64 + 1;
+            }
+        });
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(x, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn chunk_mut_empty_and_single_chunk() {
+        let mut xs: Vec<u32> = Vec::new();
+        crate::for_each_chunk_mut(&mut xs, 8, |_, _| panic!("no chunks expected"));
+        let mut ys = vec![1u32; 3];
+        crate::for_each_chunk_mut(&mut ys, 8, |base, chunk| {
+            assert_eq!(base, 0);
+            for y in chunk.iter_mut() {
+                *y = 7;
+            }
+        });
+        assert_eq!(ys, vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn chunk_mut2_locksteps_slices() {
+        let mut a: Vec<u64> = (0..9000).collect();
+        let mut b = vec![0u64; 9000];
+        crate::for_each_chunk_mut2(&mut a, &mut b, 2048, |base, ca, cb| {
+            for i in 0..ca.len() {
+                cb[i] = ca[i] * 3 + base as u64 - base as u64;
+                ca[i] += 1;
+            }
+        });
+        for i in 0..9000u64 {
+            assert_eq!(a[i as usize], i + 1);
+            assert_eq!(b[i as usize], i * 3);
+        }
     }
 }
