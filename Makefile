@@ -44,16 +44,18 @@ perf:
 # Refresh the committed regression baseline in place (full mode, so the
 # baseline also carries the paper-scale and hyperscale scenarios).
 perf-baseline:
-	cargo run --release --bin perf -- --full --out BENCH_3.json
+	cargo run --release --bin perf -- --full --out BENCH_4.json
 
 # CI regression gate: re-run the quick scenarios — including the
-# 1,000-rack hyperscale control round — and compare against the
-# committed baseline. Behaviour counters must match exactly; wall-clock
-# and rate fields may drift by at most the threshold (default 400%,
-# sized for noisy shared runners — override with THRESHOLD=<pct>).
+# 1,000-rack hyperscale control round and the churn admission bench,
+# whose indexed/naive pick checksums must match bit-for-bit — and
+# compare against the committed baseline. Behaviour counters must match
+# exactly; wall-clock and rate fields may drift by at most the threshold
+# (default 400%, sized for noisy shared runners — override with
+# THRESHOLD=<pct>).
 THRESHOLD ?= 400
 perf-check:
-	cargo run --release --bin perf -- --check BENCH_3.json --threshold $(THRESHOLD)
+	cargo run --release --bin perf -- --check BENCH_4.json --threshold $(THRESHOLD)
 
 clean:
 	cargo clean

@@ -101,7 +101,10 @@ fn bench_route_warmup(c: &mut Criterion) {
             let mut hops = 0usize;
             for &c in &tree.clients {
                 for s in tree.all_servers() {
-                    hops += routes.path(&tree.topo, c, s).map(|p| p.len()).unwrap_or(0);
+                    hops += routes
+                        .path_handle(&tree.topo, c, s)
+                        .map(|id| routes.path_of(id).len())
+                        .unwrap_or(0);
                 }
             }
             hops

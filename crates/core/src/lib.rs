@@ -18,6 +18,9 @@
 //!   window updates (§VIII-D);
 //! * [`selection`] — server selection per content class, dormant-server
 //!   scale-down, and power-aware `R̂/P` ranking (§VII);
+//! * [`placement_index`] — the incremental admission fast path: raw-rate
+//!   tournament trees answering the §VII queries bit-identically to a
+//!   fresh [`Selector`] in amortized sublinear time;
 //! * [`content`] — the content model: HWHR/HWLR/LWHR/LWLR classes and
 //!   access-frequency learning (§II-B);
 //! * [`energy`] — the synthetic server power/temperature model and
@@ -36,6 +39,7 @@ pub mod nodes;
 pub mod openflow;
 pub mod overhead;
 pub mod params;
+pub mod placement_index;
 pub mod priority;
 pub mod rate_metric;
 pub mod reservation;
@@ -51,10 +55,11 @@ pub use nodes::{BlockServer, ContentMeta, Fes, NameNode, NameService, ProtocolCo
 pub use openflow::OpenFlowSjf;
 pub use overhead::{delta_reporting, full_reporting, RoundOverhead, TreeShape};
 pub use params::Params;
+pub use placement_index::{NoDiscount, PlaceQuery, PlacementIndex, RateDiscount};
 pub use priority::PriorityPolicy;
 pub use rate_metric::{LinkAllocator, LinkSample, MetricKind};
 pub use reservation::ReservationBook;
 pub use resources::{ResourceBook, ResourceProfile, ServerResources};
-pub use selection::{Selector, SelectorConfig};
+pub use selection::{NodeSet, Selector, SelectorConfig};
 pub use sla::{Mitigation, SlaMonitor, SlaPolicy, SlaViolation};
 pub use tree::{ControlTree, CtrlId, Direction, NodeSpec, RateCaps, ServerMetrics, Telemetry};

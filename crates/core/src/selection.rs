@@ -56,6 +56,87 @@ pub enum Rank {
     MinBoth,
 }
 
+/// A reusable scratch bitset over server [`NodeId`]s.
+///
+/// Replaces the O(|exclude|)-per-candidate `exclude.contains` scan in the
+/// selection argmax with an O(1) membership test, while `clear` stays
+/// O(|members|) (not O(universe)) so a warm set can be recycled every
+/// admission without touching the full bit array. Inserting node `i`
+/// grows the backing storage to `i/64 + 1` words on demand, so no
+/// capacity needs declaring up front.
+#[derive(Debug, Clone, Default)]
+pub struct NodeSet {
+    bits: Vec<u64>,
+    members: Vec<NodeId>,
+}
+
+impl NodeSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        NodeSet::default()
+    }
+
+    /// Insert `s`; returns `false` if it was already present.
+    pub fn insert(&mut self, s: NodeId) -> bool {
+        let (word, bit) = (s.index() / 64, s.index() % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask != 0 {
+            return false;
+        }
+        self.bits[word] |= mask;
+        self.members.push(s);
+        true
+    }
+
+    /// O(1) membership test.
+    pub fn contains(&self, s: NodeId) -> bool {
+        self.bits
+            .get(s.index() / 64)
+            .is_some_and(|w| w & (1u64 << (s.index() % 64)) != 0)
+    }
+
+    /// Remove every member, touching only the words of present members.
+    pub fn clear(&mut self) {
+        for s in self.members.drain(..) {
+            self.bits[s.index() / 64] &= !(1u64 << (s.index() % 64));
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<T: IntoIterator<Item = NodeId>>(&mut self, iter: T) {
+        for s in iter {
+            self.insert(s);
+        }
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let mut set = NodeSet::new();
+        set.extend(iter);
+        set
+    }
+}
+
 /// Stateless selector over a round's server metrics.
 pub struct Selector<'a> {
     metrics: &'a [ServerMetrics],
@@ -95,15 +176,19 @@ impl<'a> Selector<'a> {
         }
     }
 
-    fn argmax(
+    /// The selection argmax over an arbitrary exclusion predicate. The
+    /// slice-taking [`Selector::write_target`] / [`Selector::replica_target`]
+    /// entry points wrap this with `exclude.contains`; the `_masked` forms
+    /// wrap it with an O(1) [`NodeSet`] probe.
+    fn argmax_where(
         &self,
         rank: Rank,
-        exclude: &[NodeId],
+        excluded: impl Fn(NodeId) -> bool,
         filter: impl Fn(&ServerMetrics) -> bool,
     ) -> Option<(NodeId, f64)> {
         self.metrics
             .iter()
-            .filter(|m| !exclude.contains(&m.server))
+            .filter(|m| !excluded(m.server))
             .filter(|m| filter(m))
             .map(|m| (m.server, self.score(m, rank)))
             .max_by(|a, b| a.1.total_cmp(&b.1))
@@ -119,21 +204,39 @@ impl<'a> Selector<'a> {
     /// §VII strategy). Active content avoids servers reserved for passive
     /// data when any other server is available.
     pub fn write_target(&self, class: ContentClass, exclude: &[NodeId]) -> Option<(NodeId, f64)> {
+        self.write_target_by(class, |s| exclude.contains(&s))
+    }
+
+    /// [`Selector::write_target`] with exclusions as an O(1)-probe
+    /// [`NodeSet`] instead of a linear slice scan.
+    pub fn write_target_masked(
+        &self,
+        class: ContentClass,
+        exclude: &NodeSet,
+    ) -> Option<(NodeId, f64)> {
+        self.write_target_by(class, |s| exclude.contains(s))
+    }
+
+    fn write_target_by(
+        &self,
+        class: ContentClass,
+        excluded: impl Fn(NodeId) -> bool + Copy,
+    ) -> Option<(NodeId, f64)> {
         let rank = match class {
             ContentClass::Interactive => Rank::MinBoth,
             _ => Rank::Down,
         };
         if class.is_active() {
             // Prefer servers not reserved for passive content...
-            if let Some(hit) = self.argmax(rank, exclude, |m| {
+            if let Some(hit) = self.argmax_where(rank, excluded, |m| {
                 !self.is_reserved_for_passive(m) && self.is_usable(m)
             }) {
                 return Some(hit);
             }
         }
         // ...but never fail outright if only reserved ones remain.
-        self.argmax(rank, exclude, |m| self.is_usable(m))
-            .or_else(|| self.argmax(rank, exclude, |_| true))
+        self.argmax_where(rank, excluded, |m| self.is_usable(m))
+            .or_else(|| self.argmax_where(rank, excluded, |_| true))
     }
 
     /// Where to **replicate** content already written to `primary`
@@ -146,44 +249,74 @@ impl<'a> Selector<'a> {
         primary: NodeId,
         exclude: &[NodeId],
     ) -> Option<(NodeId, f64)> {
-        let mut excl: Vec<NodeId> = exclude.to_vec();
-        excl.push(primary);
+        self.replica_target_by(class, |s| s == primary || exclude.contains(&s))
+    }
+
+    /// [`Selector::replica_target`] with exclusions as an O(1)-probe
+    /// [`NodeSet`] (the primary need not be a member; it is always
+    /// excluded).
+    pub fn replica_target_masked(
+        &self,
+        class: ContentClass,
+        primary: NodeId,
+        exclude: &NodeSet,
+    ) -> Option<(NodeId, f64)> {
+        self.replica_target_by(class, |s| s == primary || exclude.contains(s))
+    }
+
+    fn replica_target_by(
+        &self,
+        class: ContentClass,
+        excluded: impl Fn(NodeId) -> bool + Copy,
+    ) -> Option<(NodeId, f64)> {
         match class {
             ContentClass::Passive => {
                 // Dormant servers whose uplink beats the threshold first,
                 // then any server above the threshold, then best uplink.
-                self.argmax(Rank::Up, &excl, |m| {
+                self.argmax_where(Rank::Up, excluded, |m| {
                     m.path_up >= self.cfg.r_scale && self.is_dormant(m.server)
                 })
-                .or_else(|| self.argmax(Rank::Up, &excl, |m| m.path_up >= self.cfg.r_scale))
-                .or_else(|| self.argmax(Rank::Up, &excl, |_| true))
+                .or_else(|| {
+                    self.argmax_where(Rank::Up, excluded, |m| m.path_up >= self.cfg.r_scale)
+                })
+                .or_else(|| self.argmax_where(Rank::Up, excluded, |_| true))
             }
             ContentClass::Interactive => self
-                .argmax(Rank::MinBoth, &excl, |m| {
+                .argmax_where(Rank::MinBoth, excluded, |m| {
                     !self.is_reserved_for_passive(m) && self.is_usable(m)
                 })
-                .or_else(|| self.argmax(Rank::MinBoth, &excl, |_| true)),
+                .or_else(|| self.argmax_where(Rank::MinBoth, excluded, |_| true)),
             _ => self
-                .argmax(Rank::Up, &excl, |m| {
+                .argmax_where(Rank::Up, excluded, |m| {
                     !self.is_reserved_for_passive(m) && self.is_usable(m)
                 })
-                .or_else(|| self.argmax(Rank::Up, &excl, |_| true)),
+                .or_else(|| self.argmax_where(Rank::Up, excluded, |_| true)),
         }
     }
 
     /// The best replica of `replicas` to **read** from: highest uplink rate
     /// among servers currently able to serve (§VIII-C step 3).
     pub fn read_source(&self, replicas: &[NodeId]) -> Option<(NodeId, f64)> {
+        self.read_source_by(|s| replicas.contains(&s))
+    }
+
+    /// [`Selector::read_source`] with the replica set as an O(1)-probe
+    /// [`NodeSet`] instead of a linear slice scan.
+    pub fn read_source_masked(&self, replicas: &NodeSet) -> Option<(NodeId, f64)> {
+        self.read_source_by(|s| replicas.contains(s))
+    }
+
+    fn read_source_by(&self, holds: impl Fn(NodeId) -> bool + Copy) -> Option<(NodeId, f64)> {
         self.metrics
             .iter()
-            .filter(|m| replicas.contains(&m.server) && self.is_usable(m))
+            .filter(|m| holds(m.server) && self.is_usable(m))
             .map(|m| (m.server, self.score(m, Rank::Up)))
             .max_by(|a, b| a.1.total_cmp(&b.1))
             .or_else(|| {
                 // Fall back to a dormant replica (it will be woken).
                 self.metrics
                     .iter()
-                    .filter(|m| replicas.contains(&m.server))
+                    .filter(|m| holds(m.server))
                     .map(|m| (m.server, self.score(m, Rank::Up)))
                     .max_by(|a, b| a.1.total_cmp(&b.1))
             })
@@ -376,6 +509,57 @@ mod tests {
             .write_target(ContentClass::SemiInteractiveWrite, &[])
             .unwrap();
         assert_eq!(bs, NodeId(1), "80/2P < 60/P: efficiency beats raw rate");
+    }
+
+    #[test]
+    fn node_set_insert_contains_clear() {
+        let mut set = NodeSet::new();
+        assert!(set.is_empty());
+        assert!(set.insert(NodeId(3)));
+        assert!(set.insert(NodeId(130))); // forces a second word
+        assert!(!set.insert(NodeId(3)), "duplicate insert reports false");
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(NodeId(3)));
+        assert!(set.contains(NodeId(130)));
+        assert!(!set.contains(NodeId(4)));
+        assert!(!set.contains(NodeId(4096)), "beyond storage is absent");
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![NodeId(3), NodeId(130)]);
+        set.clear();
+        assert!(set.is_empty());
+        assert!(!set.contains(NodeId(3)));
+        assert!(set.insert(NodeId(3)), "cleared set accepts re-insertion");
+    }
+
+    #[test]
+    fn masked_forms_match_slice_forms() {
+        let metrics = [
+            m(0, 50.0, 90.0),
+            m(1, 40.0, 40.0),
+            m(2, 70.0, 10.0),
+            m(3, 70.0, 95.0),
+        ];
+        let c = cfg(60.0);
+        let s = Selector::new(&metrics, None, &c);
+        let excl_slice = [NodeId(2), NodeId(3)];
+        let excl_set: NodeSet = excl_slice.iter().copied().collect();
+        for class in [
+            ContentClass::Interactive,
+            ContentClass::SemiInteractiveWrite,
+            ContentClass::SemiInteractiveRead,
+            ContentClass::Passive,
+        ] {
+            assert_eq!(
+                s.write_target(class, &excl_slice),
+                s.write_target_masked(class, &excl_set)
+            );
+            assert_eq!(
+                s.replica_target(class, NodeId(0), &excl_slice),
+                s.replica_target_masked(class, NodeId(0), &excl_set)
+            );
+        }
+        let replicas = [NodeId(0), NodeId(1)];
+        let replica_set: NodeSet = replicas.iter().copied().collect();
+        assert_eq!(s.read_source(&replicas), s.read_source_masked(&replica_set));
     }
 
     #[test]

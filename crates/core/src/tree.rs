@@ -710,6 +710,17 @@ impl ControlTree {
         &self.params
     }
 
+    /// Number of completed control rounds — a monotone metrics epoch.
+    /// Server metrics only move inside [`ControlTree::control_round`]
+    /// (capacity reconfigurations change future rounds, not the current
+    /// `Ř`/`R̂` vectors), so a consumer that mirrors `server_metrics_into`
+    /// output — e.g. the admission placement index — is exactly as fresh
+    /// as the epoch it last refreshed at.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.round
+    }
+
     /// Run one control round at simulation time `now`, sampling links via
     /// `telemetry`. Returns detected SLA violations.
     // scda-analyze: hot(kernel.control)

@@ -210,13 +210,12 @@ pub fn run_multipath(cfg: &MultipathConfig, policy: PathPolicy) -> MultipathResu
                     best_path(&committed_for(&fd))
                 }
             };
-            let base_rtt: f64 = 2.0
-                * path
-                    .iter()
-                    .map(|&l| fd.net().topo().link(l).delay_s)
-                    .sum::<f64>();
-            fd.net_mut()
-                .insert_flow_with_path(id, src, dst, path.clone());
+            // Intern the chosen path: ECMP reuses the same few candidate
+            // paths across many flows, so each distinct path is priced
+            // once and shared by handle.
+            let pid = fd.net_mut().intern_path(&path);
+            let base_rtt = fd.net().path_rtt(pid);
+            fd.net_mut().insert_flow_interned(id, src, dst, pid);
             let transport = match policy {
                 PathPolicy::EcmpHash | PathPolicy::HederaLike { .. } => {
                     AnyTransport::Tcp(Reno::new(RenoConfig {

@@ -12,14 +12,13 @@
 //! [`scda_obs::phase`] names when the run carries an enabled handle, and
 //! records nothing (not even an `Instant`) otherwise.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use scda_audit::{AuditClass, ShedCause};
 use scda_metrics::{FctStats, FlowRecord, ThroughputSeries};
 use scda_obs::{metric, phase, TraceEvent};
-use scda_simnet::{FlowId, Network, NodeId};
+use scda_simnet::{FlowId, Network, NodeId, Scheduler};
 use scda_transport::{AnyTransport, FlowDriver};
 use scda_workloads::{FlowDirection, FlowKind};
 
@@ -106,7 +105,15 @@ pub struct PendingStart {
 /// policy traits passed to [`SimKernel::run`].
 pub struct SimKernel {
     driver: FlowDriver,
-    pending: BinaryHeap<Reverse<(StartKey, usize)>>,
+    /// Pending connection setups, keyed by start time with insertion
+    /// (= flow-id) order breaking ties — the same (time, id) order the
+    /// old `BinaryHeap<Reverse<(StartKey, idx)>>` produced, but drained
+    /// through the event engine's allocation-free
+    /// [`Scheduler::pop_batch_until`] so same-timestamp admission bursts
+    /// open as one batch.
+    pending: Scheduler<usize>,
+    /// Reused batch buffer for the open stage's scheduler drains.
+    open_batch: Vec<usize>,
     starts: Vec<Option<PendingStart>>,
     /// id → (arrival, size) for external flows, the FCT record source.
     /// A `BTreeMap` so any future iteration over it is id-ordered —
@@ -120,7 +127,8 @@ impl SimKernel {
     pub fn new(net: Network) -> Self {
         SimKernel {
             driver: FlowDriver::new(net),
-            pending: BinaryHeap::new(),
+            pending: Scheduler::new(),
+            open_batch: Vec::new(),
             starts: Vec::new(),
             arrivals: BTreeMap::new(),
             next_id: 0,
@@ -141,14 +149,16 @@ impl SimKernel {
         self.driver.reserve_flows(n);
     }
 
-    /// Schedule a flow: allocate the next id, park the start on the heap.
+    /// Schedule a flow: allocate the next id, park the start on the
+    /// scheduler. Ids and scheduler sequence numbers are allocated by
+    /// this one function, so the scheduler's (time, seq) order equals
+    /// the (time, id) order admissions replay in.
     fn schedule(&mut self, start: f64, build: impl FnOnce(FlowId) -> PendingStart) -> FlowId {
         let id = FlowId(self.next_id);
         self.next_id += 1;
         let idx = self.starts.len();
         self.starts.push(Some(build(id)));
-        self.pending
-            .push(Reverse((StartKey::new(start, id.0), idx)));
+        self.pending.at(start, idx);
         id
     }
 
@@ -210,25 +220,26 @@ impl SimKernel {
                 acct.obs().phase_add(phase::ADMISSION, t.elapsed());
             }
 
-            // Open connections whose setup completed.
+            // Open connections whose setup completed, one same-timestamp
+            // batch per scheduler drain.
             // scda-analyze: allow(determinism, per-stage wall-clock profiling; gated on obs and never read by sim state)
             let t_open = observing.then(Instant::now);
-            while let Some(Reverse((key, idx))) = self.pending.peek() {
-                if key.time() > now {
-                    break;
+            let mut batch = std::mem::take(&mut self.open_batch);
+            while self.pending.pop_batch_until(now, &mut batch).is_some() {
+                for &idx in &batch {
+                    let p = self.starts[idx]
+                        .take()
+                        .expect("invariant: each start index is scheduled exactly once");
+                    ctrl.on_open(&p, &mut self.driver);
+                    if !p.internal {
+                        self.arrivals.insert(p.id, (p.arrival, p.size));
+                    }
+                    self.driver
+                        .start_flow(p.id, p.src, p.dst, p.size, p.transport, now);
                 }
-                let idx = *idx;
-                self.pending.pop();
-                let p = self.starts[idx]
-                    .take()
-                    .expect("invariant: each start index is pushed to the heap exactly once");
-                ctrl.on_open(&p, &mut self.driver);
-                if !p.internal {
-                    self.arrivals.insert(p.id, (p.arrival, p.size));
-                }
-                self.driver
-                    .start_flow(p.id, p.src, p.dst, p.size, p.transport, now);
             }
+            batch.clear();
+            self.open_batch = batch;
             if let Some(t) = t_open {
                 acct.obs().phase_add(phase::OPEN, t.elapsed());
             }
@@ -381,34 +392,30 @@ mod tests {
     }
 
     #[test]
-    fn pending_heap_pops_in_start_order() {
-        // The kernel's heap is a min-heap over (StartKey, insertion idx):
-        // earlier start first, id breaking ties.
-        let mut heap: BinaryHeap<Reverse<(StartKey, usize)>> = BinaryHeap::new();
-        let entries = [
-            (2.0, 3u64),
-            (1.0, 7),
-            (1.0, 2),
-            (0.5, 9),
-            (f64::INFINITY, 0),
-            (1.0, 4),
-        ];
-        for (i, &(t, id)) in entries.iter().enumerate() {
-            heap.push(Reverse((StartKey::new(t, id), i)));
+    fn pending_scheduler_drains_in_start_then_insertion_order() {
+        // The kernel parks pending starts on a `Scheduler<usize>`:
+        // earlier start first, insertion (= flow id) order breaking
+        // ties, same-timestamp entries arriving as one batch — the
+        // order the old `BinaryHeap<Reverse<(StartKey, idx)>>` popped
+        // in, just batched.
+        let mut sched: Scheduler<usize> = Scheduler::new();
+        // (start, idx): idx is allocated in insertion order by
+        // SimKernel::schedule, exactly like flow ids.
+        for (idx, &t) in [2.0, 1.0, 1.0, 0.5, f64::INFINITY, 1.0].iter().enumerate() {
+            sched.at(t, idx);
         }
-        let mut popped = Vec::new();
-        while let Some(Reverse((k, _))) = heap.pop() {
-            popped.push((k.time(), k.1));
+        let mut batch = Vec::new();
+        let mut batches = Vec::new();
+        while let Some(t) = sched.pop_batch_until(f64::INFINITY, &mut batch) {
+            batches.push((t, batch.clone()));
         }
         assert_eq!(
-            popped,
+            batches,
             vec![
-                (0.5, 9),
-                (1.0, 2),
-                (1.0, 4),
-                (1.0, 7),
-                (2.0, 3),
-                (f64::INFINITY, 0)
+                (0.5, vec![3]),
+                (1.0, vec![1, 2, 5]),
+                (2.0, vec![0]),
+                (f64::INFINITY, vec![4]),
             ]
         );
     }

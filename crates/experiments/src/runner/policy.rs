@@ -55,6 +55,16 @@ pub trait Placement {
     /// no server qualifies (the kernel treats that as fatal — every
     /// scenario has at least one server).
     fn place(&mut self, ctx: &PlacementCtx<'_>) -> Option<(NodeId, f64)>;
+
+    /// Whether this policy's picks are reproduced bit-identically by the
+    /// control plane's incremental placement index
+    /// ([`scda_core::PlacementIndex`]), letting admission skip the
+    /// per-request metrics scan. Only the staged §VII argmax the index
+    /// mirrors may say yes; custom policies default to the per-admission
+    /// oracle path.
+    fn index_compatible(&self) -> bool {
+        false
+    }
 }
 
 /// SCDA §VII class-aware best-rate selection over the discounted
@@ -68,6 +78,10 @@ impl Placement for BestRatePlacement {
             FlowDirection::Write => sel.write_target(ctx.class, &[]),
             FlowDirection::Read => sel.read_source(ctx.servers),
         }
+    }
+
+    fn index_compatible(&self) -> bool {
+        true
     }
 }
 

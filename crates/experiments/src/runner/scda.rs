@@ -17,10 +17,11 @@ use scda_audit::{
 };
 use scda_core::{
     ContentClass, ControlTree, Direction, EnergyBook, LinkAllocator, LinkSample, Mitigation,
-    OpenFlowSjf, Params, PriorityPolicy, ProtocolCosts, RateCaps, ResourceBook, Selector,
-    SlaMonitor, SnapshotStream, Telemetry,
+    NoDiscount, NodeSet, OpenFlowSjf, Params, PlaceQuery, PlacementIndex, PriorityPolicy,
+    ProtocolCosts, RateCaps, RateDiscount, ResourceBook, Selector, ServerMetrics, SlaMonitor,
+    SnapshotStream, Telemetry,
 };
-use scda_obs::{metric, Candidate, TraceEvent, MAX_CANDIDATES};
+use scda_obs::{metric, phase, Candidate, TraceEvent, MAX_CANDIDATES};
 use scda_simnet::builders::ThreeTierTree;
 use scda_simnet::{FlowId, LinkId, NodeId};
 use scda_transport::{AnyTransport, CompletedFlow, FlowDriver, ScdaWindow, Transport};
@@ -82,6 +83,59 @@ struct FlowCtl {
     class: AuditClass,
 }
 
+/// The NNS's outstanding-load congestion discount as a
+/// [`RateDiscount`], so the placement index can evaluate the exact
+/// per-admission score at the leaves it visits: k not-yet-visible flows
+/// on a level-h link of capacity C shift a per-flow share r to
+/// r/(1 + k·r/C), and the candidate's score is the minimum over its
+/// path levels. The float operations mirror the oracle path's discount
+/// loop term for term, so both paths produce bit-identical scores.
+/// `adjusted ≤ raw` holds per level (k ≥ 0), satisfying the
+/// branch-and-bound soundness contract.
+struct OutstandingDiscount<'a> {
+    outstanding: &'a BTreeMap<NodeId, u32>,
+    outstanding_rack: &'a [u32],
+    outstanding_agg: &'a [u32],
+    outstanding_total: u32,
+    server_coord: &'a BTreeMap<NodeId, (usize, usize)>,
+    level_caps: &'a [f64; 4],
+}
+
+impl RateDiscount for OutstandingDiscount<'_> {
+    // scda-analyze: hot(kernel.place)
+    fn adjust(&self, m: &ServerMetrics) -> (f64, f64) {
+        let &(rack, agg) = self.server_coord.get(&m.server).expect("server has coords");
+        let k0 = self.outstanding.get(&m.server).copied().unwrap_or(0) as f64;
+        let counts = [
+            k0,
+            self.outstanding_rack[rack] as f64,
+            self.outstanding_agg[agg] as f64,
+            self.outstanding_total as f64,
+        ];
+        let mut adj_down = f64::INFINITY;
+        let mut adj_up = f64::INFINITY;
+        for (h, (&k, &cap)) in counts.iter().zip(self.level_caps).enumerate() {
+            let rd = m.down_levels[h];
+            adj_down = adj_down.min(rd / (1.0 + k * rd / cap));
+            let ru = m.up_levels[h];
+            adj_up = adj_up.min(ru / (1.0 + k * ru / cap));
+        }
+        (adj_down, adj_up)
+    }
+
+    // The datacenter-wide term prices the deepest cached level, and on
+    // the three-tier tree (depth 4 = `MAX_LEVELS`) that level's
+    // cumulative rate *is* the raw path rate — so the trunk term is a
+    // monotone function of `raw` and bounds the whole level-minimum.
+    // Folding it in keeps subtree pruning sharp under heavy churn, when
+    // the shared trunk count shrinks every score uniformly.
+    // scda-analyze: hot(kernel.place)
+    fn bound(&self, raw: f64) -> f64 {
+        let k = self.outstanding_total as f64;
+        raw / (1.0 + k * raw / self.level_caps[3])
+    }
+}
+
 /// Per-flow weight under the configured priority policy. The OpenFlow
 /// variant (§IV-B) keys on bytes already sent (the switch's packet
 /// counter); the policy variants key on bytes remaining.
@@ -141,7 +195,17 @@ pub struct ScdaControl {
     recent_wakes: Vec<(f64, NodeId)>,
     /// Scratch buffer for per-arrival selection metrics (reused to keep
     /// the hot path allocation-free at the 16k-server scale).
-    metrics_buf: Vec<scda_core::ServerMetrics>,
+    metrics_buf: Vec<ServerMetrics>,
+    /// Persistent placement index over the raw per-server path rates,
+    /// refreshed from the control tree's metric deltas once per round.
+    /// When the composition's placement policy is index-compatible (and
+    /// the run is unobserved and not power-aware), admission answers its
+    /// staged argmax here instead of scanning `metrics_buf` — the same
+    /// pick, bit for bit, in amortized sublinear time.
+    pindex: PlacementIndex,
+    /// Always-empty exclusion set for index queries (kept as a field so
+    /// the admission hot path never allocates).
+    no_exclusions: NodeSet,
     resources: Option<ResourceBook>,
     /// Original capacities of links that received reserve bandwidth, to
     /// bound how far mitigation may grow them.
@@ -227,6 +291,8 @@ impl ScdaControl {
             pending_class: BTreeMap::new(),
             recent_wakes: Vec::new(),
             metrics_buf: Vec::new(),
+            pindex: PlacementIndex::new(),
+            no_exclusions: NodeSet::new(),
             resources,
             boosted: BTreeMap::new(),
             energy,
@@ -266,6 +332,8 @@ impl ControlPolicy for ScdaControl {
             resources: self.resources.as_ref(),
         };
         self.ct.control_round(0.0, &mut tel);
+        self.ct.server_metrics_into(&mut self.metrics_buf);
+        self.pindex.refresh(&self.metrics_buf);
     }
 
     fn admit(
@@ -285,65 +353,111 @@ impl ControlPolicy for ScdaControl {
         // (i.e. C/N -> C/(N + k)). The candidate's score is the minimum
         // over its path levels — so a server in a quiet rack outranks
         // one whose rack or aggregation uplink is already spoken for.
-        // The per-level rates come from the ServerMetrics level cache,
-        // keeping this hot path free of tree walks and allocations.
-        self.ct.server_metrics_into(&mut self.metrics_buf);
-        for m in self.metrics_buf.iter_mut() {
-            let &(rack, agg) = self.server_coord.get(&m.server).expect("server has coords");
-            let k0 = self.outstanding.get(&m.server).copied().unwrap_or(0) as f64;
-            let counts = [
-                k0,
-                self.outstanding_rack[rack] as f64,
-                self.outstanding_agg[agg] as f64,
-                self.outstanding_total as f64,
-            ];
-            let mut adj_down = f64::INFINITY;
-            let mut adj_up = f64::INFINITY;
-            for (h, (&k, &cap)) in counts.iter().zip(&self.level_caps).enumerate() {
-                let rd = m.down_levels[h];
-                adj_down = adj_down.min(rd / (1.0 + k * rd / cap));
-                let ru = m.up_levels[h];
-                adj_up = adj_up.min(ru / (1.0 + k * ru / cap));
-            }
-            m.path_down = adj_down;
-            m.path_up = adj_up;
-            m.r0_down /= 1.0 + k0;
-            m.r0_up /= 1.0 + k0;
-        }
+        //
+        // Fast path: when the placement policy is the staged §VII argmax
+        // the placement index mirrors — and nothing needs the full
+        // discounted candidate set (no trace events) and ranking stays
+        // under the raw-rate upper bounds (not power-aware) — answer the
+        // query from the index, evaluating the discount only at the
+        // leaves branch-and-bound actually visits. Bit-identical to the
+        // oracle path below; `observed_run_matches_unobserved_*` and the
+        // placement-index proptests hold the two together.
         let class = class_of(f.kind);
-        let picked = placement.place(&PlacementCtx {
-            class,
-            direction: f.direction,
-            metrics: &self.metrics_buf,
-            servers: &self.servers,
-            energy: self.energy.as_ref(),
-            selector: &self.opts.selector,
-        });
-        let (server, sel_rate) = picked.expect("at least one server exists");
-        self.opts.obs.emit_with(|| {
-            // The NNS's decision, with the top of the candidate set it
-            // chose from (discounted per-direction path rates).
-            let mut candidates: Vec<Candidate> = self
-                .metrics_buf
-                .iter()
-                .map(|m| Candidate {
-                    server: m.server.0,
-                    rate: match f.direction {
-                        FlowDirection::Write => m.path_down,
-                        FlowDirection::Read => m.path_up,
-                    },
-                })
-                .collect();
-            candidates.sort_by(|a, b| b.rate.total_cmp(&a.rate));
-            candidates.truncate(MAX_CANDIDATES);
-            TraceEvent::ServerSelected {
-                now,
-                flow: id.0,
-                server: server.0,
-                rate: sel_rate,
-                candidates,
+        let fast = placement.index_compatible()
+            && !self.opts.obs.is_enabled()
+            && !self.opts.selector.power_aware;
+        let (server, _sel_rate) = if fast {
+            debug_assert!(
+                (self.ct.hmax() as usize) < scda_core::tree::MAX_LEVELS,
+                "OutstandingDiscount::bound needs the deepest cached level \
+                 to equal the path rate (true for trees of depth ≤ MAX_LEVELS)"
+            );
+            let discount = OutstandingDiscount {
+                outstanding: &self.outstanding,
+                outstanding_rack: &self.outstanding_rack,
+                outstanding_agg: &self.outstanding_agg,
+                outstanding_total: self.outstanding_total,
+                server_coord: &self.server_coord,
+                level_caps: &self.level_caps,
+            };
+            let q = PlaceQuery {
+                energy: self.energy.as_ref(),
+                cfg: &self.opts.selector,
+                discount: &discount,
+            };
+            match f.direction {
+                FlowDirection::Write => self.pindex.write_target(class, &self.no_exclusions, &q),
+                FlowDirection::Read => self.pindex.read_best(&q),
             }
-        });
+            .expect("at least one server exists")
+        } else {
+            // Oracle path: materialize the full discounted candidate set
+            // and scan it. The per-level rates come from the
+            // ServerMetrics level cache, keeping even this path free of
+            // tree walks and allocations.
+            // scda-analyze: allow(determinism, per-stage wall-clock profiling; gated on obs and never read by sim state)
+            let t = self.opts.obs.is_enabled().then(std::time::Instant::now);
+            self.ct.server_metrics_into(&mut self.metrics_buf);
+            for m in self.metrics_buf.iter_mut() {
+                let &(rack, agg) = self.server_coord.get(&m.server).expect("server has coords");
+                let k0 = self.outstanding.get(&m.server).copied().unwrap_or(0) as f64;
+                let counts = [
+                    k0,
+                    self.outstanding_rack[rack] as f64,
+                    self.outstanding_agg[agg] as f64,
+                    self.outstanding_total as f64,
+                ];
+                let mut adj_down = f64::INFINITY;
+                let mut adj_up = f64::INFINITY;
+                for (h, (&k, &cap)) in counts.iter().zip(&self.level_caps).enumerate() {
+                    let rd = m.down_levels[h];
+                    adj_down = adj_down.min(rd / (1.0 + k * rd / cap));
+                    let ru = m.up_levels[h];
+                    adj_up = adj_up.min(ru / (1.0 + k * ru / cap));
+                }
+                m.path_down = adj_down;
+                m.path_up = adj_up;
+                m.r0_down /= 1.0 + k0;
+                m.r0_up /= 1.0 + k0;
+            }
+            let picked = placement.place(&PlacementCtx {
+                class,
+                direction: f.direction,
+                metrics: &self.metrics_buf,
+                servers: &self.servers,
+                energy: self.energy.as_ref(),
+                selector: &self.opts.selector,
+            });
+            let (server, sel_rate) = picked.expect("at least one server exists");
+            if let Some(t) = t {
+                self.opts.obs.phase_add(phase::PLACE, t.elapsed());
+            }
+            self.opts.obs.emit_with(|| {
+                // The NNS's decision, with the top of the candidate set it
+                // chose from (discounted per-direction path rates).
+                let mut candidates: Vec<Candidate> = self
+                    .metrics_buf
+                    .iter()
+                    .map(|m| Candidate {
+                        server: m.server.0,
+                        rate: match f.direction {
+                            FlowDirection::Write => m.path_down,
+                            FlowDirection::Read => m.path_up,
+                        },
+                    })
+                    .collect();
+                candidates.sort_by(|a, b| b.rate.total_cmp(&a.rate));
+                candidates.truncate(MAX_CANDIDATES);
+                TraceEvent::ServerSelected {
+                    now,
+                    flow: id.0,
+                    server: server.0,
+                    rate: sel_rate,
+                    candidates,
+                }
+            });
+            (server, sel_rate)
+        };
         *self.outstanding.entry(server).or_insert(0) += 1;
         {
             let &(rack, agg) = self.server_coord.get(&server).expect("server has coords");
@@ -483,6 +597,14 @@ impl ControlPolicy for ScdaControl {
                 self.client_alloc[ci].1.update(&sd, &self.params);
             }
         }
+        // Absorb the round's fresh advertisements into the placement
+        // index. Server metrics only move inside `control_round`, so one
+        // incremental refresh per round keeps the index bit-identical to
+        // a fresh snapshot until the next round (the mitigation ladder
+        // below touches capacity columns only, which the metrics
+        // snapshot does not read).
+        self.ct.server_metrics_into(&mut self.metrics_buf);
+        self.pindex.refresh(&self.metrics_buf);
         // Attribute each violation *before* the mitigation ladder runs,
         // so the recorded bottleneck and traffic mix are the ones the
         // monitor saw at detection time: walk the control tree's max-min
@@ -617,9 +739,10 @@ impl ControlPolicy for ScdaControl {
             });
             if self.opts.energy.as_ref().expect("energy enabled").dormancy {
                 // Idle servers with uplink headroom above R_scale nap
-                // until demand wakes them.
-                self.ct.server_metrics_into(&mut self.metrics_buf);
-                for m in &self.metrics_buf {
+                // until demand wakes them. The placement index's mirror
+                // was refreshed from this round's metrics above, so it
+                // doubles as the snapshot here.
+                for m in self.pindex.metrics() {
                     let busy = per_server.get(&m.server).copied().unwrap_or(0.0) > 0.0;
                     if !busy && m.path_up >= self.opts.selector.r_scale && book.is_active(m.server)
                     {
@@ -745,11 +868,29 @@ impl ControlPolicy for ScdaControl {
         if was_write && self.opts.replicate_writes {
             let size = size.expect("external completion has a recorded size");
             let primary = ctl.as_ref().expect("write flow has control state").server;
-            self.ct.server_metrics_into(&mut self.metrics_buf);
-            let sel = Selector::new(&self.metrics_buf, self.energy.as_ref(), &self.opts.selector);
-            if let Some((replica, _)) =
+            // Replica selection ranks on the *raw* (undiscounted) round
+            // metrics, which is exactly the placement index's mirror —
+            // so the index answers directly unless power-aware ranking
+            // forces the Selector oracle.
+            let replica_pick = if self.opts.selector.power_aware {
+                self.ct.server_metrics_into(&mut self.metrics_buf);
+                let sel =
+                    Selector::new(&self.metrics_buf, self.energy.as_ref(), &self.opts.selector);
                 sel.replica_target(ContentClass::SemiInteractiveRead, primary, &[])
-            {
+            } else {
+                let q = PlaceQuery {
+                    energy: self.energy.as_ref(),
+                    cfg: &self.opts.selector,
+                    discount: &NoDiscount,
+                };
+                self.pindex.replica_target(
+                    ContentClass::SemiInteractiveRead,
+                    primary,
+                    &self.no_exclusions,
+                    &q,
+                )
+            };
+            if let Some((replica, _)) = replica_pick {
                 let rate = self
                     .ct
                     .transfer_rate(primary, replica)

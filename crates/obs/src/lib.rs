@@ -42,6 +42,12 @@ pub mod phase {
     pub const CONTROL: &str = "kernel.control";
     /// Transport-drive stage: one fluid tick plus completion accounting.
     pub const TICK: &str = "kernel.tick";
+    /// Placement query: one server pick against the incremental
+    /// placement index (or its fresh-`Selector` oracle fallback).
+    pub const PLACE: &str = "kernel.place";
+    /// Route resolution: shortest-path handle lookup / interning for a
+    /// (src, dst) pair in the routing cache.
+    pub const ROUTE: &str = "sim.route";
     /// Event-engine drain: the scheduler batch run up to a deadline.
     pub const ENGINE_DRAIN: &str = "engine.drain";
     /// Incremental max-min re-level: the fluid solver's dirty-component

@@ -365,11 +365,11 @@ mod tests {
         let mut routes = Routes::new(&topo);
         // Cross-pod path: server -> edge -> agg -> core -> agg -> edge ->
         // server = 6 links.
-        let p = routes.path(&topo, pods[0][0], pods[3][3]).unwrap();
-        assert_eq!(p.len(), 6);
+        let id = routes.path_handle(&topo, pods[0][0], pods[3][3]).unwrap();
+        assert_eq!(routes.path_of(id).len(), 6);
         // Same-edge path: 2 links.
-        let p = routes.path(&topo, pods[0][0], pods[0][1]).unwrap();
-        assert_eq!(p.len(), 2);
+        let id = routes.path_handle(&topo, pods[0][0], pods[0][1]).unwrap();
+        assert_eq!(routes.path_of(id).len(), 2);
     }
 
     #[test]
@@ -433,7 +433,8 @@ mod tests {
         let mut routes = Routes::new(&tree.topo);
         let client = tree.clients[0];
         let server = tree.servers[7][3];
-        let p = routes.path(&tree.topo, client, server).unwrap();
+        let id = routes.path_handle(&tree.topo, client, server).unwrap();
+        let p = routes.path_of(id);
         // client -> gw -> core -> agg -> edge -> server = 5 links
         assert_eq!(p.len(), 5);
         assert_eq!(tree.topo.link(p[0]).src, client);
@@ -447,8 +448,8 @@ mod tests {
         let mut routes = Routes::new(&tree.topo);
         let a = tree.servers[2][0];
         let b = tree.servers[2][5];
-        let p = routes.path(&tree.topo, a, b).unwrap();
-        assert_eq!(p.len(), 2, "server -> edge -> server");
+        let id = routes.path_handle(&tree.topo, a, b).unwrap();
+        assert_eq!(routes.path_of(id).len(), 2, "server -> edge -> server");
     }
 
     #[test]
@@ -459,8 +460,12 @@ mod tests {
         // racks 0 and 1 share agg 0 under racks_per_agg = 5.
         let a = tree.servers[0][0];
         let b = tree.servers[1][0];
-        let p = routes.path(&tree.topo, a, b).unwrap();
-        assert_eq!(p.len(), 4, "server -> edge -> agg -> edge -> server");
+        let id = routes.path_handle(&tree.topo, a, b).unwrap();
+        assert_eq!(
+            routes.path_of(id).len(),
+            4,
+            "server -> edge -> agg -> edge -> server"
+        );
     }
 
     #[test]
@@ -475,8 +480,11 @@ mod tests {
         let (topo, snd, rcv, (fwd, _)) = dumbbell(4, mbps(100.0), 0.001, 1e6);
         let mut routes = Routes::new(&topo);
         for (s, r) in snd.iter().zip(&rcv) {
-            let p = routes.path(&topo, *s, *r).unwrap();
-            assert!(p.contains(&fwd), "every pair crosses the bottleneck");
+            let id = routes.path_handle(&topo, *s, *r).unwrap();
+            assert!(
+                routes.path_of(id).contains(&fwd),
+                "every pair crosses the bottleneck"
+            );
         }
     }
 
@@ -490,7 +498,9 @@ mod tests {
         assert_eq!(topo.out_links(edge).len(), 2 + 2);
         // All pairs are connected.
         let mut routes = Routes::new(&topo);
-        assert!(routes.path(&topo, servers[0][0], servers[3][1]).is_some());
+        assert!(routes
+            .path_handle(&topo, servers[0][0], servers[3][1])
+            .is_some());
     }
 
     #[test]

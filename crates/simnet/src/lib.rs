@@ -70,5 +70,5 @@ pub use ids::{FlowId, LinkId, NodeId};
 pub use link::LinkState;
 pub use network::{FlowRef, FlowTick, Network, TickReport};
 pub use packet::{simulate_packets, PacketFlow, PacketSimResult, SourceModel};
-pub use routing::Routes;
+pub use routing::{PathId, Routes};
 pub use topology::{Link, Node, NodeKind, Topology};

@@ -26,7 +26,7 @@ use std::collections::BTreeMap;
 use crate::fluid::IncrementalMaxMin;
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::link::LinkState;
-use crate::routing::Routes;
+use crate::routing::{PathId, Routes};
 use crate::topology::Topology;
 
 /// An active flow materialized out of the arena (the by-value form
@@ -231,11 +231,46 @@ impl Network {
     /// local transfers outside the network).
     pub fn insert_flow(&mut self, id: FlowId, src: NodeId, dst: NodeId) -> FlowRef<'_> {
         assert!(src != dst, "flow endpoints must differ");
-        let path = self
+        let pid = self
             .routes
-            .path(&self.topo, src, dst)
+            .path_handle(&self.topo, src, dst)
             .unwrap_or_else(|| panic!("no route {src} -> {dst}"));
-        self.insert_slot(id, src, dst, &path)
+        self.insert_flow_interned(id, src, dst, pid)
+    }
+
+    /// Register a flow over a previously interned path (the shortest
+    /// path's [`Routes::path_handle`] or an explicit
+    /// [`Network::intern_path`]). The arena-cached links and RTT are
+    /// reused directly — no per-open path walk or allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already active.
+    pub fn insert_flow_interned(
+        &mut self,
+        id: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        pid: PathId,
+    ) -> FlowRef<'_> {
+        let base_rtt = self.routes.rtt_of(pid);
+        let len = self.routes.path_of(pid).len();
+        self.maybe_compact_paths(len);
+        let start = self.path_data.len() as u32;
+        self.path_data.extend_from_slice(self.routes.path_of(pid));
+        self.finish_insert(id, src, dst, base_rtt, start, len as u32)
+    }
+
+    /// Intern an explicit path (e.g. an ECMP candidate) into the routing
+    /// cache's shared arena, deduplicating by content, and return its
+    /// handle for [`Network::insert_flow_interned`].
+    pub fn intern_path(&mut self, path: &[LinkId]) -> PathId {
+        self.routes.intern_explicit(&self.topo, path)
+    }
+
+    /// Cached propagation RTT (seconds) of an interned path.
+    pub fn path_rtt(&self, pid: PathId) -> f64 {
+        self.routes.rtt_of(pid)
     }
 
     /// Register a flow over an explicit `path` (e.g. an ECMP candidate or
@@ -270,7 +305,7 @@ impl Network {
         self.insert_slot(id, src, dst, &path)
     }
 
-    /// Arena insert shared by both registration paths.
+    /// Arena insert for a caller-materialized path.
     fn insert_slot(
         &mut self,
         id: FlowId,
@@ -282,6 +317,20 @@ impl Network {
         self.maybe_compact_paths(path.len());
         let start = self.path_data.len() as u32;
         self.path_data.extend_from_slice(path);
+        self.finish_insert(id, src, dst, base_rtt, start, path.len() as u32)
+    }
+
+    /// Slot bookkeeping shared by every registration path; the flow's
+    /// links are already appended to `path_data` at `start..start+len`.
+    fn finish_insert(
+        &mut self,
+        id: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        base_rtt: f64,
+        start: u32,
+        len: u32,
+    ) -> FlowRef<'_> {
         let slot = match self.free.pop() {
             Some(slot) => {
                 let s = slot as usize;
@@ -290,7 +339,7 @@ impl Network {
                 self.dsts[s] = dst;
                 self.base_rtt[s] = base_rtt;
                 self.path_start[s] = start;
-                self.path_len[s] = path.len() as u32;
+                self.path_len[s] = len;
                 self.live[s] = true;
                 slot
             }
@@ -301,7 +350,7 @@ impl Network {
                 self.dsts.push(dst);
                 self.base_rtt.push(base_rtt);
                 self.path_start.push(start);
-                self.path_len.push(path.len() as u32);
+                self.path_len.push(len);
                 self.live.push(true);
                 self.solver_slot.push(u32::MAX);
                 slot
@@ -310,7 +359,10 @@ impl Network {
         let prev = self.index.insert(id, slot);
         assert!(prev.is_none(), "flow id {id} already active");
         if let Some(solver) = &mut self.solver {
-            let ss = solver.add_flow(path, None);
+            let ss = solver.add_flow(
+                &self.path_data[start as usize..(start + len) as usize],
+                None,
+            );
             self.solver_slot[slot as usize] = ss;
             if ss as usize >= self.net_of_solver.len() {
                 self.net_of_solver.resize(ss as usize + 1, u32::MAX);
@@ -444,7 +496,15 @@ impl Network {
     /// Propagation-only RTT between two nodes over the routed path (used
     /// to price connection handshakes before a flow exists).
     pub fn base_rtt_between(&mut self, src: NodeId, dst: NodeId) -> Option<f64> {
-        self.routes.base_rtt(&self.topo, src, dst)
+        let pid = self.routes.path_handle(&self.topo, src, dst)?;
+        Some(self.routes.rtt_of(pid))
+    }
+
+    /// Handle to the interned shortest path between two nodes, or `None`
+    /// if unreachable — the zero-allocation form of the open stage's
+    /// route lookup.
+    pub fn path_handle_between(&mut self, src: NodeId, dst: NodeId) -> Option<PathId> {
+        self.routes.path_handle(&self.topo, src, dst)
     }
 
     /// Current queueing-inflated RTT of a flow (forward-path queues only;

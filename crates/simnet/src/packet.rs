@@ -239,9 +239,10 @@ pub fn simulate_packets(topo: &Topology, flows: &[PacketFlow], horizon: f64) -> 
     let states: Vec<FlowState> = flows
         .iter()
         .map(|f| {
-            let path = routes
-                .path(topo, f.src, f.dst)
+            let pid = routes
+                .path_handle(topo, f.src, f.dst)
                 .unwrap_or_else(|| panic!("no route {} -> {}", f.src, f.dst));
+            let path = routes.path_of(pid).to_vec();
             let ack_delay: f64 = path.iter().map(|&l| topo.link(l).delay_s).sum();
             FlowState {
                 path,

@@ -7,20 +7,75 @@
 //! the unique up-then-down path — and the general topologies of §IX, where
 //! the paper's cross-layer max/min route selection (reference \[7\]) needs a
 //! candidate path to evaluate.
+//!
+//! # Interning
+//!
+//! Flow admission asks for the same (src, dst) paths over and over — a
+//! rack pair's path never changes while the fabric stands. The cache
+//! therefore **interns** materialized paths: the first
+//! [`Routes::path_handle`] for a pair walks the predecessor tree once
+//! into a shared CSR arena and memoizes a [`PathId`]; every later
+//! lookup is one `BTreeMap` probe, and the links ([`Routes::path_of`])
+//! and propagation RTT ([`Routes::rtt_of`]) are shared by id with zero
+//! per-open allocation. Capacity or delay reconfiguration invalidates
+//! by replacing the whole `Routes` (see
+//! [`Network::invalidate_routes`](crate::Network::invalidate_routes)),
+//! so no stale handle can survive a fabric change — `PathId`s must not
+//! be held across an invalidation.
+//!
+//! The allocating [`Routes::path`] / [`Routes::base_rtt`] forms are
+//! deprecated in favor of the handle and [`Routes::path_into`] forms,
+//! matching the workspace's `max_min_rates` → `max_min_rates_into`
+//! convention.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::ids::{LinkId, NodeId};
 use crate::topology::Topology;
 
-/// Routing table: lazily computed, cached shortest-path trees.
-#[derive(Debug, Clone)]
+/// `prev`-row sentinel: no predecessor link (unreachable, or the row's
+/// own source).
+const NO_LINK: u32 = u32::MAX;
+
+/// Intern-table sentinel: the pair is known unreachable, so repeated
+/// queries skip the predecessor walk.
+const UNREACHABLE: u32 = u32::MAX;
+
+/// Handle to an interned path in a [`Routes`] cache. Cheap to copy and
+/// compare; resolves through [`Routes::path_of`] / [`Routes::rtt_of`].
+/// Valid only for the `Routes` value that issued it — route
+/// invalidation replaces the cache wholesale and with it every id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathId(u32);
+
+impl PathId {
+    /// The arena slot, for diagnostics.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Routing table: lazily computed, cached shortest-path trees plus the
+/// interned-path arena.
+#[derive(Debug, Clone, Default)]
 pub struct Routes {
-    /// `prev[src][dst]` = link used to *reach* `dst` on the shortest path
-    /// from `src`, or `None` if unreachable / dst == src. Computed per
-    /// source on first use.
-    prev: Vec<Option<Vec<Option<LinkId>>>>,
+    /// `prev[src]` = flat predecessor row: entry `dst` is the link used
+    /// to *reach* `dst` on the shortest path from `src` ([`NO_LINK`] if
+    /// unreachable / dst == src). Computed per source on first use.
+    prev: Vec<Option<Box<[u32]>>>,
+    /// (src, dst) → arena slot, or [`UNREACHABLE`].
+    interned: BTreeMap<(u32, u32), u32>,
+    /// Content-keyed dedup for explicitly supplied paths (multipath's
+    /// ECMP picks), so equal paths share one arena slot.
+    explicit: BTreeMap<Box<[LinkId]>, u32>,
+    /// CSR offsets into `path_links`; `len = paths + 1`.
+    path_off: Vec<u32>,
+    /// CSR link data, first link leaves the source.
+    path_links: Vec<LinkId>,
+    /// Cached propagation RTT (seconds, `2·Σ delay` in path order) per
+    /// interned path.
+    path_rtt: Vec<f64>,
 }
 
 impl Routes {
@@ -28,39 +83,141 @@ impl Routes {
     pub fn new(topo: &Topology) -> Self {
         Routes {
             prev: vec![None; topo.node_count()],
+            interned: BTreeMap::new(),
+            explicit: BTreeMap::new(),
+            path_off: vec![0],
+            path_links: Vec::new(),
+            path_rtt: Vec::new(),
         }
     }
 
-    /// The shortest path from `src` to `dst` as a sequence of directed
-    /// links, or `None` if unreachable. The first link leaves `src`; the
-    /// last enters `dst`.
-    pub fn path(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
-        if src == dst {
-            return Some(Vec::new());
+    /// Number of distinct interned paths.
+    pub fn interned_count(&self) -> usize {
+        self.path_rtt.len()
+    }
+
+    /// Handle to the shortest path from `src` to `dst`, or `None` if
+    /// unreachable. First call per pair walks the cached predecessor
+    /// tree (running Dijkstra from `src` if this is its first query)
+    /// and interns the result; later calls are a single map probe.
+    // scda-analyze: hot(sim.route)
+    pub fn path_handle(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<PathId> {
+        let key = (src.0, dst.0);
+        if let Some(&slot) = self.interned.get(&key) {
+            return (slot != UNREACHABLE).then_some(PathId(slot));
         }
         self.ensure_source(topo, src);
-        let tree = self.prev[src.index()].as_ref().expect("just computed");
-        // Walk predecessor links back from dst.
-        let mut rev = Vec::new();
+        let row = self.prev[src.index()]
+            .as_ref()
+            .expect("invariant: just computed");
+        // Walk predecessor links back from dst, straight into the arena.
+        let start = self.path_links.len();
         let mut cur = dst;
+        let mut ok = true;
         while cur != src {
-            let l = tree[cur.index()]?;
-            rev.push(l);
+            let l = row[cur.index()];
+            if l == NO_LINK {
+                ok = false;
+                break;
+            }
+            let l = LinkId(l);
+            self.path_links.push(l);
             cur = topo.link(l).src;
         }
-        rev.reverse();
-        Some(rev)
+        if !ok {
+            self.path_links.truncate(start);
+            self.interned.insert(key, UNREACHABLE);
+            return None;
+        }
+        self.path_links[start..].reverse();
+        // Forward-order delay sum, matching the historical
+        // `2·Σ path delay` op order bit for bit.
+        let mut fwd = 0.0f64;
+        for &l in &self.path_links[start..] {
+            fwd += topo.link(l).delay_s;
+        }
+        let slot = self.path_rtt.len() as u32;
+        self.path_off.push(self.path_links.len() as u32);
+        self.path_rtt.push(2.0 * fwd);
+        self.interned.insert(key, slot);
+        Some(PathId(slot))
+    }
+
+    /// The links of an interned path, first link leaving the source.
+    /// Empty for a self-path.
+    // scda-analyze: hot(sim.route)
+    pub fn path_of(&self, id: PathId) -> &[LinkId] {
+        let (lo, hi) = (
+            self.path_off[id.index()] as usize,
+            self.path_off[id.index() + 1] as usize,
+        );
+        &self.path_links[lo..hi]
+    }
+
+    /// Cached end-to-end propagation RTT (seconds, both directions,
+    /// assuming symmetric delay) of an interned path.
+    // scda-analyze: hot(sim.route)
+    pub fn rtt_of(&self, id: PathId) -> f64 {
+        self.path_rtt[id.index()]
+    }
+
+    /// Fill `out` with the shortest path from `src` to `dst` (clearing
+    /// it first); returns `false` and leaves `out` empty if unreachable.
+    /// The reuse-a-buffer companion of [`Routes::path_handle`], matching
+    /// the `max_min_rates_into` convention.
+    pub fn path_into(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<LinkId>,
+    ) -> bool {
+        out.clear();
+        match self.path_handle(topo, src, dst) {
+            Some(id) => {
+                out.extend_from_slice(self.path_of(id));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Intern an explicitly chosen path (e.g. one of multipath's ECMP
+    /// candidates), deduplicating by content so equal paths share one
+    /// arena slot and one cached RTT. The path is trusted to be
+    /// link-consistent; `topo` prices its RTT.
+    pub fn intern_explicit(&mut self, topo: &Topology, path: &[LinkId]) -> PathId {
+        if let Some(&slot) = self.explicit.get(path) {
+            return PathId(slot);
+        }
+        let fwd: f64 = path.iter().map(|&l| topo.link(l).delay_s).sum();
+        let slot = self.path_rtt.len() as u32;
+        self.path_links.extend_from_slice(path);
+        self.path_off.push(self.path_links.len() as u32);
+        self.path_rtt.push(2.0 * fwd);
+        self.explicit.insert(path.into(), slot);
+        PathId(slot)
+    }
+
+    /// The shortest path from `src` to `dst` as a freshly allocated link
+    /// sequence, or `None` if unreachable.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a Vec per call — use `path_handle` + `path_of`, or `path_into`"
+    )]
+    pub fn path(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
+        self.path_handle(topo, src, dst)
+            .map(|id| self.path_of(id).to_vec())
     }
 
     /// End-to-end propagation RTT of the shortest path (both directions,
     /// assuming symmetric delay), or `None` if unreachable.
+    #[deprecated(
+        since = "0.1.0",
+        note = "walks and prices the path per call — use `path_handle` + `rtt_of`"
+    )]
     pub fn base_rtt(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<f64> {
-        let fwd: f64 = self
-            .path(topo, src, dst)?
-            .iter()
-            .map(|&l| topo.link(l).delay_s)
-            .sum();
-        Some(2.0 * fwd)
+        self.path_handle(topo, src, dst).map(|id| self.rtt_of(id))
     }
 
     /// Run Dijkstra from `src` if not cached yet.
@@ -71,7 +228,7 @@ impl Routes {
         let n = topo.node_count();
         let mut dist = vec![f64::INFINITY; n];
         let mut hops = vec![u32::MAX; n];
-        let mut prev: Vec<Option<LinkId>> = vec![None; n];
+        let mut prev = vec![NO_LINK; n];
         let mut done = vec![false; n];
         dist[src.index()] = 0.0;
         hops[src.index()] = 0;
@@ -113,12 +270,12 @@ impl Routes {
                 if better {
                     dist[v.index()] = nd;
                     hops[v.index()] = nh;
-                    prev[v.index()] = Some(l);
+                    prev[v.index()] = l.0;
                     heap.push(Reverse(Key(nd, nh, v.0)));
                 }
             }
         }
-        self.prev[src.index()] = Some(prev);
+        self.prev[src.index()] = Some(prev.into_boxed_slice());
     }
 }
 
@@ -144,7 +301,8 @@ mod tests {
     fn picks_lower_delay_path() {
         let (t, a, _sw, b) = diamondish();
         let mut r = Routes::new(&t);
-        let p = r.path(&t, a, b).unwrap();
+        let id = r.path_handle(&t, a, b).unwrap();
+        let p = r.path_of(id);
         assert_eq!(p.len(), 2, "should route via the switch, not direct");
         assert_eq!(t.link(p[0]).src, a);
         assert_eq!(t.link(p[1]).dst, b);
@@ -154,7 +312,9 @@ mod tests {
     fn path_to_self_is_empty() {
         let (t, a, ..) = diamondish();
         let mut r = Routes::new(&t);
-        assert_eq!(r.path(&t, a, a), Some(vec![]));
+        let id = r.path_handle(&t, a, a).unwrap();
+        assert!(r.path_of(id).is_empty());
+        assert_eq!(r.rtt_of(id), 0.0);
     }
 
     #[test]
@@ -163,22 +323,27 @@ mod tests {
         let a = t.add_node(NodeKind::Server, "a");
         let b = t.add_node(NodeKind::Server, "b");
         let mut r = Routes::new(&t);
-        assert_eq!(r.path(&t, a, b), None);
+        assert_eq!(r.path_handle(&t, a, b), None);
+        assert_eq!(r.path_handle(&t, a, b), None, "negative result is cached");
+        let mut buf = vec![LinkId(7)];
+        assert!(!r.path_into(&t, a, b, &mut buf));
+        assert!(buf.is_empty(), "failed fill clears the buffer");
     }
 
     #[test]
     fn base_rtt_doubles_one_way_delay() {
         let (t, a, _sw, b) = diamondish();
         let mut r = Routes::new(&t);
-        let rtt = r.base_rtt(&t, a, b).unwrap();
-        assert!((rtt - 2.0 * 0.002).abs() < 1e-12);
+        let id = r.path_handle(&t, a, b).unwrap();
+        assert!((r.rtt_of(id) - 2.0 * 0.002).abs() < 1e-12);
     }
 
     #[test]
     fn paths_are_link_consistent() {
         let (t, a, _sw, b) = diamondish();
         let mut r = Routes::new(&t);
-        let p = r.path(&t, a, b).unwrap();
+        let id = r.path_handle(&t, a, b).unwrap();
+        let p = r.path_of(id);
         for w in p.windows(2) {
             assert_eq!(t.link(w[0]).dst, t.link(w[1]).src);
         }
@@ -195,16 +360,63 @@ mod tests {
         t.add_duplex(sw, b, mbps(1.0), 0.001, 1e6);
         t.add_duplex(a, b, mbps(1.0), 0.002, 1e6);
         let mut r = Routes::new(&t);
-        let p = r.path(&t, a, b).unwrap();
-        assert_eq!(p.len(), 1, "tie on delay should prefer the direct hop");
+        let id = r.path_handle(&t, a, b).unwrap();
+        assert_eq!(
+            r.path_of(id).len(),
+            1,
+            "tie on delay should prefer the direct hop"
+        );
     }
 
     #[test]
-    fn cache_is_reused() {
+    fn handles_are_interned_per_pair() {
         let (t, a, _sw, b) = diamondish();
         let mut r = Routes::new(&t);
-        let p1 = r.path(&t, a, b).unwrap();
-        let p2 = r.path(&t, a, b).unwrap();
-        assert_eq!(p1, p2);
+        let id1 = r.path_handle(&t, a, b).unwrap();
+        let id2 = r.path_handle(&t, a, b).unwrap();
+        assert_eq!(id1, id2, "same pair shares one arena slot");
+        assert_eq!(r.interned_count(), 1);
+        let back = r.path_handle(&t, b, a).unwrap();
+        assert_ne!(back, id1, "reverse direction is its own path");
+        assert_eq!(r.interned_count(), 2);
+    }
+
+    #[test]
+    fn path_into_fills_a_reused_buffer() {
+        let (t, a, _sw, b) = diamondish();
+        let mut r = Routes::new(&t);
+        let mut buf = Vec::new();
+        assert!(r.path_into(&t, a, b, &mut buf));
+        let id = r.path_handle(&t, a, b).unwrap();
+        assert_eq!(buf, r.path_of(id));
+        // Refill over stale contents.
+        assert!(r.path_into(&t, b, a, &mut buf));
+        let back = r.path_handle(&t, b, a).unwrap();
+        assert_eq!(buf, r.path_of(back));
+    }
+
+    #[test]
+    fn explicit_paths_dedup_by_content() {
+        let (t, a, _sw, b) = diamondish();
+        let mut r = Routes::new(&t);
+        let shortest = r.path_handle(&t, a, b).unwrap();
+        let links: Vec<LinkId> = r.path_of(shortest).to_vec();
+        let e1 = r.intern_explicit(&t, &links);
+        let e2 = r.intern_explicit(&t, &links);
+        assert_eq!(e1, e2, "equal content shares one slot");
+        assert_eq!(r.path_of(e1), &links[..]);
+        assert_eq!(r.rtt_of(e1), r.rtt_of(shortest));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_handles() {
+        let (t, a, _sw, b) = diamondish();
+        let mut r = Routes::new(&t);
+        let p = r.path(&t, a, b).unwrap();
+        let id = r.path_handle(&t, a, b).unwrap();
+        assert_eq!(p, r.path_of(id));
+        assert_eq!(r.base_rtt(&t, a, b), Some(r.rtt_of(id)));
+        assert_eq!(r.path(&t, a, a), Some(vec![]));
     }
 }

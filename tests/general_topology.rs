@@ -20,7 +20,7 @@ fn clos_fabric_routes_all_pairs_and_spreads_flows() {
         for b in servers.iter().flatten() {
             if a != b {
                 assert!(
-                    routes.path(&topo, *a, *b).is_some(),
+                    routes.path_handle(&topo, *a, *b).is_some(),
                     "{a} -> {b} unroutable"
                 );
             }
