@@ -1,7 +1,7 @@
 # Convenience targets for the SCDA reproduction.
 
-.PHONY: all build test bench figures ablations docs clippy analyze clean \
-        perf perf-baseline perf-check
+.PHONY: all build test bench figures ablations docs clippy analyze \
+        analyze-fixtures clean perf perf-baseline perf-check
 
 all: build
 
@@ -31,10 +31,19 @@ docs:
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings
 
-# Domain lints: determinism, float-eq, hot-path unwraps, phase names,
-# unit documentation. Exits non-zero on any unsuppressed finding.
+# Domain lints: determinism (direct + taint-tracked), float-eq,
+# hot-path unwraps, phase names, unit documentation + cross-call unit
+# dimensions, transitive hot-path allocation, deprecated-item ban.
+# Exits non-zero on any unsuppressed finding.
 analyze:
 	cargo run -p scda-analyze -- --deny
+
+# Analyzer self-tests over the fixture corpus: parser structural
+# contracts plus the golden findings snapshot (each lint catches its
+# positive fixture and passes its negative). Regenerate goldens with
+# SCDA_UPDATE_GOLDENS=1 after an intentional change.
+analyze-fixtures:
+	cargo test -p scda-analyze --test parser --test golden_findings
 
 # Performance trajectory (see DESIGN.md): run the canonical scenarios and
 # write the next free BENCH_<n>.json snapshot at the repo root.

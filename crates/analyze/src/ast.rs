@@ -1,0 +1,835 @@
+//! A dependency-free item/call parser over the [`crate::lexer`] stream.
+//!
+//! The interprocedural lints (DESIGN.md §13) need more than a token
+//! stream: they need to know *which function* a token belongs to, what
+//! that function's signature looks like, and which other functions it
+//! calls. This module recovers exactly that — and nothing more — from
+//! the lexer's output, for the Rust subset the workspace actually uses:
+//!
+//! * items: `fn`, `impl Type { … }`, `impl Trait for Type { … }`,
+//!   `trait T { … }` (default methods), inline `mod m { … }`;
+//! * signatures: parameter patterns, parameter types (flattened to a
+//!   normalized string), `self` receivers, return types, doc comments;
+//! * bodies: a stream of call sites — free calls `f(…)`, path calls
+//!   `Type::f(…)` / `module::f(…)` / `Self::f(…)`, method calls
+//!   `.f(…)` (turbofish included) — each with an argument count and,
+//!   for arguments that are a bare identifier, the identifier (the
+//!   `unit-dimension` lint maps those back to caller parameters);
+//! * macro invocations are recorded by name and treated as opaque for
+//!   item structure (`macro_rules!` bodies are skipped wholesale), but
+//!   their argument tokens are still scanned for calls — conservative
+//!   over-approximation is the right failure mode for a linter;
+//! * nested items (a `fn` or `impl` inside a function body — the
+//!   workspace does this for local comparator types) are parsed as
+//!   their own definitions and excluded from the enclosing body's call
+//!   scan.
+//!
+//! The parser never fails: unrecognized shapes are skipped, and a
+//! function it cannot attribute simply contributes no edges. What it
+//! *does* parse it parses deterministically, so the call graph — and
+//! every finding derived from it — is stable across runs.
+
+use crate::lexer::{Tok, Token};
+
+/// One parameter of a parsed function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Binding name (`rate`), `_` for non-trivial patterns.
+    pub name: String,
+    /// Flattened type text with single spaces between tokens
+    /// (`f64`, `& mut Vec < f64 >`), empty for `self` receivers.
+    pub ty: String,
+    /// `self`, `&self`, `&mut self`, `mut self`.
+    pub is_self: bool,
+}
+
+impl Param {
+    /// Is this parameter a bare `f64` by value?
+    pub fn is_raw_f64(&self) -> bool {
+        self.ty == "f64"
+    }
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `f(…)` — an unqualified call.
+    Free,
+    /// `Qual::f(…)` — the *last* qualifier segment is kept (`Vec` for
+    /// `std::vec::Vec::new`, `Self` verbatim).
+    Path {
+        /// Last path segment before the callee name.
+        qualifier: String,
+    },
+    /// `.f(…)` — receiver type unknown to the parser.
+    Method,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee name as written.
+    pub name: String,
+    /// Qualification shape.
+    pub kind: CallKind,
+    /// Number of argument expressions (excluding a method receiver).
+    pub arity: usize,
+    /// For each argument: `Some(ident)` when the argument is exactly one
+    /// identifier token, else `None`.
+    pub args: Vec<Option<String>>,
+    /// 1-based line of the callee name.
+    pub line: u32,
+    /// Token index of the callee name in the file's token stream.
+    pub tok: usize,
+}
+
+/// One macro invocation inside a function body (`format!`, `vec!`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacroUse {
+    /// Macro name without the `!`.
+    pub name: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Token index of the macro name.
+    pub tok: usize,
+}
+
+/// One parsed function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` target type name (`ControlTree`), `None`
+    /// for free functions (including functions nested in bodies).
+    pub owner: Option<String>,
+    /// Trait name for `impl Trait for Type` methods.
+    pub trait_name: Option<String>,
+    /// Declared with any `pub` visibility.
+    pub is_pub: bool,
+    /// Parameters in order, receiver first when present.
+    pub params: Vec<Param>,
+    /// Flattened return type text, empty for `()`.
+    pub ret: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range `(first, one_past_last)` of the body between the
+    /// braces; `None` for bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Call sites found in the body (nested items excluded).
+    pub calls: Vec<CallSite>,
+    /// Macro invocations found in the body (nested items excluded).
+    pub macros: Vec<MacroUse>,
+    /// Doc comment text attached to the definition, lines joined by
+    /// `\n` (empty when undocumented).
+    pub doc: String,
+}
+
+impl FnDef {
+    /// `Owner::name` or `name` — how findings refer to this function.
+    pub fn qualified_name(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Number of non-`self` parameters.
+    pub fn value_arity(&self) -> usize {
+        self.params.iter().filter(|p| !p.is_self).count()
+    }
+
+    /// Does the parameter list start with a `self` receiver?
+    pub fn has_self(&self) -> bool {
+        self.params.first().is_some_and(|p| p.is_self)
+    }
+}
+
+/// All functions parsed out of one file, in source order.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Parsed definitions; nested functions follow their parent.
+    pub fns: Vec<FnDef>,
+}
+
+/// Parse the items of a lexed file. Never fails; see the module docs
+/// for the covered subset.
+pub fn parse_file(tokens: &[Token]) -> ParsedFile {
+    let mut parser = Parser {
+        toks: tokens,
+        fns: Vec::new(),
+    };
+    parser.items(0, tokens.len(), None);
+    // Pass B: extract calls per body, excluding nested fn bodies.
+    let bodies: Vec<Option<(usize, usize)>> = parser.fns.iter().map(|f| f.body).collect();
+    for idx in 0..parser.fns.len() {
+        let Some((lo, hi)) = bodies[idx] else {
+            continue;
+        };
+        // Sub-ranges of other fns strictly inside this body.
+        let mut holes: Vec<(usize, usize)> = bodies
+            .iter()
+            .filter_map(|b| *b)
+            .filter(|&(l, h)| l > lo && h <= hi)
+            .collect();
+        holes.sort_unstable();
+        let (calls, macros) = scan_calls(tokens, lo, hi, &holes);
+        parser.fns[idx].calls = calls;
+        parser.fns[idx].macros = macros;
+    }
+    ParsedFile { fns: parser.fns }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    fns: Vec<FnDef>,
+}
+
+/// Pending leading trivia while walking items: doc text, attributes and
+/// visibility survive until the item keyword; anything else clears them.
+#[derive(Default)]
+struct Lead {
+    doc: Vec<String>,
+    is_pub: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn ident_at(&self, i: usize) -> Option<&str> {
+        match self.toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        matches!(self.toks.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+    }
+
+    fn is_op(&self, i: usize, op: &str) -> bool {
+        matches!(self.toks.get(i).map(|t| &t.tok), Some(Tok::Op(s)) if *s == op)
+    }
+
+    /// Index one past the `}` matching the `{` at `open` (or `end`).
+    fn match_brace(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < end {
+            match self.toks[i].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Skip a balanced `#[…]` attribute starting at the `#`; returns the
+    /// index just past the closing `]` (or `end`).
+    fn skip_attr(&self, hash: usize, end: usize) -> usize {
+        let mut i = hash + 1; // at `[`
+        if !self.is_punct(i, '[') {
+            return hash + 1;
+        }
+        let mut depth = 0usize;
+        while i < end {
+            match self.toks[i].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Walk items in `lo..hi` under `owner` = `(type, trait)` context.
+    fn items(&mut self, lo: usize, hi: usize, owner: Option<(&str, Option<&str>)>) {
+        let mut lead = Lead::default();
+        let mut i = lo;
+        while i < hi {
+            match &self.toks[i].tok {
+                Tok::Doc(d) => {
+                    lead.doc.push(d.clone());
+                    i += 1;
+                }
+                Tok::Punct('#') if self.is_punct(i + 1, '[') => {
+                    i = self.skip_attr(i, hi);
+                }
+                Tok::Ident(s) => match s.as_str() {
+                    "pub" => {
+                        lead.is_pub = true;
+                        i += 1;
+                        // Skip `(crate)` / `(super)` / `(in path)`.
+                        if self.is_punct(i, '(') {
+                            while i < hi && !self.is_punct(i, ')') {
+                                i += 1;
+                            }
+                            i += 1;
+                        }
+                    }
+                    // Modifiers that may precede `fn` without clearing
+                    // the pending doc/visibility.
+                    "const" | "unsafe" | "async" | "extern" => i += 1,
+                    "fn" => {
+                        i = self.function(i, hi, owner, std::mem::take(&mut lead));
+                    }
+                    "impl" => {
+                        i = self.impl_block(i, hi);
+                        lead = Lead::default();
+                    }
+                    "trait" => {
+                        i = self.trait_block(i, hi);
+                        lead = Lead::default();
+                    }
+                    "mod" => {
+                        // `mod name { … }` recurses; `mod name;` skips.
+                        let open = i + 2;
+                        if self.ident_at(i + 1).is_some() && self.is_punct(open, '{') {
+                            let close = self.match_brace(open, hi);
+                            self.items(open + 1, close - 1, None);
+                            i = close;
+                        } else {
+                            i += 1;
+                        }
+                        lead = Lead::default();
+                    }
+                    "macro_rules" => {
+                        // Opaque: skip `macro_rules! name { … }` entirely.
+                        let mut j = i + 1;
+                        while j < hi
+                            && !self.is_punct(j, '{')
+                            && !self.is_punct(j, '(')
+                            && !self.is_punct(j, ';')
+                        {
+                            j += 1;
+                        }
+                        i = if self.is_punct(j, '{') {
+                            self.match_brace(j, hi)
+                        } else {
+                            j + 1
+                        };
+                        lead = Lead::default();
+                    }
+                    _ => {
+                        i += 1;
+                        lead = Lead::default();
+                    }
+                },
+                _ => {
+                    i += 1;
+                    lead = Lead::default();
+                }
+            }
+        }
+    }
+
+    /// Parse an `impl` block header at `i` and recurse into its body.
+    /// Returns the index just past the block.
+    fn impl_block(&mut self, i: usize, hi: usize) -> usize {
+        // Header: everything between `impl` and the body `{` at
+        // angle-depth 0, cut at a top-level `where`.
+        let mut angle = 0i32;
+        let mut j = i + 1;
+        let mut header: Vec<usize> = Vec::new();
+        while j < hi {
+            match &self.toks[j].tok {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle -= 1,
+                Tok::Op("<<") => angle += 2,
+                Tok::Op(">>") => angle -= 2,
+                Tok::Punct('{') if angle <= 0 => break,
+                Tok::Punct(';') => return j + 1, // `impl Foo;`? — bail
+                _ => {}
+            }
+            if angle == 0 {
+                header.push(j);
+            }
+            j += 1;
+        }
+        if j >= hi {
+            return hi;
+        }
+        // Cut the header at a top-level `where`.
+        let where_pos = header
+            .iter()
+            .position(|&k| matches!(&self.toks[k].tok, Tok::Ident(s) if s == "where"));
+        let header = &header[..where_pos.unwrap_or(header.len())];
+        // `impl Trait for Type` vs `impl Type`.
+        let for_pos = header
+            .iter()
+            .position(|&k| matches!(&self.toks[k].tok, Tok::Ident(s) if s == "for"));
+        let last_ident = |slice: &[usize]| -> Option<String> {
+            slice.iter().rev().find_map(|&k| match &self.toks[k].tok {
+                Tok::Ident(s) if !matches!(s.as_str(), "mut" | "dyn" | "const") => Some(s.clone()),
+                _ => None,
+            })
+        };
+        let (owner, trait_name) = match for_pos {
+            Some(p) => (last_ident(&header[p + 1..]), last_ident(&header[..p])),
+            None => (last_ident(header), None),
+        };
+        let close = self.match_brace(j, hi);
+        if let Some(owner) = owner {
+            self.items(j + 1, close - 1, Some((&owner, trait_name.as_deref())));
+        }
+        close
+    }
+
+    /// Parse a `trait T { … }` block (default methods become methods of
+    /// owner `T`). Returns the index just past the block.
+    fn trait_block(&mut self, i: usize, hi: usize) -> usize {
+        let Some(name) = self.ident_at(i + 1).map(str::to_string) else {
+            return i + 1;
+        };
+        let mut angle = 0i32;
+        let mut j = i + 2;
+        while j < hi {
+            match &self.toks[j].tok {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle -= 1,
+                Tok::Op("<<") => angle += 2,
+                Tok::Op(">>") => angle -= 2,
+                Tok::Punct('{') if angle <= 0 => break,
+                Tok::Punct(';') => return j + 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= hi {
+            return hi;
+        }
+        let close = self.match_brace(j, hi);
+        self.items(j + 1, close - 1, Some((&name, None)));
+        close
+    }
+
+    /// Parse one `fn` definition at `i` (the `fn` keyword). Returns the
+    /// index just past the definition.
+    fn function(
+        &mut self,
+        i: usize,
+        hi: usize,
+        owner: Option<(&str, Option<&str>)>,
+        lead: Lead,
+    ) -> usize {
+        // `fn(` with no name is a function-pointer type, not an item.
+        let Some(name) = self.ident_at(i + 1).map(str::to_string) else {
+            return i + 1;
+        };
+        let line = self.toks[i].line;
+        let mut j = i + 2;
+        // Generic parameters.
+        if self.is_punct(j, '<') {
+            let mut angle = 0i32;
+            while j < hi {
+                match &self.toks[j].tok {
+                    Tok::Punct('<') => angle += 1,
+                    Tok::Punct('>') => angle -= 1,
+                    Tok::Op("<<") => angle += 2,
+                    Tok::Op(">>") => angle -= 2,
+                    _ => {}
+                }
+                j += 1;
+                if angle == 0 {
+                    break;
+                }
+            }
+        }
+        if !self.is_punct(j, '(') {
+            return i + 1;
+        }
+        let (params, after_params) = self.params(j, hi);
+        // Return type: `-> T` until `{`, `;` or `where`.
+        let mut ret = String::new();
+        let mut k = after_params;
+        if self.is_op(k, "->") {
+            k += 1;
+            let start = k;
+            while k < hi
+                && !self.is_punct(k, '{')
+                && !self.is_punct(k, ';')
+                && !matches!(&self.toks[k].tok, Tok::Ident(s) if s == "where")
+            {
+                k += 1;
+            }
+            ret = flatten(&self.toks[start..k]);
+        }
+        // Skip a where clause.
+        while k < hi && !self.is_punct(k, '{') && !self.is_punct(k, ';') {
+            k += 1;
+        }
+        let (body, past) = if self.is_punct(k, '{') {
+            let close = self.match_brace(k, hi);
+            (Some((k + 1, close - 1)), close)
+        } else {
+            (None, k + 1)
+        };
+        let def = FnDef {
+            name,
+            owner: owner.map(|(t, _)| t.to_string()),
+            trait_name: owner.and_then(|(_, tr)| tr.map(str::to_string)),
+            is_pub: lead.is_pub,
+            params,
+            ret,
+            line,
+            body,
+            calls: Vec::new(),
+            macros: Vec::new(),
+            doc: lead.doc.join("\n"),
+        };
+        self.fns.push(def);
+        // Recurse into the body for nested items (local fns, local
+        // impls) — call scanning happens in pass B.
+        if let Some((lo, bhi)) = body {
+            self.items(lo, bhi, None);
+        }
+        past
+    }
+
+    /// Parse the parameter list opened by the `(` at `open`. Returns the
+    /// parameters and the index just past the closing `)`.
+    fn params(&self, open: usize, hi: usize) -> (Vec<Param>, usize) {
+        let mut depth = 0i32;
+        let mut angle = 0i32;
+        let mut end = open;
+        let mut seps: Vec<usize> = Vec::new(); // top-level commas
+        while end < hi {
+            match &self.toks[end].tok {
+                Tok::Punct('(' | '[' | '{') => depth += 1,
+                Tok::Punct(')' | ']' | '}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle -= 1,
+                Tok::Op("<<") => angle += 2,
+                Tok::Op(">>") => angle -= 2,
+                Tok::Punct(',') if depth == 1 && angle == 0 => seps.push(end),
+                _ => {}
+            }
+            end += 1;
+        }
+        let mut params = Vec::new();
+        let mut lo = open + 1;
+        for stop in seps.iter().copied().chain(std::iter::once(end)) {
+            if stop > lo {
+                if let Some(p) = self.param(lo, stop) {
+                    params.push(p);
+                }
+            }
+            lo = stop + 1;
+        }
+        (params, end + 1)
+    }
+
+    /// Parse one parameter from tokens `lo..hi`.
+    fn param(&self, lo: usize, hi: usize) -> Option<Param> {
+        // Skip leading attributes on the parameter.
+        let mut i = lo;
+        while self.is_punct(i, '#') && self.is_punct(i + 1, '[') {
+            i = self.skip_attr(i, hi);
+        }
+        // Receiver forms: `self`, `mut self`, `&self`, `&mut self`,
+        // `&'a mut self`.
+        let mut j = i;
+        while j < hi {
+            match &self.toks[j].tok {
+                Tok::Punct('&') | Tok::Lifetime(_) => j += 1,
+                Tok::Ident(s) if s == "mut" => j += 1,
+                _ => break,
+            }
+        }
+        if matches!(&self.toks.get(j).map(|t| &t.tok), Some(Tok::Ident(s)) if *s == "self")
+            && (j + 1 >= hi || !self.is_punct(j + 1, ':'))
+        {
+            return Some(Param {
+                name: "self".to_string(),
+                ty: String::new(),
+                is_self: true,
+            });
+        }
+        // `name: Type` — find the top-level `:` (angle depth 0).
+        let mut angle = 0i32;
+        let mut depth = 0i32;
+        let mut colon = None;
+        for k in i..hi {
+            match &self.toks[k].tok {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle -= 1,
+                Tok::Op("<<") => angle += 2,
+                Tok::Op(">>") => angle -= 2,
+                Tok::Punct('(' | '[' | '{') => depth += 1,
+                Tok::Punct(')' | ']' | '}') => depth -= 1,
+                Tok::Punct(':') if angle == 0 && depth == 0 => {
+                    colon = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let colon = colon?;
+        // Pattern: `mut name` / `name` → name, anything else → `_`.
+        let mut pat = i;
+        if matches!(&self.toks[pat].tok, Tok::Ident(s) if s == "mut") {
+            pat += 1;
+        }
+        let name = match (&self.toks[pat].tok, pat + 1 == colon) {
+            (Tok::Ident(s), true) => s.clone(),
+            _ => "_".to_string(),
+        };
+        Some(Param {
+            name,
+            ty: flatten(&self.toks[colon + 1..hi]),
+            is_self: false,
+        })
+    }
+}
+
+/// Flatten tokens to a normalized single-spaced string.
+fn flatten(toks: &[Token]) -> String {
+    let mut out = String::new();
+    for t in toks {
+        let mut piece = String::new();
+        match &t.tok {
+            Tok::Ident(s) => piece.push_str(s),
+            Tok::Lifetime(l) => {
+                piece.push('\'');
+                piece.push_str(l);
+            }
+            Tok::Int(s) | Tok::Float(s) => piece.push_str(s),
+            Tok::Str(s) => {
+                piece.push('"');
+                piece.push_str(s);
+                piece.push('"');
+            }
+            Tok::Char => piece.push_str("'_'"),
+            Tok::Doc(_) => continue,
+            Tok::Op(o) => piece.push_str(o),
+            Tok::Punct(c) => piece.push(*c),
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&piece);
+    }
+    out
+}
+
+/// Keywords and constructors that look like free calls but are not
+/// function definitions we could ever resolve to.
+fn is_call_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "in"
+            | "as"
+            | "move"
+            | "ref"
+            | "else"
+            | "unsafe"
+            | "box"
+            | "fn"
+            | "Some"
+            | "None"
+            | "Ok"
+            | "Err"
+    )
+}
+
+/// Scan `lo..hi` of `toks` for call sites and macro uses, skipping the
+/// `holes` (nested fn bodies, sorted by start).
+fn scan_calls(
+    toks: &[Token],
+    lo: usize,
+    hi: usize,
+    holes: &[(usize, usize)],
+) -> (Vec<CallSite>, Vec<MacroUse>) {
+    let mut calls = Vec::new();
+    let mut macros = Vec::new();
+    let mut i = lo;
+    let mut hole = 0usize;
+    while i < hi {
+        // Jump over nested fn bodies.
+        while hole < holes.len() && holes[hole].1 <= i {
+            hole += 1;
+        }
+        if hole < holes.len() && i >= holes[hole].0 {
+            i = holes[hole].1;
+            hole += 1;
+            continue;
+        }
+        match &toks[i].tok {
+            Tok::Ident(name) if !is_call_keyword(name) => {
+                // Macro use: `name!…`.
+                if matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!'))) {
+                    macros.push(MacroUse {
+                        name: name.clone(),
+                        line: toks[i].line,
+                        tok: i,
+                    });
+                    i += 2;
+                    continue;
+                }
+                // Method names are handled at the `.`; definitions at
+                // the `fn` (already excluded via holes — a `fn` keyword
+                // cannot precede us inside a scanned range).
+                let after_generics = skip_turbofish(toks, i + 1, hi);
+                let is_call = matches!(
+                    toks.get(after_generics).map(|t| &t.tok),
+                    Some(Tok::Punct('('))
+                );
+                let prev_dot = i > 0 && matches!(&toks[i - 1].tok, Tok::Punct('.'));
+                let prev_fn = i > 0 && matches!(&toks[i - 1].tok, Tok::Ident(s) if s == "fn");
+                if is_call && !prev_dot && !prev_fn {
+                    let kind = if i > 0 && matches!(&toks[i - 1].tok, Tok::Op("::")) {
+                        let qualifier = match toks.get(i.wrapping_sub(2)).map(|t| &t.tok) {
+                            Some(Tok::Ident(q)) => q.clone(),
+                            // `<T as Trait>::f(…)` and friends: give up
+                            // on the qualifier but keep the call.
+                            _ => String::new(),
+                        };
+                        CallKind::Path { qualifier }
+                    } else {
+                        CallKind::Free
+                    };
+                    let (arity, args, past) = scan_args(toks, after_generics, hi);
+                    calls.push(CallSite {
+                        name: name.clone(),
+                        kind,
+                        arity,
+                        args,
+                        line: toks[i].line,
+                        tok: i,
+                    });
+                    // Continue *inside* the argument list to catch
+                    // nested calls; do not jump past it.
+                    let _ = past;
+                }
+                i += 1;
+            }
+            Tok::Punct('.') => {
+                // `.f(…)` or `.f::<T>(…)`.
+                if let Some(Tok::Ident(m)) = toks.get(i + 1).map(|t| &t.tok) {
+                    let after = skip_turbofish(toks, i + 2, hi);
+                    if matches!(toks.get(after).map(|t| &t.tok), Some(Tok::Punct('('))) {
+                        let (arity, args, _past) = scan_args(toks, after, hi);
+                        calls.push(CallSite {
+                            name: m.clone(),
+                            kind: CallKind::Method,
+                            arity,
+                            args,
+                            line: toks[i + 1].line,
+                            tok: i + 1,
+                        });
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (calls, macros)
+}
+
+/// If `i` starts a `::<…>` turbofish, return the index just past it,
+/// else `i` unchanged.
+fn skip_turbofish(toks: &[Token], i: usize, hi: usize) -> usize {
+    if !matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Op("::")))
+        || !matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('<')))
+    {
+        return i;
+    }
+    let mut angle = 0i32;
+    let mut j = i + 1;
+    while j < hi {
+        match &toks[j].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Op("<<") => angle += 2,
+            Tok::Op(">>") => angle -= 2,
+            _ => {}
+        }
+        j += 1;
+        if angle == 0 {
+            break;
+        }
+    }
+    j
+}
+
+/// Count the top-level argument expressions of the call whose `(` is at
+/// `open`. Returns `(arity, per-arg bare idents, index past the `)`)`.
+fn scan_args(toks: &[Token], open: usize, hi: usize) -> (usize, Vec<Option<String>>, usize) {
+    let mut depth = 0i32;
+    let mut i = open;
+    let mut in_closure_params = false;
+    let mut seps: Vec<usize> = Vec::new();
+    let mut end = hi;
+    while i < hi {
+        match &toks[i].tok {
+            Tok::Punct('(' | '[' | '{') => depth += 1,
+            Tok::Punct(')' | ']' | '}') => {
+                depth -= 1;
+                if depth == 0 {
+                    end = i;
+                    break;
+                }
+            }
+            Tok::Punct('|') if depth == 1 => {
+                if in_closure_params {
+                    in_closure_params = false;
+                } else if i > open {
+                    // A `|` right after `(`/`,`/`=`/`=>`/`move` opens
+                    // closure parameters; anything else is bitwise-or.
+                    let opens = match &toks[i - 1].tok {
+                        Tok::Punct('(' | ',' | '{') => true,
+                        Tok::Op("=>") => true,
+                        Tok::Punct('=') => true,
+                        Tok::Ident(s) => s == "move",
+                        _ => false,
+                    };
+                    if opens {
+                        in_closure_params = true;
+                    }
+                }
+            }
+            Tok::Punct(',') if depth == 1 && !in_closure_params => seps.push(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    if end == open + 1 {
+        return (0, Vec::new(), end + 1);
+    }
+    let mut args = Vec::new();
+    let mut lo = open + 1;
+    for stop in seps.iter().copied().chain(std::iter::once(end)) {
+        let ident = if stop == lo + 1 {
+            match &toks[lo].tok {
+                Tok::Ident(s) if !is_call_keyword(s) && s != "self" => Some(s.clone()),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        args.push(ident);
+        lo = stop + 1;
+    }
+    (args.len(), args, end + 1)
+}

@@ -13,12 +13,21 @@
 //! | lint | guards |
 //! |------|--------|
 //! | `determinism` | no `HashMap`/`HashSet`, `Instant::now`/`SystemTime`, or unseeded RNG in sim logic |
+//! | `determinism-taint` | the same sources cannot reach sim crates *through helpers* — taint propagates along call edges |
 //! | `no-float-eq` | no `==`/`!=` against float expressions outside tests |
 //! | `no-unwrap-hot-path` | no `.unwrap()`, and only `expect("invariant: …")`, on per-τ paths |
 //! | `phase-name-canonical` | phase-name string literals must match `scda_obs::phase` constants |
 //! | `doc-units` | `pub fn`s taking ≥2 raw `f64`s must document units |
+//! | `unit-dimension` | documented `f64` units must *agree* across call sites (bytes vs bytes/s vs seconds) |
 //! | `no-println-in-crates` | no `println!`/`eprintln!` in library crates — bins and tests exempt |
-//! | `no-alloc-in-hot-path` | no `Vec::new`/`.collect()`/`.to_vec()` in functions tagged `// scda-analyze: hot(<phase>)` |
+//! | `hot-path-transitive-alloc` | no allocation in any function *reachable* from a `// scda-analyze: hot(<phase>)` root |
+//! | `no-deprecated-items` | no `#[deprecated]` workspace items outside tests — migrate and delete instead |
+//!
+//! The last five ride on an AST + call-graph layer ([`ast`], [`graph`])
+//! grown over the same lexer: a recursive-descent parser recovers
+//! items, impls, signatures and call sites, and a conservative
+//! name+arity resolver links them into a workspace call graph
+//! (unresolved edges are recorded, never dropped). See DESIGN.md §13.
 //!
 //! Findings are suppressed *only* via an inline
 //! `// scda-analyze: allow(<lint>, <reason>)` annotation on the finding's
@@ -28,6 +37,8 @@
 //!
 //! Run it as `cargo run -p scda-analyze -- --deny` (CI does).
 
+pub mod ast;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
 
@@ -228,6 +239,15 @@ pub fn run_lints(files: &[SourceFile], lints: &[Box<dyn Lint>]) -> Report {
                 None => true,
             }
         });
+        // Interprocedural lints may consume an allow structurally (a
+        // de-tainted source) without a finding landing on its line.
+        for lint in lints {
+            for line in lint.consumed_allows(file) {
+                if let Some(idx) = file.allows.iter().position(|a| a.line == line) {
+                    used[idx] = true;
+                }
+            }
+        }
         for (a, used) in file.allows.iter().zip(&used) {
             if a.reason.is_empty() {
                 raw.push(Finding {
@@ -279,8 +299,9 @@ pub fn run_lints(files: &[SourceFile], lints: &[Box<dyn Lint>]) -> Report {
 }
 
 /// Collect every first-party `.rs` file under `root`, skipping `vendor/`
-/// (API stand-ins for external crates), `target/`, `results/` and VCS
-/// metadata. Paths in the returned files are workspace-relative.
+/// (API stand-ins for external crates), `target/`, `results/`,
+/// `fixtures/` (lint-test corpora seeded with intentional violations)
+/// and VCS metadata. Paths in the returned files are workspace-relative.
 pub fn collect_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
     let mut paths = Vec::new();
     walk(root, root, &mut paths)?;
@@ -300,7 +321,10 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if matches!(&*name, "vendor" | "target" | "results" | ".git") {
+            if matches!(
+                &*name,
+                "vendor" | "target" | "results" | "fixtures" | ".git"
+            ) {
                 continue;
             }
             walk(root, &path, out)?;
@@ -317,16 +341,24 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
 }
 
 /// The full stock lint set, with canonical phase names harvested from
-/// `files` (the `scda_obs::phase` module) when present.
+/// `files` (the `scda_obs::phase` module) when present. The
+/// interprocedural lints parse `files` into a call graph once, up
+/// front; their findings are precomputed here and replayed per file.
 pub fn stock_lints(files: &[SourceFile]) -> Vec<Box<dyn Lint>> {
     let phases = lints::phase_names::harvest_canonical(files);
+    let ws = graph::Workspace::build(files);
     vec![
         Box::new(lints::determinism::Determinism),
+        Box::new(lints::determinism_taint::DeterminismTaint::new(&ws, files)),
         Box::new(lints::float_eq::NoFloatEq),
         Box::new(lints::unwrap_hot::NoUnwrapHotPath),
         Box::new(lints::phase_names::PhaseNameCanonical::new(phases.clone())),
-        Box::new(lints::no_alloc_hot::NoAllocInHotPath::new(phases)),
+        Box::new(lints::hot_transitive::HotPathTransitiveAlloc::new(
+            &ws, files, &phases,
+        )),
+        Box::new(lints::unit_dimension::UnitDimension::new(&ws, files)),
         Box::new(lints::doc_units::DocUnits),
         Box::new(lints::no_println::NoPrintlnInCrates),
+        Box::new(lints::no_deprecated::NoDeprecatedItems),
     ]
 }

@@ -1,0 +1,227 @@
+//! `determinism-taint` — nondeterminism cannot be laundered through a
+//! helper.
+//!
+//! The direct `determinism` lint flags `Instant::now`, `SystemTime`,
+//! `HashMap`/`HashSet` and entropy RNG *written inside* the sim crates.
+//! It cannot see an `Instant::now` hidden in a utility function of a
+//! non-sim crate (obs, metrics, workloads) that sim code then calls.
+//! This lint closes that hole with the call graph (DESIGN.md §13):
+//!
+//! 1. every workspace function whose body contains an **unsuppressed**
+//!    nondeterminism source becomes a taint source — a source covered by
+//!    an inline `allow(determinism, …)` or `allow(determinism-taint, …)`
+//!    does *not* taint, because the stated reason asserts the value
+//!    never reaches sim state (the allow is counted as used);
+//! 2. taint propagates backward along call edges: any function that can
+//!    call a tainted function is tainted;
+//! 3. a finding is emitted at each call site where a sim-crate function
+//!    (`simnet`, `core`, `transport`, `experiments`; tests excluded)
+//!    calls a tainted function *outside* the sim crates — the exact
+//!    boundary where nondeterminism crosses into the simulation. Calls
+//!    to tainted sim-crate functions are not re-flagged: the direct
+//!    lint (or this lint, one hop deeper) already marks them.
+//!
+//! The message carries the taint chain down to the source so the fix —
+//! seed the RNG, swap the map, or push the wall-clock read behind an
+//! allow at its definition — is one hop away.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::Lint;
+use crate::graph::{FnId, Workspace};
+use crate::lexer::Tok;
+use crate::{Finding, SourceFile};
+
+/// Lint name, shared with the allow annotations.
+pub const NAME: &str = "determinism-taint";
+
+/// Crates whose `src/` trees carry simulation logic (kept in sync with
+/// the direct `determinism` lint).
+const SIM_CRATES: &[&str] = &["simnet", "core", "transport", "experiments"];
+
+/// The `determinism-taint` lint; findings precomputed at construction.
+pub struct DeterminismTaint {
+    findings: BTreeMap<String, Vec<Finding>>,
+    /// `(file path, allow line)` of annotations consumed by de-tainting
+    /// a source — reported to the driver so they are not "unused".
+    consumed: BTreeSet<(String, u32)>,
+}
+
+/// Nondeterminism sources in `lo..hi` of `file`, skipping `holes`:
+/// `(token index, description)`.
+fn source_sites(
+    file: &SourceFile,
+    lo: usize,
+    hi: usize,
+    holes: &[(usize, usize)],
+) -> Vec<(usize, &'static str)> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = lo;
+    let mut hole = 0usize;
+    let is_op =
+        |i: usize, o: &str| matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Op(s)) if *s == o);
+    let is_ident =
+        |i: usize, n: &str| matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Ident(s)) if s == n);
+    while i < hi {
+        while hole < holes.len() && holes[hole].1 <= i {
+            hole += 1;
+        }
+        if hole < holes.len() && i >= holes[hole].0 {
+            i = holes[hole].1;
+            hole += 1;
+            continue;
+        }
+        if let Tok::Ident(name) = &toks[i].tok {
+            match name.as_str() {
+                "HashMap" | "HashSet" => out.push((i, "hash-map iteration order")),
+                "Instant" if is_op(i + 1, "::") && is_ident(i + 2, "now") => {
+                    out.push((i, "`Instant::now` wall-clock"))
+                }
+                "SystemTime" => out.push((i, "`SystemTime` wall-clock")),
+                "thread_rng" | "from_entropy" | "OsRng" => out.push((i, "OS-entropy RNG")),
+                "random" if i >= 2 && is_ident(i - 2, "rand") && is_op(i - 1, "::") => {
+                    out.push((i, "`rand::random` thread RNG"))
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Is the source at `line` covered by an inline determinism allow (same
+/// line or the line above)? Returns the allow's line when so.
+fn covering_allow(file: &SourceFile, line: u32) -> Option<u32> {
+    file.allows
+        .iter()
+        .find(|a| {
+            (a.lint == "determinism" || a.lint == NAME)
+                && !a.reason.is_empty()
+                && (a.line == line || a.line + 1 == line)
+        })
+        .map(|a| a.line)
+}
+
+impl DeterminismTaint {
+    /// Compute all findings for the workspace.
+    pub fn new(ws: &Workspace, files: &[SourceFile]) -> Self {
+        let mut consumed: BTreeSet<(String, u32)> = BTreeSet::new();
+
+        // 1. Taint sources: non-test fns with an unsuppressed source.
+        let mut sources: Vec<FnId> = Vec::new();
+        let mut source_desc: BTreeMap<usize, &'static str> = BTreeMap::new();
+        for (idx, node) in ws.fns.iter().enumerate() {
+            if node.is_test {
+                continue;
+            }
+            let Some((lo, hi)) = node.def.body else {
+                continue;
+            };
+            let file = &files[node.file];
+            for (tok, desc) in source_sites(file, lo, hi, &ws.nested_holes(FnId(idx))) {
+                let line = file.tokens[tok].line;
+                if file.in_test(line) {
+                    continue;
+                }
+                if let Some(allow_line) = covering_allow(file, line) {
+                    consumed.insert((file.path.clone(), allow_line));
+                    continue;
+                }
+                if !source_desc.contains_key(&idx) {
+                    sources.push(FnId(idx));
+                }
+                source_desc.entry(idx).or_insert(desc);
+            }
+        }
+
+        // 2. Backward taint propagation.
+        let parent = ws.reach_backward(&sources);
+
+        // 3. Boundary findings: sim-crate caller → tainted non-sim callee.
+        let mut findings: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+        for (idx, node) in ws.fns.iter().enumerate() {
+            let in_sim = node
+                .crate_name
+                .as_deref()
+                .is_some_and(|c| SIM_CRATES.contains(&c));
+            if !in_sim || node.is_test {
+                continue;
+            }
+            let file = &files[node.file];
+            let mut seen_calls: BTreeSet<usize> = BTreeSet::new();
+            for &(ci, callee) in &ws.callees[idx] {
+                if parent[callee.0].is_none() || seen_calls.contains(&ci) {
+                    continue;
+                }
+                let callee_node = &ws.fns[callee.0];
+                let callee_sim = callee_node
+                    .crate_name
+                    .as_deref()
+                    .is_some_and(|c| SIM_CRATES.contains(&c));
+                if callee_sim {
+                    continue; // flagged at its own boundary (or directly)
+                }
+                let call = &node.def.calls[ci];
+                if file.in_test(call.line) {
+                    continue;
+                }
+                seen_calls.insert(ci);
+                // Chain from the callee down to the source fn.
+                let chain = ws.witness_chain(&parent, callee);
+                let src_name = chain.last().cloned().unwrap_or_default();
+                let mut src = callee;
+                let mut guard = 0;
+                while parent[src.0] != Some(src) && guard <= ws.fns.len() {
+                    src = parent[src.0].unwrap_or(src);
+                    guard += 1;
+                }
+                let desc = source_desc.get(&src.0).copied().unwrap_or("nondeterminism");
+                findings
+                    .entry(file.path.clone())
+                    .or_default()
+                    .push(Finding {
+                        file: file.path.clone(),
+                        line: call.line,
+                        lint: NAME,
+                        message: format!(
+                            "`{}` calls `{}`, which reaches {desc} in `{src_name}` \
+                             (taint chain: {}) — sim logic must stay seed-driven; \
+                             make the helper deterministic, or allow the *source* \
+                             with a reason if it provably never feeds sim state",
+                            node.def.qualified_name(),
+                            callee_node.def.qualified_name(),
+                            chain.join(" → "),
+                        ),
+                    });
+            }
+        }
+
+        DeterminismTaint { findings, consumed }
+    }
+}
+
+impl Lint for DeterminismTaint {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn summary(&self) -> &'static str {
+        "taint-tracks wall-clock/hash-order/entropy through the call graph into sim crates"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if let Some(fs) = self.findings.get(&file.path) {
+            out.extend(fs.iter().cloned());
+        }
+    }
+
+    fn consumed_allows(&self, file: &SourceFile) -> Vec<u32> {
+        self.consumed
+            .iter()
+            .filter(|(p, _)| p == &file.path)
+            .map(|&(_, line)| line)
+            .collect()
+    }
+}

@@ -1,0 +1,283 @@
+//! `hot-path-transitive-alloc` — allocation hygiene for everything a
+//! hot root can reach.
+//!
+//! The predecessor lint (`no-alloc-in-hot-path`) checked only the body
+//! directly under a `// scda-analyze: hot(<phase>)` tag — a helper that
+//! allocates two calls below the tag passed. This lint closes that hole
+//! with the call graph (DESIGN.md §13): the tag marks a *root*, the set
+//! of workspace functions reachable from any root is computed by BFS
+//! over resolved call edges, and every allocation site in that set is a
+//! finding, attributed with the phase and a witness call chain:
+//!
+//! ```text
+//! crates/core/src/tree.rs:813: [hot-path-transitive-alloc] `Vec::new()`
+//!   on the `kernel.control` hot path (control_round → fold_levels)
+//!   allocates every τ — …
+//! ```
+//!
+//! Flagged allocation shapes: `Vec::new` / `Vec::with_capacity`,
+//! `Box::new` / `Rc::new` / `Arc::new`, `.collect()` / `.to_vec()` /
+//! `.to_owned()`, `.clone()`, `.to_string()` / `format!`, `vec![…]`,
+//! and growth calls `.push(…)` / `.extend(…)` / `.extend_from_slice(…)`
+//! (amortized-free on a pre-reserved scratch buffer — which is exactly
+//! what the suppression reason should say). One growth shape is exempt
+//! by construction: a growth call whose receiver is a `&mut`
+//! out-parameter of the enclosing function *is* the caller-held-buffer
+//! pattern this lint's fix-it recommends, so it never fires — the
+//! capacity lives with the caller, who reuses it across τ. Deliberate
+//! allocations are suppressed the usual way, with
+//! `// scda-analyze: allow(hot-path-transitive-alloc, <reason>)` on or
+//! above the allocating line; tag validation (canonical phase names,
+//! dangling tags) is unchanged from the predecessor.
+
+use std::collections::BTreeMap;
+
+use super::Lint;
+use crate::graph::{FnId, Workspace};
+use crate::lexer::Tok;
+use crate::{Finding, SourceFile};
+
+/// Lint name, shared with the allow annotations.
+pub const NAME: &str = "hot-path-transitive-alloc";
+
+/// The `hot-path-transitive-alloc` lint. All findings are computed at
+/// construction from the workspace call graph; `check` replays the ones
+/// belonging to each file.
+pub struct HotPathTransitiveAlloc {
+    findings: BTreeMap<String, Vec<Finding>>,
+}
+
+/// One allocation site: token index and human label. `out_params` names
+/// the enclosing function's `&mut` parameters — growth into them is the
+/// sanctioned caller-held-buffer pattern and is not a site.
+fn alloc_sites(
+    file: &SourceFile,
+    lo: usize,
+    hi: usize,
+    holes: &[(usize, usize)],
+    out_params: &std::collections::BTreeSet<&str>,
+) -> Vec<(usize, String)> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = lo;
+    let mut hole = 0usize;
+    let ident_at = |i: usize, want: &[&str]| -> Option<String> {
+        match toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) if want.is_empty() || want.contains(&s.as_str()) => Some(s.clone()),
+            _ => None,
+        }
+    };
+    let punct =
+        |i: usize, c: char| matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c);
+    let op = |i: usize, o: &str| matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Op(s)) if *s == o);
+    while i < hi {
+        while hole < holes.len() && holes[hole].1 <= i {
+            hole += 1;
+        }
+        if hole < holes.len() && i >= holes[hole].0 {
+            i = holes[hole].1;
+            hole += 1;
+            continue;
+        }
+        match &toks[i].tok {
+            Tok::Ident(s)
+                if matches!(
+                    s.as_str(),
+                    "Vec" | "Box" | "Rc" | "Arc" | "String" | "BTreeMap" | "BTreeSet" | "VecDeque"
+                ) && op(i + 1, "::") =>
+            {
+                if let Some(m) = ident_at(i + 2, &["new", "with_capacity", "from"]) {
+                    let is_call = punct(i + 3, '(') || op(i + 3, "::");
+                    if is_call {
+                        out.push((i, format!("`{s}::{m}(…)`")));
+                    }
+                }
+            }
+            Tok::Ident(s) if matches!(s.as_str(), "format" | "vec") && punct(i + 1, '!') => {
+                out.push((i, format!("`{s}!`")));
+            }
+            Tok::Punct('.') => {
+                if let Some(m) = ident_at(
+                    i + 1,
+                    &[
+                        "collect",
+                        "to_vec",
+                        "to_owned",
+                        "to_string",
+                        "clone",
+                        "push",
+                        "extend",
+                        "extend_from_slice",
+                    ],
+                ) {
+                    let after = i + 2;
+                    let is_call = punct(after, '(') || op(after, "::");
+                    if is_call {
+                        let growth = matches!(m.as_str(), "push" | "extend" | "extend_from_slice");
+                        // `out.push(x)` / `out.field.push(x)` where `out:
+                        // &mut …` is an out-parameter: capacity is
+                        // caller-held, skip. One field projection allowed
+                        // (a field of a caller-held struct is caller-held).
+                        let recv_is_out = |j: usize| {
+                            j >= lo
+                                && !(j >= 1 && punct(j - 1, '.'))
+                                && matches!(
+                                    toks.get(j).map(|t| &t.tok),
+                                    Some(Tok::Ident(r)) if out_params.contains(r.as_str())
+                                )
+                        };
+                        let into_out_param = growth
+                            && i > lo
+                            && (recv_is_out(i - 1)
+                                || (i >= lo + 3 && punct(i - 2, '.') && recv_is_out(i - 3)));
+                        if !into_out_param {
+                            let label = if growth {
+                                format!("`.{m}(…)` growth")
+                            } else {
+                                format!("`.{m}()`")
+                            };
+                            out.push((i + 1, label));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+impl HotPathTransitiveAlloc {
+    /// Compute all findings for the workspace. `phases` is the harvested
+    /// canonical phase set (empty → phase validation skipped).
+    pub fn new(ws: &Workspace, files: &[SourceFile], phases: &[String]) -> Self {
+        let mut findings: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+        let mut push = |path: &str, line: u32, message: String| {
+            findings.entry(path.to_string()).or_default().push(Finding {
+                file: path.to_string(),
+                line,
+                lint: NAME,
+                message,
+            });
+        };
+
+        // 1. Tags → roots (validated), in file-then-tag order.
+        let mut roots: Vec<FnId> = Vec::new();
+        let mut phase_of: BTreeMap<usize, String> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            if file.is_test_code {
+                continue;
+            }
+            for tag in &file.hot_tags {
+                if file.in_test(tag.line) {
+                    continue;
+                }
+                if !phases.is_empty() && !phases.iter().any(|p| p == &tag.phase) {
+                    push(
+                        &file.path,
+                        tag.line,
+                        format!(
+                            "hot(…) names phase \"{}\", which is not a `scda_obs::phase` \
+                             constant — tag hot functions with a canonical phase so the \
+                             profiler and the lint agree on the vocabulary",
+                            tag.phase
+                        ),
+                    );
+                }
+                let root = ws
+                    .fn_at_or_after(fi, tag.line)
+                    .filter(|&f| ws.fns[f.0].def.body.is_some());
+                match root {
+                    Some(f) => {
+                        roots.push(f);
+                        phase_of.entry(f.0).or_insert_with(|| tag.phase.clone());
+                    }
+                    None => push(
+                        &file.path,
+                        tag.line,
+                        "hot(…) tag is not followed by a function with a body — \
+                         move it directly above the fn it marks"
+                            .to_string(),
+                    ),
+                }
+            }
+        }
+
+        // 2. Reach + 3. scan every reachable body for allocation sites.
+        let parent = ws.reach_forward(&roots);
+        for (idx, par) in parent.iter().enumerate() {
+            if par.is_none() {
+                continue;
+            }
+            let node = &ws.fns[idx];
+            if node.is_test {
+                continue;
+            }
+            let Some((lo, hi)) = node.def.body else {
+                continue;
+            };
+            let file = &files[node.file];
+            let chain = ws.witness_chain(&parent, FnId(idx));
+            // Walk the parent pointers to the root itself (a root is its
+            // own parent) to attribute the phase.
+            let mut root = FnId(idx);
+            let mut guard = 0;
+            while parent[root.0] != Some(root) && guard <= ws.fns.len() {
+                root = parent[root.0].unwrap_or(root);
+                guard += 1;
+            }
+            let phase = phase_of.get(&root.0).cloned().unwrap_or_default();
+            let via = if chain.len() > 1 {
+                let mut names = chain.clone();
+                names.reverse();
+                format!(" (reached via {})", names.join(" → "))
+            } else {
+                String::new()
+            };
+            let out_params: std::collections::BTreeSet<&str> = node
+                .def
+                .params
+                .iter()
+                // flatten() space-joins tokens: `&mut Vec<f64>` reads
+                // "& mut Vec < f64 >".
+                .filter(|p| !p.is_self && p.ty.starts_with('&') && p.ty.contains(" mut "))
+                .map(|p| p.name.as_str())
+                .collect();
+            for (tok, what) in alloc_sites(file, lo, hi, &ws.nested_holes(FnId(idx)), &out_params) {
+                let line = file.tokens[tok].line;
+                if file.in_test(line) {
+                    continue;
+                }
+                push(
+                    &file.path,
+                    line,
+                    format!(
+                        "{what} in `{}` on the `{phase}` hot path{via} allocates \
+                         every τ — reuse a caller-held buffer (`*_into`/scratch \
+                         pattern) or justify it with an allow",
+                        node.def.qualified_name()
+                    ),
+                );
+            }
+        }
+
+        HotPathTransitiveAlloc { findings }
+    }
+}
+
+impl Lint for HotPathTransitiveAlloc {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn summary(&self) -> &'static str {
+        "bans allocation in any function reachable from a `// scda-analyze: hot(<phase>)` root"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if let Some(fs) = self.findings.get(&file.path) {
+            out.extend(fs.iter().cloned());
+        }
+    }
+}

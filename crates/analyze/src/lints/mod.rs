@@ -15,11 +15,14 @@
 //!    workspace — CI's `--deny` run fails until the tree is clean.
 
 pub mod determinism;
+pub mod determinism_taint;
 pub mod doc_units;
 pub mod float_eq;
-pub mod no_alloc_hot;
+pub mod hot_transitive;
+pub mod no_deprecated;
 pub mod no_println;
 pub mod phase_names;
+pub mod unit_dimension;
 pub mod unwrap_hot;
 
 use crate::lexer::{Tok, Token};
@@ -33,6 +36,14 @@ pub trait Lint {
     fn summary(&self) -> &'static str;
     /// Append findings for `file` to `out`.
     fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
+    /// Lines of `file.allows` annotations this lint consumed
+    /// *structurally* — e.g. an `allow(determinism, …)` that de-taints a
+    /// source for `determinism-taint` without suppressing a finding on
+    /// its own line. The driver counts these as used so they are not
+    /// reported as rotten.
+    fn consumed_allows(&self, _file: &SourceFile) -> Vec<u32> {
+        Vec::new()
+    }
 }
 
 /// Does the identifier token at `i` equal `name`?

@@ -1,0 +1,54 @@
+//! `no-deprecated-items` — migrations finish in the PR that starts them.
+//!
+//! The workspace has repeatedly used `#[deprecated]` as a half-way
+//! house: the allocating `ControlTree::server_metrics`, `Routes::path`
+//! and `max_min_rates` wrappers lingered for several PRs after every
+//! caller had migrated to the `_into`/handle forms, and each one kept a
+//! `#[allow(deprecated)]` test and a re-export alive with it. Dead
+//! wrappers are not harmless: they are exactly the APIs a new call site
+//! reaches for first, and each one re-opens the allocation hole its
+//! replacement closed. This lint forbids `#[deprecated]` on workspace
+//! items outside test code: delete the old API and migrate its callers
+//! in the same change instead of deprecating. (Vendored stubs under
+//! `vendor/` are never scanned, so mirroring upstream deprecations
+//! there stays possible.)
+
+use super::{finding, is_punct, Lint};
+use crate::lexer::Tok;
+use crate::{Finding, SourceFile};
+
+/// The `no-deprecated-items` lint.
+pub struct NoDeprecatedItems;
+
+impl Lint for NoDeprecatedItems {
+    fn name(&self) -> &'static str {
+        "no-deprecated-items"
+    }
+
+    fn summary(&self) -> &'static str {
+        "forbids #[deprecated] workspace items in non-test code — migrate callers and delete instead"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.is_test_code {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            let is_attr = matches!(&toks[i].tok, Tok::Punct('#'))
+                && is_punct(toks, i + 1, '[')
+                && matches!(&toks.get(i + 2).map(|t| &t.tok), Some(Tok::Ident(s)) if *s == "deprecated");
+            if !is_attr || file.in_test(toks[i].line) {
+                continue;
+            }
+            out.push(finding(
+                file,
+                i,
+                self.name(),
+                "`#[deprecated]` on a workspace item — this workspace migrates \
+                 callers and deletes the old API in the same PR; half-migrated \
+                 wrappers re-open the hole their replacement closed",
+            ));
+        }
+    }
+}

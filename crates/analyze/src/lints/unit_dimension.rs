@@ -1,0 +1,273 @@
+//! `unit-dimension` — documented units must agree across call sites.
+//!
+//! `doc-units` makes multi-`f64` signatures *say* their units; this lint
+//! makes the workspace *agree* with what they say. From every parsed
+//! function it extracts a unit dimension per `f64` parameter:
+//!
+//! * from the doc comment — a backticked mention of the parameter name
+//!   followed (within the same breath, ~60 characters) by a unit word:
+//!   "`rate` in bytes/s", "`win` is the averaging window in seconds";
+//! * from the type — a parameter typed `SimTime` is seconds by alias.
+//!
+//! Unit words map to dimension classes (bytes, bytes/s, bits/s,
+//! seconds, joules, watts, dimensionless); synonyms within a class
+//! never conflict. At every call site where an argument is a *bare
+//! identifier* naming a parameter of the calling function, the caller's
+//! dimension is checked against the callee parameter's dimension at
+//! that position. A mismatch — a seconds value flowing into a bytes/s
+//! slot, the Bps-vs-bytes transposition the fluid/transport math is one
+//! swap away from — is a finding at the call line. When name+arity
+//! resolution yields several candidates, the lint flags only if *every*
+//! candidate with documented units disagrees, so ambiguity can only
+//! silence it, never produce a false positive.
+
+use std::collections::BTreeMap;
+
+use super::Lint;
+use crate::ast::{CallKind, FnDef};
+use crate::graph::Workspace;
+use crate::{Finding, SourceFile};
+
+/// Lint name, shared with the allow annotations.
+pub const NAME: &str = "unit-dimension";
+
+/// A dimension class. Synonymous unit words collapse into one class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dim {
+    /// byte counts (sizes, queue depths)
+    Bytes,
+    /// bytes per second (flow rates, the paper's R/S/Λ)
+    BytesPerSec,
+    /// bits per second (link capacities as quoted)
+    BitsPerSec,
+    /// seconds (virtual time, windows, RTTs)
+    Seconds,
+    /// joules (energy accounting)
+    Joules,
+    /// watts (power draw)
+    Watts,
+    /// fractions, ratios, weights, probabilities
+    Dimensionless,
+}
+
+impl Dim {
+    /// Human name used in messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dim::Bytes => "bytes",
+            Dim::BytesPerSec => "bytes/s",
+            Dim::BitsPerSec => "bits/s",
+            Dim::Seconds => "seconds",
+            Dim::Joules => "joules",
+            Dim::Watts => "watts",
+            Dim::Dimensionless => "dimensionless",
+        }
+    }
+}
+
+/// Unit words in match-priority order — longer, more specific phrases
+/// first so "bytes/s" wins over "bytes" and "bits per second" over
+/// "second".
+const UNIT_WORDS: &[(&str, Dim)] = &[
+    ("bytes per second", Dim::BytesPerSec),
+    ("bytes/sec", Dim::BytesPerSec),
+    ("bytes/s", Dim::BytesPerSec),
+    ("b/s", Dim::BytesPerSec),
+    ("bits per second", Dim::BitsPerSec),
+    ("bits/sec", Dim::BitsPerSec),
+    ("bits/s", Dim::BitsPerSec),
+    ("bit/s", Dim::BitsPerSec),
+    ("bps", Dim::BitsPerSec),
+    ("bytes", Dim::Bytes),
+    ("byte", Dim::Bytes),
+    ("microseconds", Dim::Seconds),
+    ("milliseconds", Dim::Seconds),
+    ("seconds", Dim::Seconds),
+    ("second", Dim::Seconds),
+    ("secs", Dim::Seconds),
+    ("µs", Dim::Seconds),
+    ("joules", Dim::Joules),
+    ("joule", Dim::Joules),
+    ("watts", Dim::Watts),
+    ("watt", Dim::Watts),
+    ("dimensionless", Dim::Dimensionless),
+    ("unitless", Dim::Dimensionless),
+    ("fraction", Dim::Dimensionless),
+    ("ratio", Dim::Dimensionless),
+    ("percent", Dim::Dimensionless),
+    ("probability", Dim::Dimensionless),
+    ("weight", Dim::Dimensionless),
+];
+
+/// How far past the parameter mention a unit word may sit (characters).
+const WINDOW: usize = 60;
+
+/// The earliest unit word in `text`, when any.
+fn first_unit(text: &str) -> Option<Dim> {
+    let mut best: Option<(usize, Dim)> = None;
+    for &(word, dim) in UNIT_WORDS {
+        if let Some(pos) = text.find(word) {
+            // Earliest position wins; the priority order breaks ties so
+            // "bytes/s" beats its own "bytes" prefix at the same spot.
+            if best.is_none_or(|(b, _)| pos < b) {
+                best = Some((pos, dim));
+            }
+        }
+    }
+    best.map(|(_, d)| d)
+}
+
+/// Per-parameter dimensions of one function: doc-driven for raw `f64`s,
+/// type-driven for unit aliases. `None` = unknown.
+fn param_dims(def: &FnDef) -> Vec<Option<Dim>> {
+    let doc = def.doc.to_lowercase();
+    def.params
+        .iter()
+        .map(|p| {
+            if p.is_self {
+                return None;
+            }
+            // Type aliases that carry a unit by name.
+            if p.ty == "SimTime" {
+                return Some(Dim::Seconds);
+            }
+            if !p.is_raw_f64() || p.name == "_" {
+                return None;
+            }
+            let needle = format!("`{}`", p.name.to_lowercase());
+            let mut from = 0usize;
+            while let Some(pos) = doc[from..].find(&needle) {
+                let start = from + pos + needle.len();
+                let mut end = (start + WINDOW).min(doc.len());
+                // Respect char boundaries (docs contain µ, →, …).
+                while !doc.is_char_boundary(end) {
+                    end -= 1;
+                }
+                // A backtick opens the *next* identifier mention — a unit
+                // word past it describes that identifier, not this one.
+                let window = match doc[start..end].find('`') {
+                    Some(tick) => &doc[start..start + tick],
+                    None => &doc[start..end],
+                };
+                if let Some(d) = first_unit(window) {
+                    return Some(d);
+                }
+                from = start;
+            }
+            None
+        })
+        .collect()
+}
+
+/// The `unit-dimension` lint; findings precomputed at construction.
+pub struct UnitDimension {
+    findings: BTreeMap<String, Vec<Finding>>,
+}
+
+impl UnitDimension {
+    /// Compute all findings for the workspace.
+    pub fn new(ws: &Workspace, files: &[SourceFile]) -> Self {
+        let dims: Vec<Vec<Option<Dim>>> = ws.fns.iter().map(|n| param_dims(&n.def)).collect();
+        let mut findings: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+
+        for (idx, node) in ws.fns.iter().enumerate() {
+            if node.is_test {
+                continue;
+            }
+            let file = &files[node.file];
+            let caller_dims: BTreeMap<&str, Dim> = node
+                .def
+                .params
+                .iter()
+                .zip(&dims[idx])
+                .filter_map(|(p, d)| d.map(|d| (p.name.as_str(), d)))
+                .collect();
+            if caller_dims.is_empty() {
+                continue;
+            }
+            for (ci, call) in node.def.calls.iter().enumerate() {
+                if file.in_test(call.line) {
+                    continue;
+                }
+                let callees: Vec<_> = ws.callees[idx]
+                    .iter()
+                    .filter(|(c, _)| *c == ci)
+                    .map(|&(_, f)| f)
+                    .collect();
+                for (ai, arg) in call.args.iter().enumerate() {
+                    let Some(arg_name) = arg.as_deref() else {
+                        continue;
+                    };
+                    let Some(&have) = caller_dims.get(arg_name) else {
+                        continue;
+                    };
+                    // Verdicts across candidates with documented units.
+                    let mut verdicts: Vec<(Dim, String, String)> = Vec::new();
+                    let mut any_match = false;
+                    for &callee in &callees {
+                        let cd = &ws.fns[callee.0].def;
+                        // Map argument position → parameter index.
+                        let pi = match (&call.kind, cd.has_self()) {
+                            (CallKind::Method, true) => ai + 1,
+                            (CallKind::Path { .. }, true) if call.arity == cd.params.len() => ai,
+                            (CallKind::Path { .. }, true) => ai + 1,
+                            _ => ai,
+                        };
+                        let Some(Some(want)) = dims[callee.0].get(pi).copied() else {
+                            continue;
+                        };
+                        let Some(pname) = cd.params.get(pi).map(|p| p.name.clone()) else {
+                            continue;
+                        };
+                        if want == have {
+                            any_match = true;
+                        } else {
+                            verdicts.push((want, pname, cd.qualified_name()));
+                        }
+                    }
+                    // Conservative: flag only when every documented
+                    // candidate disagrees.
+                    if !any_match {
+                        if let Some((want, pname, qname)) = verdicts.first() {
+                            findings
+                                .entry(file.path.clone())
+                                .or_default()
+                                .push(Finding {
+                                    file: file.path.clone(),
+                                    line: call.line,
+                                    lint: NAME,
+                                    message: format!(
+                                        "`{arg_name}` is documented as {} in \
+                                         `{}` but flows into parameter `{pname}` \
+                                         of `{qname}`, documented as {} — convert \
+                                         at the call site or fix the doc",
+                                        have.name(),
+                                        node.def.qualified_name(),
+                                        want.name(),
+                                    ),
+                                });
+                        }
+                    }
+                }
+            }
+        }
+
+        UnitDimension { findings }
+    }
+}
+
+impl Lint for UnitDimension {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn summary(&self) -> &'static str {
+        "documented f64 units (bytes, bytes/s, seconds, …) must agree across call sites"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if let Some(fs) = self.findings.get(&file.path) {
+            out.extend(fs.iter().cloned());
+        }
+    }
+}

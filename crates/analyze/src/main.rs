@@ -13,6 +13,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use scda_analyze::graph::Workspace;
 use scda_analyze::{collect_workspace, run_lints, stock_lints};
 
 fn main() -> ExitCode {
@@ -69,9 +70,17 @@ fn main() -> ExitCode {
     for f in &report.findings {
         println!("{f}");
     }
+    // Graph stats come from a second build — cheap next to the lint
+    // pass, and it keeps `stock_lints` self-contained.
+    let ws = Workspace::build(&files);
+    let resolved: usize = ws.callees.iter().map(Vec::len).sum();
     println!(
-        "scda-analyze: {} file(s), {} finding(s), {} suppressed",
+        "scda-analyze: {} file(s), {} fn(s), {} call edge(s) ({} unresolved), \
+         {} finding(s), {} suppressed",
         files.len(),
+        ws.fns.len(),
+        resolved,
+        ws.unresolved.len(),
         report.findings.len(),
         report.suppressed
     );

@@ -1,0 +1,20 @@
+//! Parser corpus: closures (calls inside them attribute to the
+//! enclosing fn) and nested `fn` items (which become separate defs and
+//! punch holes in the enclosing body's call scan).
+
+pub fn drive(xs: &[f64]) -> f64 {
+    let total: f64 = xs.iter().map(|x| scale(*x)).sum();
+    let clamp = |v: f64| v.max(0.0);
+    clamp(total)
+}
+
+fn scale(x: f64) -> f64 {
+    2.0 * x
+}
+
+pub fn outer() -> usize {
+    fn inner(n: usize) -> usize {
+        n.checked_mul(2).unwrap_or(0)
+    }
+    inner(21)
+}

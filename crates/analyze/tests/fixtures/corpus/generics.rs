@@ -1,0 +1,32 @@
+//! Parser corpus: generic functions, generic impls, where clauses and
+//! turbofish call sites. Exercised by `tests/parser.rs`; never compiled
+//! and never linted (`collect_workspace` skips `fixtures/` dirs).
+
+pub struct Stack<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Default> Stack<T> {
+    /// Pushes `item` onto the stack.
+    pub fn push(&mut self, item: T) {
+        self.items.push(item);
+    }
+
+    /// Midpoint of `a` and `b` after conversion.
+    pub fn interpolate<U: Into<f64>>(&self, a: U, b: U) -> f64
+    where
+        U: Copy,
+    {
+        let x: f64 = a.into();
+        let y: f64 = b.into();
+        midpoint(x, y)
+    }
+}
+
+fn midpoint(a: f64, b: f64) -> f64 {
+    0.5 * (a + b)
+}
+
+pub fn collect_squares(n: usize) -> Vec<u64> {
+    (0..n).map(|i| (i * i) as u64).collect::<Vec<u64>>()
+}

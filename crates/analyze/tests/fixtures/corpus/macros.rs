@@ -1,0 +1,18 @@
+//! Parser corpus: macros are opaque. A `macro_rules!` body is skipped
+//! wholesale (a `fn` inside it must NOT become a definition), and macro
+//! *uses* are recorded by name, not parsed as calls.
+
+macro_rules! make_fn {
+    () => {
+        fn generated() {}
+    };
+}
+
+pub fn uses_macros(flag: bool) -> String {
+    let mut s = format!("{flag}");
+    if flag {
+        s.push('!');
+    }
+    assert_ne!(s.len(), 0);
+    s
+}

@@ -1,0 +1,35 @@
+//! Parser corpus: trait declarations (signature-only and default
+//! methods), inherent-vs-trait impls, and a path-qualified trait name.
+
+pub trait Estimator {
+    fn observe(&mut self, x: f64);
+
+    /// Default method: calls through to the required one.
+    fn observe_twice(&mut self, x: f64) {
+        self.observe(x);
+        self.observe(x);
+    }
+}
+
+pub struct Ewma {
+    value: f64,
+}
+
+impl Ewma {
+    /// A fresh estimator at `v`.
+    pub fn new(v: f64) -> Ewma {
+        Ewma { value: v }
+    }
+}
+
+impl Estimator for Ewma {
+    fn observe(&mut self, x: f64) {
+        self.value = 0.9 * self.value + 0.1 * x;
+    }
+}
+
+impl std::fmt::Display for Ewma {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}

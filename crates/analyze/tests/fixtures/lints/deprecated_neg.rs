@@ -1,0 +1,9 @@
+//@path crates/workloads/src/deprecated_neg.rs
+//! Negative fixture for `no-deprecated-items`: the migration finished —
+//! only the replacement form remains, no `#[deprecated]` anywhere.
+
+/// Writes rates into the caller's buffer.
+pub fn rates_into(out: &mut Vec<f64>) {
+    out.clear();
+    out.push(1.0);
+}

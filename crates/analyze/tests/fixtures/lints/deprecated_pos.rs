@@ -1,0 +1,9 @@
+//@path crates/transport/src/deprecated_pos.rs
+//! Positive fixture for `no-deprecated-items`: a half-migrated wrapper
+//! left behind after its callers moved to the `_into` form.
+
+/// Old allocating form.
+#[deprecated(note = "use rates_into")]
+pub fn rates() -> Vec<f64> {
+    Vec::new()
+}

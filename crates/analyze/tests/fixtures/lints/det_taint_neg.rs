@@ -1,0 +1,9 @@
+//@path crates/simnet/src/det_taint_neg.rs
+//! Negative fixture for `determinism-taint`: the helpers this sim code
+//! calls are either pure or de-tainted by an allow at their source.
+
+/// Deterministic tick: `halve` is pure; `banner_seconds` carries an
+/// allow at its wall-clock read, so it does not taint.
+pub fn tick_once() -> f64 {
+    halve(banner_seconds())
+}

@@ -1,0 +1,9 @@
+//@path crates/simnet/src/det_taint_pos.rs
+//! Positive fixture for `determinism-taint`: sim code calls a non-sim
+//! helper that transitively reaches `Instant::now`. The finding lands
+//! here, at the boundary call, with the taint chain to the source.
+
+/// Records an event time — crosses the determinism boundary.
+pub fn record_event() -> f64 {
+    stamp()
+}

@@ -1,0 +1,29 @@
+//@path crates/metrics/src/det_taint_support.rs
+//! Support fixture for `determinism-taint`: non-sim helpers. The direct
+//! `determinism` lint never looks here — only the taint lint can see
+//! the wall-clock read laundered through `stamp`.
+
+use std::time::Instant;
+
+/// Seconds since an arbitrary origin — a nondeterminism source.
+pub fn seconds_now() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+/// Launders the wall-clock read through one more hop.
+pub fn stamp() -> f64 {
+    seconds_now() * 1.0
+}
+
+/// Wall-clock for log banners; the allow at the source de-taints it.
+pub fn banner_seconds() -> f64 {
+    // scda-analyze: allow(determinism, log banner timestamp only — the value is printed and never stored in sim state)
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+/// Pure and deterministic.
+pub fn halve(x: f64) -> f64 {
+    x * 0.5
+}

@@ -1,0 +1,17 @@
+//@path crates/core/src/hot_alloc_neg.rs
+//! Negative fixture for `hot-path-transitive-alloc`: everything the hot
+//! root reaches reuses caller-held buffers — zero findings.
+
+/// Root of the transport phase.
+// scda-analyze: hot(kernel.transport)
+pub fn transport_tick(scratch: &mut Vec<f64>) {
+    scratch.clear();
+    fill(scratch, 4);
+}
+
+/// Fills the caller-held buffer in place.
+fn fill(out: &mut Vec<f64>, n: usize) {
+    for i in 0..n {
+        out.push(i as f64);
+    }
+}

@@ -1,0 +1,26 @@
+//@path crates/core/src/hot_alloc_pos.rs
+//! Positive fixture for `hot-path-transitive-alloc`: the root itself is
+//! clean, but a helper two hops down allocates. The intra-fn
+//! predecessor lint missed exactly this shape.
+
+/// Root of the control phase. Growth into the `&mut` out-parameter is
+/// the sanctioned caller-held-buffer pattern and must NOT fire.
+// scda-analyze: hot(kernel.control)
+pub fn control_round(out: &mut Vec<f64>) {
+    out.push(0.0);
+    refresh(out);
+}
+
+/// One hop down: still clean (growth lands in the out-parameter).
+fn refresh(out: &mut Vec<f64>) {
+    let staged = snapshot();
+    out.extend_from_slice(&staged);
+}
+
+/// Two hops down: allocates a fresh Vec and grows a local — both are
+/// findings, attributed via the witness chain from `control_round`.
+fn snapshot() -> Vec<f64> {
+    let mut v = Vec::new();
+    v.push(1.0);
+    v
+}

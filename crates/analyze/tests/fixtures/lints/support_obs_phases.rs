@@ -1,0 +1,12 @@
+//@path crates/obs/src/lib.rs
+//! Support fixture: stands in for `scda_obs` so the harvested phase
+//! vocabulary is self-contained — `hot(…)` tags in the other fixtures
+//! must name one of the constants below.
+
+/// Canonical profiler phase names.
+pub mod phase {
+    /// The control-plane round.
+    pub const CONTROL: &str = "kernel.control";
+    /// The transport tick.
+    pub const TRANSPORT: &str = "kernel.transport";
+}

@@ -1,0 +1,14 @@
+//@path crates/core/src/unit_dim_neg.rs
+//! Negative fixture for `unit-dimension`: synonymous unit words ("bytes
+//! per second" vs "bytes/s") collapse into one dimension class and must
+//! not conflict.
+
+/// Scales demand; `rate` is in bytes per second.
+pub fn scale_demand(rate: f64) -> f64 {
+    apply(rate)
+}
+
+/// Applies `r` in bytes/s.
+fn apply(r: f64) -> f64 {
+    r * 0.5
+}

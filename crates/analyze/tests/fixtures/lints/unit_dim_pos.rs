@@ -1,0 +1,14 @@
+//@path crates/core/src/unit_dim_pos.rs
+//! Positive fixture for `unit-dimension`: a seconds value flows into a
+//! bytes/s parameter — the transposition the fluid math is one swap
+//! away from.
+
+/// Advances the model by `win` — the averaging window in seconds.
+pub fn advance(win: f64) -> f64 {
+    drain(win)
+}
+
+/// Drains at `rate` in bytes/s and reports the amount moved.
+fn drain(rate: f64) -> f64 {
+    rate * 2.0
+}

@@ -3,12 +3,14 @@
 //! `allow(<lint>, reason)` suppresses it — plus driver-level tests for
 //! the allow-hygiene findings themselves.
 
+use scda_analyze::graph::Workspace;
 use scda_analyze::lints::{
-    determinism::Determinism, doc_units::DocUnits, float_eq::NoFloatEq,
-    no_alloc_hot::NoAllocInHotPath, no_println::NoPrintlnInCrates, phase_names::PhaseNameCanonical,
-    unwrap_hot::NoUnwrapHotPath, Lint,
+    determinism::Determinism, determinism_taint::DeterminismTaint, doc_units::DocUnits,
+    float_eq::NoFloatEq, hot_transitive::HotPathTransitiveAlloc, no_deprecated::NoDeprecatedItems,
+    no_println::NoPrintlnInCrates, phase_names::PhaseNameCanonical, unwrap_hot::NoUnwrapHotPath,
+    Lint,
 };
-use scda_analyze::{run_lints, Finding, SourceFile, ALLOW_HYGIENE};
+use scda_analyze::{run_lints, Finding, Report, SourceFile, ALLOW_HYGIENE};
 
 /// Run one lint over one snippet under a pretend path.
 fn check(lint: &dyn Lint, path: &str, src: &str) -> Vec<Finding> {
@@ -19,8 +21,23 @@ fn check(lint: &dyn Lint, path: &str, src: &str) -> Vec<Finding> {
 }
 
 /// Run the full driver (suppressions applied) for one lint.
-fn drive(lint_box: Box<dyn Lint>, path: &str, src: &str) -> scda_analyze::Report {
+fn drive(lint_box: Box<dyn Lint>, path: &str, src: &str) -> Report {
     run_lints(&[SourceFile::parse(path, src)], &[lint_box])
+}
+
+/// Parse a pretend multi-file workspace, build its call graph, construct
+/// one interprocedural lint over it, and run the driver.
+fn drive_ws(
+    sources: &[(&str, &str)],
+    mk: impl FnOnce(&Workspace, &[SourceFile]) -> Box<dyn Lint>,
+) -> Report {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|&(p, s)| SourceFile::parse(p, s))
+        .collect();
+    let ws = Workspace::build(&files);
+    let lint = mk(&ws, &files);
+    run_lints(&files, &[lint])
 }
 
 const SIM_PATH: &str = "crates/core/src/fixture.rs";
@@ -397,15 +414,21 @@ let b = Instant::now();
     assert_eq!(report.findings[0].line, 4);
 }
 
-// ---------------------------------------------------- no-alloc-in-hot-path
+// ----------------------------------------------- hot-path-transitive-alloc
 
 /// The canonical phase set the hot-path fixtures assume.
 fn hot_phases() -> Vec<String> {
     vec!["kernel.control".to_string(), "engine.drain".to_string()]
 }
 
+fn hot_lint(sources: &[(&str, &str)]) -> Report {
+    drive_ws(sources, |ws, files| {
+        Box::new(HotPathTransitiveAlloc::new(ws, files, &hot_phases()))
+    })
+}
+
 #[test]
-fn no_alloc_hot_fires_on_vec_new_collect_and_to_vec() {
+fn hot_transitive_fires_on_direct_allocs_in_tagged_fn() {
     let src = "
 // scda-analyze: hot(kernel.control)
 fn round(xs: &[u32]) -> Vec<u32> {
@@ -418,8 +441,8 @@ fn round(xs: &[u32]) -> Vec<u32> {
     out
 }
 ";
-    let findings = check(&NoAllocInHotPath::new(hot_phases()), HOT_PATH, src);
-    assert_eq!(findings.len(), 4, "{findings:?}");
+    let report = hot_lint(&[(HOT_PATH, src)]);
+    let findings = &report.findings;
     assert!(findings.iter().any(|f| f.message.contains("Vec::new")));
     assert!(findings.iter().any(|f| f.message.contains("to_vec")));
     assert_eq!(
@@ -430,76 +453,113 @@ fn round(xs: &[u32]) -> Vec<u32> {
         2,
         "both plain and turbofish collect: {findings:?}"
     );
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.message.contains("growth"))
+            .count(),
+        2,
+        "both extends into the local (not an out-param): {findings:?}"
+    );
 }
 
 #[test]
-fn no_alloc_hot_scopes_to_the_tagged_function_only() {
-    // Allocations before the tag and in the *next* function stay legal.
+fn hot_transitive_reaches_through_helpers_with_a_witness_chain() {
+    // The allocation is two call hops below the tag — the predecessor
+    // intra-fn lint could not see it.
+    let helper = "
+pub fn outer(n: usize) -> f64 { inner(n) }
+fn inner(n: usize) -> f64 {
+    let v: Vec<f64> = Vec::with_capacity(n);
+    v.len() as f64
+}
+";
+    let hot = "
+// scda-analyze: hot(kernel.control)
+fn round() -> f64 { outer(4) }
+";
+    let report = hot_lint(&[(HOT_PATH, hot), ("crates/metrics/src/helper.rs", helper)]);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.file, "crates/metrics/src/helper.rs");
+    assert!(f.message.contains("kernel.control"), "{}", f.message);
+    assert!(
+        f.message.contains("round → outer → inner"),
+        "witness chain: {}",
+        f.message
+    );
+}
+
+#[test]
+fn hot_transitive_exempts_growth_into_out_params() {
+    // Pushing into a `&mut` out-parameter IS the caller-held-buffer
+    // pattern the lint's fix-it recommends, one field projection deep.
     let src = "
-fn cold_before() -> Vec<u32> { Vec::new() }
 // scda-analyze: hot(engine.drain)
-fn drain(buf: &mut Vec<u32>) {
+fn drain(buf: &mut Vec<u32>, rep: &mut Report) {
     buf.clear();
     buf.push(1);
+    buf.extend_from_slice(&[2, 3]);
+    rep.flows.push(4);
 }
 fn cold_after(xs: &[u32]) -> Vec<u32> { xs.to_vec() }
 ";
-    let findings = check(&NoAllocInHotPath::new(hot_phases()), HOT_PATH, src);
-    assert!(findings.is_empty(), "{findings:?}");
+    let report = hot_lint(&[(HOT_PATH, src)]);
+    assert!(report.is_clean(), "{:?}", report.findings);
 }
 
 #[test]
-fn no_alloc_hot_allow_suppresses_with_reason() {
+fn hot_transitive_allow_suppresses_with_reason() {
     let src = "
 // scda-analyze: hot(kernel.control)
 fn round() -> Vec<u32> {
-    // scda-analyze: allow(no-alloc-in-hot-path, the result Vec is handed to the caller)
+    // scda-analyze: allow(hot-path-transitive-alloc, the result Vec is handed to the caller)
     let out = Vec::new();
     out
 }
 ";
-    let report = drive(Box::new(NoAllocInHotPath::new(hot_phases())), HOT_PATH, src);
+    let report = hot_lint(&[(HOT_PATH, src)]);
     assert!(report.is_clean(), "findings: {:?}", report.findings);
     assert_eq!(report.suppressed, 1);
 }
 
 #[test]
-fn no_alloc_hot_rejects_unknown_phase() {
+fn hot_transitive_rejects_unknown_phase() {
     let src = "
 // scda-analyze: hot(kernel.made-up)
 fn round() {}
 ";
-    let findings = check(&NoAllocInHotPath::new(hot_phases()), HOT_PATH, src);
-    assert_eq!(findings.len(), 1, "{findings:?}");
-    assert!(findings[0].message.contains("kernel.made-up"));
+    let report = hot_lint(&[(HOT_PATH, src)]);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert!(report.findings[0].message.contains("kernel.made-up"));
     // With no harvested set (obs crate absent), validation is skipped.
-    let findings = check(&NoAllocInHotPath::new(Vec::new()), HOT_PATH, src);
-    assert!(findings.is_empty(), "{findings:?}");
+    let report = drive_ws(&[(HOT_PATH, src)], |ws, files| {
+        Box::new(HotPathTransitiveAlloc::new(ws, files, &[]))
+    });
+    assert!(report.is_clean(), "{:?}", report.findings);
 }
 
 #[test]
-fn no_alloc_hot_flags_a_dangling_tag() {
+fn hot_transitive_flags_a_dangling_tag() {
     let src = "
 // scda-analyze: hot(kernel.control)
 const X: u32 = 1;
 ";
-    let findings = check(&NoAllocInHotPath::new(hot_phases()), HOT_PATH, src);
-    assert_eq!(findings.len(), 1, "{findings:?}");
-    assert!(findings[0].message.contains("not followed by a function"));
+    let report = hot_lint(&[(HOT_PATH, src)]);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert!(report.findings[0]
+        .message
+        .contains("not followed by a function"));
 }
 
 #[test]
-fn no_alloc_hot_exempts_test_code() {
+fn hot_transitive_exempts_test_code() {
     let src = "
 // scda-analyze: hot(kernel.control)
 fn helper() -> Vec<u32> { Vec::new() }
 ";
-    let findings = check(
-        &NoAllocInHotPath::new(hot_phases()),
-        "crates/core/tests/fixture.rs",
-        src,
-    );
-    assert!(findings.is_empty(), "{findings:?}");
+    let report = hot_lint(&[("crates/core/tests/fixture.rs", src)]);
+    assert!(report.is_clean(), "{:?}", report.findings);
 }
 
 #[test]
@@ -511,10 +571,199 @@ fn a() {}
 // scda-analyze: hot(kernel.control, extra)
 fn b() {}
 ";
-    let report = drive(Box::new(NoAllocInHotPath::new(hot_phases())), HOT_PATH, src);
+    let report = hot_lint(&[(HOT_PATH, src)]);
     assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
     assert!(report
         .findings
         .iter()
         .all(|f| f.lint == ALLOW_HYGIENE && f.message.contains("unparsable")));
+}
+
+// ----------------------------------------------------- determinism-taint
+
+fn taint(sources: &[(&str, &str)]) -> Report {
+    drive_ws(sources, |ws, files| {
+        Box::new(DeterminismTaint::new(ws, files))
+    })
+}
+
+#[test]
+fn taint_fires_at_the_sim_boundary_call_site() {
+    // obs is outside the direct determinism lint's scope; the taint lint
+    // catches sim code reaching its wall-clock read through a helper.
+    let obs = "
+pub fn stamp() -> f64 { seconds_now() }
+fn seconds_now() -> f64 { Instant::now().elapsed().as_secs_f64() }
+";
+    let sim = "
+pub fn tick(now: f64) -> f64 { now + stamp() }
+";
+    let report = taint(&[("crates/obs/src/clock.rs", obs), (SIM_PATH, sim)]);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.file, SIM_PATH, "flagged at the boundary call site");
+    assert!(f.message.contains("Instant::now"), "{}", f.message);
+    assert!(
+        f.message.contains("stamp → seconds_now"),
+        "taint chain: {}",
+        f.message
+    );
+}
+
+#[test]
+fn taint_ignores_clean_helpers_and_non_sim_callers() {
+    let obs = "pub fn stamp(now: f64) -> f64 { now }\n";
+    let sim = "pub fn tick(now: f64) -> f64 { stamp(now) }\n";
+    let report = taint(&[("crates/obs/src/clock.rs", obs), (SIM_PATH, sim)]);
+    assert!(report.is_clean(), "{:?}", report.findings);
+    // A workloads-crate caller of a tainted helper is out of scope.
+    let dirty_obs = "pub fn stamp() -> f64 { Instant::now().elapsed().as_secs_f64() }\n";
+    let workloads = "pub fn gen() -> f64 { stamp() }\n";
+    let report = taint(&[
+        ("crates/obs/src/clock.rs", dirty_obs),
+        ("crates/workloads/src/gen.rs", workloads),
+    ]);
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn taint_allow_at_source_detaints_and_counts_as_used() {
+    let obs = "
+pub fn stamp() -> f64 {
+    // scda-analyze: allow(determinism-taint, profiling only; the value is written to the trace and never read back into sim state)
+    Instant::now().elapsed().as_secs_f64()
+}
+";
+    let sim = "pub fn tick(now: f64) -> f64 { now + stamp() }\n";
+    let report = taint(&[("crates/obs/src/clock.rs", obs), (SIM_PATH, sim)]);
+    // No taint finding, and no "unused allow" hygiene finding either —
+    // the de-tainting consumption marks the annotation used.
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn taint_does_not_double_flag_sim_internal_calls() {
+    // Caller and tainted callee both in sim crates: the direct lint (or
+    // the taint lint one boundary deeper) owns that finding.
+    let a = "pub fn helper() -> f64 { Instant::now().elapsed().as_secs_f64() }\n";
+    let b = "pub fn tick() -> f64 { helper() }\n";
+    let report = taint(&[("crates/simnet/src/a.rs", a), ("crates/simnet/src/b.rs", b)]);
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+// ------------------------------------------------------- unit-dimension
+
+fn units(sources: &[(&str, &str)]) -> Report {
+    drive_ws(sources, |ws, files| {
+        Box::new(scda_analyze::lints::unit_dimension::UnitDimension::new(
+            ws, files,
+        ))
+    })
+}
+
+#[test]
+fn unit_dimension_fires_on_seconds_into_bytes_per_sec() {
+    let src = "
+/// Advance by `dt` seconds.
+pub fn advance(dt: f64) { push_rate(dt); }
+/// Record `rate` in bytes/s.
+pub fn push_rate(rate: f64) {}
+";
+    let report = units(&[(SIM_PATH, src)]);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert!(f.message.contains("seconds"), "{}", f.message);
+    assert!(f.message.contains("bytes/s"), "{}", f.message);
+    assert!(f.message.contains("push_rate"), "{}", f.message);
+}
+
+#[test]
+fn unit_dimension_accepts_agreement_and_synonyms() {
+    let src = "
+/// Advance by `dt` seconds at `rate` bytes per second.
+pub fn advance(dt: f64, rate: f64) { record(rate); wait(dt); }
+/// Record `r` in bytes/s.
+pub fn record(r: f64) {}
+/// Sleep `secs` seconds.
+pub fn wait(secs: f64) {}
+";
+    let report = units(&[(SIM_PATH, src)]);
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn unit_dimension_stays_silent_without_documented_units() {
+    // Undocumented params (doc-units' job) produce no dimension verdict.
+    let src = "
+/// Advance the model.
+pub fn advance(dt: f64) { helper(dt); }
+pub fn helper(x: f64) {}
+";
+    let report = units(&[(SIM_PATH, src)]);
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn unit_dimension_unit_word_window_stops_at_next_identifier() {
+    // \"bytes\" belongs to `size`, not to `start` — the window must not
+    // leak across the next backticked mention.
+    let src = "
+/// Start at `start` with `size` bytes.
+pub fn begin(start: f64, size: f64) { at(start); }
+/// Schedule at `t` seconds.
+pub fn at(t: f64) {}
+";
+    let report = units(&[(SIM_PATH, src)]);
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn unit_dimension_allow_suppresses() {
+    let src = "
+/// Advance by `dt` seconds.
+pub fn advance(dt: f64) {
+    // scda-analyze: allow(unit-dimension, dt is re-interpreted as a byte budget by design here)
+    push_rate(dt);
+}
+/// Record `rate` in bytes/s.
+pub fn push_rate(rate: f64) {}
+";
+    let report = units(&[(SIM_PATH, src)]);
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.suppressed, 1);
+}
+
+// --------------------------------------------------- no-deprecated-items
+
+#[test]
+fn no_deprecated_fires_on_deprecated_attr() {
+    let src = "
+#[deprecated(since = \"0.1.0\", note = \"use the _into form\")]
+pub fn old() {}
+";
+    let found = check(&NoDeprecatedItems, SIM_PATH, src);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].line, 2);
+}
+
+#[test]
+fn no_deprecated_exempts_tests_and_allows_suppress() {
+    let src = "#[deprecated]\npub fn old() {}\n";
+    assert!(check(&NoDeprecatedItems, "crates/core/tests/x.rs", src).is_empty());
+    let gated = "
+#[cfg(test)]
+mod tests {
+    #[deprecated]
+    fn old() {}
+}
+";
+    assert!(check(&NoDeprecatedItems, SIM_PATH, gated).is_empty());
+    let allowed = "
+// scda-analyze: allow(no-deprecated-items, mirroring an upstream deprecation during a two-PR migration)
+#[deprecated]
+pub fn old() {}
+";
+    let report = drive(Box::new(NoDeprecatedItems), SIM_PATH, allowed);
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.suppressed, 1);
 }

@@ -87,6 +87,7 @@ impl NodeSet {
             return false;
         }
         self.bits[word] |= mask;
+        // scda-analyze: allow(hot-path-transitive-alloc, the member list retains its capacity across clear() — drain keeps the buffer; growth only while the set's high-water mark rises)
         self.members.push(s);
         true
     }
@@ -146,8 +147,8 @@ pub struct Selector<'a> {
 
 impl<'a> Selector<'a> {
     /// A selector over `metrics` (one entry per block server, from
-    /// [`crate::tree::ControlTree::server_metrics`]). Pass the energy book
-    /// to enable dormancy handling and power-aware ranking.
+    /// [`crate::tree::ControlTree::server_metrics_into`]). Pass the energy
+    /// book to enable dormancy handling and power-aware ranking.
     pub fn new(
         metrics: &'a [ServerMetrics],
         energy: Option<&'a EnergyBook>,

@@ -725,7 +725,7 @@ impl ControlTree {
     /// `telemetry`. Returns detected SLA violations.
     // scda-analyze: hot(kernel.control)
     pub fn control_round(&mut self, now: f64, telemetry: &mut impl Telemetry) -> Vec<SlaViolation> {
-        // scda-analyze: allow(no-alloc-in-hot-path, the violations Vec is this round's return value; empty rounds allocate nothing)
+        // scda-analyze: allow(hot-path-transitive-alloc, the violations Vec is this round's return value; empty rounds allocate nothing)
         let mut violations = Vec::new();
         let round = self.round;
         self.round += 1;
@@ -761,6 +761,7 @@ impl ControlTree {
                 (Direction::Up, &self.up, &self.up_scratch),
             ] {
                 if scr.load[id] > scr.cap_term[id] {
+                    // scda-analyze: allow(hot-path-transitive-alloc, pushes into this round's return Vec — one entry per detected violation, and violation-free rounds never allocate)
                     violations.push(SlaViolation {
                         time: now,
                         site: ViolationSite {
@@ -805,7 +806,7 @@ impl ControlTree {
                     let fold_iter = this.order[lo..hi]
                         .par_iter()
                         .map(|&ra| this.fold_children(ra.0));
-                    // scda-analyze: allow(no-alloc-in-hot-path, the parallel fold gathers per-RA results; only taken on ≥PAR_MIN_NODES trees where the round dwarfs one Vec)
+                    // scda-analyze: allow(hot-path-transitive-alloc, the parallel fold gathers per-RA results; only taken on ≥PAR_MIN_NODES trees where the round dwarfs one Vec)
                     fold_iter.collect()
                 };
                 for (k, fold) in folds.into_iter().enumerate() {
@@ -946,6 +947,7 @@ impl ControlTree {
         let nr = self.n_rms();
         self.obs.with_core(|c| {
             for v in violations {
+                // scda-analyze: allow(hot-path-transitive-alloc, Tracer::push fills a bounded ring — beyond capacity it overwrites the oldest slot in place)
                 c.tracer.push(TraceEvent::SlaViolationDetected {
                     now,
                     level: v.site.level,
@@ -977,6 +979,7 @@ impl ControlTree {
                         check_up = check_up.min(self.r_check_up[h as usize * nr + pos]);
                     }
                 }
+                // scda-analyze: allow(hot-path-transitive-alloc, Tracer::push fills a bounded ring — beyond capacity it overwrites the oldest slot in place)
                 c.tracer.push(TraceEvent::RatePropagation {
                     now,
                     round,
@@ -987,6 +990,7 @@ impl ControlTree {
                     r_check_up_min: check_up,
                 });
             }
+            // scda-analyze: allow(hot-path-transitive-alloc, Tracer::push fills a bounded ring — beyond capacity it overwrites the oldest slot in place)
             c.tracer.push(TraceEvent::CtrlRoundEnd {
                 now,
                 round,
@@ -1012,19 +1016,10 @@ impl ControlTree {
         });
     }
 
-    /// The RAs at a given tree level, in construction order (level 1 =
-    /// one per rack in the three-tier tree).
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates a Vec per query; use `ras_at_iter` on hot paths"
-    )]
-    pub fn ras_at(&self, level: u8) -> Vec<CtrlId> {
-        self.ras_at_iter(level).collect()
-    }
-
-    /// Iterator form of `ras_at`: the RAs at a given tree level in
-    /// construction order, without allocating a `Vec` per query (the NNS
-    /// asks for rack-level RAs on hot selection paths).
+    /// The RAs at a given tree level in construction order (level 1 =
+    /// one per rack in the three-tier tree), without allocating a `Vec`
+    /// per query (the NNS asks for rack-level RAs on hot selection
+    /// paths).
     pub fn ras_at_iter(&self, level: u8) -> impl Iterator<Item = CtrlId> + '_ {
         assert!(level >= 1, "level 0 holds RMs, not RAs");
         let (lo, hi) = if level <= self.hmax {
@@ -1084,20 +1079,10 @@ impl ControlTree {
     }
 
     /// Per-server metrics for filtered selection (replica placement with
-    /// exclusions, dormancy filters, power-aware ranking). RMs in
-    /// construction order — deterministic.
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates a Vec per query; use `server_metrics_into` with a reused buffer"
-    )]
-    pub fn server_metrics(&self) -> Vec<ServerMetrics> {
-        let mut out = Vec::new();
-        self.server_metrics_into(&mut out);
-        out
-    }
-
-    /// Allocation-free per-server metrics: clears and refills `out`, so
-    /// hot per-arrival selection paths can reuse one buffer.
+    /// exclusions, dormancy filters, power-aware ranking), RMs in
+    /// construction order — deterministic. Allocation-free: clears and
+    /// refills `out`, so hot per-arrival selection paths reuse one
+    /// buffer.
     pub fn server_metrics_into(&self, out: &mut Vec<ServerMetrics>) {
         out.clear();
         let nr = self.n_rms();
@@ -1532,24 +1517,6 @@ mod tests {
         ct.server_metrics_into(&mut buf);
         assert_eq!(buf.len(), first, "refill, not append");
         assert_eq!(buf.capacity(), cap, "no reallocation on refill");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_allocating_forms_match_the_replacements() {
-        // The deprecated `server_metrics`/`ras_at` must stay exact
-        // wrappers of the `_into`/iterator forms until they are removed.
-        let (_tree, mut ct) = small_tree();
-        ct.control_round(0.0, &mut Idle);
-        let owned = ct.server_metrics();
-        let reused = metrics_of(&ct);
-        assert_eq!(owned.len(), reused.len());
-        for (a, b) in owned.iter().zip(&reused) {
-            assert_eq!(a.server, b.server);
-            assert_eq!(a.r0_down.to_bits(), b.r0_down.to_bits());
-            assert_eq!(a.path_up.to_bits(), b.path_up.to_bits());
-        }
-        assert_eq!(ct.ras_at(1), ct.ras_at_iter(1).collect::<Vec<_>>());
     }
 
     #[test]

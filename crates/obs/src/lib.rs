@@ -170,6 +170,7 @@ impl Obs {
     #[inline]
     pub fn emit(&self, ev: TraceEvent) {
         if let Some(mut c) = self.lock() {
+            // scda-analyze: allow(hot-path-transitive-alloc, delegates to the bounded trace ring — beyond capacity it overwrites the oldest slot in place)
             c.tracer.push(ev);
         }
     }

@@ -132,6 +132,7 @@ impl<E> Scheduler<E> {
         );
         let seq = self.seq;
         self.seq += 1;
+        // scda-analyze: allow(hot-path-transitive-alloc, heap push reuses capacity released by pops; growth only while the pending-event high-water mark rises)
         self.heap.push(Reverse(Entry {
             time: t,
             seq,

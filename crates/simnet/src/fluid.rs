@@ -92,19 +92,6 @@ pub fn max_min_rates_into(caps: &[f64], flows: &[FluidFlow], out: &mut Vec<f64>)
     out.extend_from_slice(solver.rates());
 }
 
-/// Progressive-filling max-min: returns one rate per flow (same order as
-/// `flows`). See [`max_min_rates_into`] for the semantics.
-#[deprecated(
-    since = "0.1.0",
-    note = "allocates a fresh Vec per solve; use max_min_rates_into with a \
-            reused buffer, or a persistent IncrementalMaxMin on per-τ paths"
-)]
-pub fn max_min_rates(caps: &[f64], flows: &[FluidFlow]) -> Vec<f64> {
-    let mut out = Vec::with_capacity(flows.len());
-    max_min_rates_into(caps, flows, &mut out);
-    out
-}
-
 /// Comparison slack for freeze decisions, matching the historical
 /// from-scratch solver: a cap within `EPS` of the fair share freezes as
 /// capped; a link within `EPS` of the minimum share is a bottleneck.
@@ -397,6 +384,7 @@ impl IncrementalMaxMin {
         self.live[s] = false;
         self.rate[s] = 0.0;
         self.path_len[s] = 0;
+        // scda-analyze: allow(hot-path-transitive-alloc, free-list push reuses capacity released by add_flow pops — net growth only when the live population grows)
         self.free.push(slot);
     }
 
@@ -443,6 +431,7 @@ impl IncrementalMaxMin {
     fn mark_link_dirty(&mut self, l: LinkId) {
         if !self.dirty_mark[l.index()] {
             self.dirty_mark[l.index()] = true;
+            // scda-analyze: allow(hot-path-transitive-alloc, dirty-set push into persistent scratch drained by the next solve; capacity is retained across solves)
             self.dirty_links.push(l);
         }
     }
@@ -569,6 +558,7 @@ impl IncrementalMaxMin {
             self.dirty_mark[l.index()] = false;
             if self.link_seen[l.index()] != epoch {
                 self.link_seen[l.index()] = epoch;
+                // scda-analyze: allow(hot-path-transitive-alloc, persistent solver scratch cleared per solve with capacity retained — amortized-free after warm-up)
                 self.link_work.push(l);
             }
         }
@@ -584,6 +574,7 @@ impl IncrementalMaxMin {
                     continue;
                 }
                 self.flow_seen[f as usize] = epoch;
+                // scda-analyze: allow(hot-path-transitive-alloc, persistent solver scratch cleared per solve with capacity retained — amortized-free after warm-up)
                 self.affected.push(f);
                 let (ps, pl) = (
                     self.path_start[f as usize] as usize,
@@ -593,6 +584,7 @@ impl IncrementalMaxMin {
                     let pl_link = self.path_data[j];
                     if self.link_seen[pl_link.index()] != epoch {
                         self.link_seen[pl_link.index()] = epoch;
+                        // scda-analyze: allow(hot-path-transitive-alloc, persistent solver scratch cleared per solve with capacity retained — amortized-free after warm-up)
                         self.link_work.push(pl_link);
                     }
                 }
@@ -613,6 +605,7 @@ impl IncrementalMaxMin {
             self.affected.clear();
             for s in 0..self.live.len() {
                 if self.live[s] && self.path_len[s] != 0 {
+                    // scda-analyze: allow(hot-path-transitive-alloc, persistent solver scratch cleared per solve with capacity retained — amortized-free after warm-up)
                     self.affected.push(s as u32);
                 }
             }
@@ -625,6 +618,7 @@ impl IncrementalMaxMin {
         let n_aff = self.affected.len();
         self.uf_parent.clear();
         for i in 0..n_aff {
+            // scda-analyze: allow(hot-path-transitive-alloc, persistent solver scratch cleared per solve with capacity retained — amortized-free after warm-up)
             self.uf_parent.push(i as u32);
         }
         for i in 0..n_aff {
@@ -649,10 +643,13 @@ impl IncrementalMaxMin {
         for i in 0..n_aff {
             let r = find(&mut self.uf_parent, i as u32);
             if r == i as u32 {
+                // scda-analyze: allow(hot-path-transitive-alloc, persistent solver scratch cleared per solve with capacity retained — amortized-free after warm-up)
                 self.comp_of.push(n_comps);
+                // scda-analyze: allow(hot-path-transitive-alloc, persistent solver scratch cleared per solve with capacity retained — amortized-free after warm-up)
                 self.comp_start.push(0);
                 n_comps += 1;
             } else {
+                // scda-analyze: allow(hot-path-transitive-alloc, persistent solver scratch cleared per solve with capacity retained — amortized-free after warm-up)
                 self.comp_of.push(u32::MAX);
             }
         }
@@ -665,9 +662,11 @@ impl IncrementalMaxMin {
         for c in 0..n_comps as usize {
             let cnt = self.comp_start[c];
             self.comp_start[c] = acc;
+            // scda-analyze: allow(hot-path-transitive-alloc, persistent solver scratch cleared per solve with capacity retained — amortized-free after warm-up)
             self.comp_cursor.push(acc);
             acc += cnt;
         }
+        // scda-analyze: allow(hot-path-transitive-alloc, persistent solver scratch cleared per solve with capacity retained — amortized-free after warm-up)
         self.comp_start.push(acc);
         self.members.clear();
         self.members.resize(n_aff, 0);
@@ -709,6 +708,7 @@ impl IncrementalMaxMin {
                     self.fill_seen[li] = epoch;
                     self.rem[li] = self.caps[li];
                     self.count[li] = 0;
+                    // scda-analyze: allow(hot-path-transitive-alloc, persistent solver scratch cleared per solve with capacity retained — amortized-free after warm-up)
                     self.link_work.push(l);
                 }
                 self.count[li] += 1;
@@ -918,19 +918,6 @@ mod tests {
         assert!((r[0] - 10.0).abs() < 1e-6);
         assert!((r[1] - 20.0).abs() < 1e-6);
         assert!((r[2] - 90.0).abs() < 1e-6);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_matches_into() {
-        let caps = [100.0, 40.0];
-        let flows = vec![FluidFlow::new(vec![l(0)]), FluidFlow::new(vec![l(0), l(1)])];
-        let wrapped = max_min_rates(&caps, &flows);
-        let fresh = solve(&caps, &flows);
-        assert_eq!(
-            wrapped.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
-            fresh.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
-        );
     }
 
     #[test]

@@ -63,8 +63,6 @@ pub use builders::{ThreeTierConfig, ThreeTierTree};
 pub use ecmp::EcmpRoutes;
 pub use engine::{run_to_completion, run_until, run_until_audited, run_until_observed, Simulation};
 pub use event::Scheduler;
-#[allow(deprecated)]
-pub use fluid::max_min_rates;
 pub use fluid::{max_min_rates_into, FluidFlow, IncrementalMaxMin, SolveStats};
 pub use ids::{FlowId, LinkId, NodeId};
 pub use link::LinkState;

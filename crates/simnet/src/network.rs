@@ -29,16 +29,17 @@ use crate::link::LinkState;
 use crate::routing::{PathId, Routes};
 use crate::topology::Topology;
 
-/// An active flow materialized out of the arena (the by-value form
-/// [`Network::remove_flow`] returns).
-#[derive(Debug, Clone)]
+/// The endpoints of a flow that just left the arena (the by-value form
+/// [`Network::remove_flow`] returns). Deliberately path-free: the link
+/// sequence lives in the CSR arena, and copying it out for every
+/// completion would put an allocation on the per-τ removal path — read
+/// it via [`Network::flow`] *before* removing when it is needed.
+#[derive(Debug, Clone, Copy)]
 pub struct NetFlow {
     /// Sending node.
     pub src: NodeId,
     /// Receiving node.
     pub dst: NodeId,
-    /// Directed links from `src` to `dst`.
-    pub path: Vec<LinkId>,
     /// Propagation-only round-trip time (no queueing) in seconds.
     pub base_rtt: f64,
 }
@@ -409,16 +410,16 @@ impl Network {
             .remove(&id)
             .unwrap_or_else(|| panic!("flow {id} not active"));
         let s = slot as usize;
-        let (start, len) = (self.path_start[s] as usize, self.path_len[s] as usize);
+        let len = self.path_len[s] as usize;
         let flow = NetFlow {
             src: self.srcs[s],
             dst: self.dsts[s],
-            path: self.path_data[start..start + len].to_vec(),
             base_rtt: self.base_rtt[s],
         };
         self.path_garbage += len;
         self.path_len[s] = 0;
         self.live[s] = false;
+        // scda-analyze: allow(hot-path-transitive-alloc, free-list push reuses capacity released by earlier insert pops — net growth only when the live population grows)
         self.free.push(slot);
         if let Some(solver) = &mut self.solver {
             let ss = self.solver_slot[s];

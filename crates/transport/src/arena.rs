@@ -169,8 +169,9 @@ impl FlowArena {
         let s = slot as usize;
         self.live[s] = false;
         self.gens[s] = self.gens[s].wrapping_add(1);
+        // scda-analyze: allow(hot-path-transitive-alloc, free-list push reuses capacity released by earlier insert pops — net growth only when the live population grows)
         self.free.push(slot);
-        Some(self.progress[s].clone())
+        Some(self.progress[s])
     }
 
     /// The current handle for a live flow.

@@ -337,6 +337,7 @@ impl FlowDriver {
             let net_slots = self.active.net_slots_col();
             for (k, &slot) in self.tick_slots.iter().enumerate() {
                 self.net_offered
+                    // scda-analyze: allow(hot-path-transitive-alloc, per-tick scratch cleared just above with capacity retained — amortized-free after the first tick)
                     .push((net_slots[slot as usize], self.rates[k]));
             }
         }
@@ -394,6 +395,7 @@ impl FlowDriver {
                     // propagation later (validated against the packet-
                     // level simulator in tests/fluid_vs_packet.rs).
                     let base_rtt = self.net.base_rtt_of_slot(self.active.net_slots_col()[s]);
+                    // scda-analyze: allow(hot-path-transitive-alloc, one entry per flow completing this tick — bounded by completions, not by τ)
                     summary.completed.push(CompletedFlow {
                         id: ft.flow,
                         size_bytes: progress.size_bytes,
@@ -428,6 +430,7 @@ impl FlowDriver {
                 if progress.on_delivered(ft.goodput_bytes, tick_end) {
                     // See the parallel arm: completion lands one forward-
                     // propagation after the last fluid byte.
+                    // scda-analyze: allow(hot-path-transitive-alloc, one entry per flow completing this tick — bounded by completions, not by τ)
                     summary.completed.push(CompletedFlow {
                         id: ft.flow,
                         size_bytes: progress.size_bytes,

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 /// Progress of one content transfer: how many of its bytes have been
 /// delivered end-to-end, and when it started/finished. The flow-completion
 /// time (FCT) — the paper's headline metric — is `finish - start`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct FlowProgress {
     /// Network-level flow id.
     pub id: FlowId,
@@ -21,7 +21,8 @@ pub struct FlowProgress {
 }
 
 impl FlowProgress {
-    /// A fresh transfer of `size_bytes` starting at `start`.
+    /// A fresh transfer of `size_bytes` bytes starting at `start` seconds
+    /// of virtual time.
     ///
     /// # Panics
     ///
